@@ -1,0 +1,49 @@
+// Shared helpers for the experiment binaries.
+//
+// Every bench prints (a) a header naming the paper artifact it regenerates,
+// (b) a column-aligned table of measured vs predicted quantities, and (c) a
+// short "shape check" verdict so EXPERIMENTS.md can quote pass/fail lines.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/sim_config.hpp"
+#include "util/table.hpp"
+
+namespace embsp::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n=== [" << id << "] " << title << " ===\n";
+}
+
+inline void verdict(bool ok, const std::string& claim) {
+  std::cout << (ok ? "  [shape OK]  " : "  [SHAPE MISMATCH]  ") << claim
+            << "\n";
+}
+
+/// Standard EM machine used across experiments unless a sweep overrides a
+/// parameter: D disks of block size B, memory M, unit costs.
+inline sim::SimConfig machine(std::uint32_t p, std::size_t D, std::size_t B,
+                              std::size_t M = 1 << 20) {
+  sim::SimConfig cfg;
+  cfg.machine.p = p;
+  cfg.machine.em.D = D;
+  cfg.machine.em.B = B;
+  cfg.machine.em.M = M;
+  cfg.machine.em.G = 1.0;
+  return cfg;
+}
+
+/// Parallel I/Os attributable to the algorithm itself (excludes loading the
+/// input contexts and reading results back, mirroring how the baselines
+/// report their algorithm phase).
+inline std::uint64_t algorithm_ios(const sim::SimResult& r) {
+  const auto& ph = r.phase_io;
+  const std::uint64_t setup = ph.init.parallel_ios + ph.collect.parallel_ios;
+  return r.total_io.parallel_ios > setup ? r.total_io.parallel_ios - setup
+                                         : 0;
+}
+
+}  // namespace embsp::bench

@@ -1,0 +1,44 @@
+// [C-D] §1 claim — "if parallel disks are not properly utilized, the
+// runtime can be a factor of D too high".
+//
+// Runs the same EM-CGM sort on machines with D = 1..16 disks (everything
+// else fixed) and checks that the parallel-I/O count — hence the model I/O
+// time G * #IOs — scales like 1/D, i.e. the simulation exploits all drives.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cgm/sort.hpp"
+#include "util/workloads.hpp"
+
+int main() {
+  using namespace embsp;
+  using namespace embsp::bench;
+  banner("C-D", "disk scaling: I/O time vs number of disks");
+
+  struct KeyLess {
+    bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+  };
+  const std::uint64_t n = 1 << 16;
+  auto keys = util::random_keys(n, 5);
+
+  util::Table table({"D", "parallel IOs", "utilization", "speedup vs D=1",
+                     "ideal"});
+  std::uint64_t base = 0;
+  bool ok = true;
+  for (std::size_t D : {1u, 2u, 4u, 8u, 16u}) {
+    cgm::SeqEmExec exec(machine(1, D, 512, 1 << 20));
+    auto out = cgm::cgm_sort<std::uint64_t, KeyLess>(exec, keys, 64);
+    const auto ios = out.exec.sim->total_io.parallel_ios;
+    if (D == 1) base = ios;
+    const double speedup = static_cast<double>(base) / ios;
+    table.add_row({std::to_string(D), util::fmt_count(ios),
+                   util::fmt_double(out.exec.sim->total_io.utilization(D), 2),
+                   util::fmt_ratio(speedup),
+                   util::fmt_ratio(static_cast<double>(D))});
+    // At least 60% of ideal scaling at every width.
+    ok = ok && speedup > 0.6 * static_cast<double>(D);
+  }
+  std::cout << table.render();
+  verdict(ok, "I/O time scales ~1/D: the simulation keeps all disks busy");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// [F2] Figure 2 + Lemma 3 — the SimulateRouting reorganization.
+//
+// Measures the cost and balance of Algorithm 2 on communication-heavy
+// supersteps, ablates the padded (paper-exact, dummy-block) mode against
+// the compact (exact-count) mode, and compares the whole simulation against
+// the Sibeyn–Kaufmann-style naive simulation (one virtual processor at a
+// time, dense v x v message matrix, no blocking, no disk parallelism).
+#include <iostream>
+
+#include "baseline/naive_sim.hpp"
+#include "bench_util.hpp"
+#include "sim/seq_simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace embsp;
+using namespace embsp::bench;
+
+/// Sparse pseudo-random traffic: every processor sends `fanout` messages of
+/// `words` 8-byte words to hashed destinations each superstep — the regime
+/// CGM communication rounds live in (h = O(n/v) per processor, most
+/// processor pairs silent), and the one where the dense v x v cell matrix
+/// pays its v^2-reads-per-superstep tax.
+struct SparseTrafficProgram {
+  std::size_t rounds = 3;
+  std::size_t fanout = 4;
+  std::size_t words = 32;
+
+  struct State {
+    std::uint64_t checksum = 0;
+    void serialize(util::Writer& w) const { w.write(checksum); }
+    void deserialize(util::Reader& r) { checksum = r.read<std::uint64_t>(); }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      for (auto x : in.vector<std::uint64_t>(i)) s.checksum += x;
+    }
+    if (step < rounds) {
+      std::vector<std::uint64_t> payload(words);
+      for (std::size_t j = 0; j < words; ++j) {
+        payload[j] = env.pid * 131 + step * 17 + j;
+      }
+      for (std::size_t f = 0; f < fanout; ++f) {
+        const auto dst = static_cast<std::uint32_t>(
+            (env.pid * 2654435761u + step * 40503u + f * 97u + 13u) %
+            env.nprocs);
+        out.send_vector(dst, payload);
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+int main() {
+  banner("F2", "SimulateRouting: compact vs padded vs naive simulation");
+
+  constexpr std::uint32_t kV = 128;
+  constexpr std::size_t kD = 4;
+  constexpr std::size_t kB = 256;
+  SparseTrafficProgram prog;
+  auto make = [](std::uint32_t) { return SparseTrafficProgram::State{}; };
+
+  util::Table table({"simulator", "parallel IOs", "blocks moved",
+                     "utilization", "routing max chain", "dummy blocks",
+                     "vs compact"});
+
+  std::uint64_t compact_ios = 0;
+  std::uint64_t checksum_ref = 0;
+  for (auto mode : {sim::RoutingMode::compact, sim::RoutingMode::padded,
+                    sim::RoutingMode::deterministic}) {
+    auto cfg = machine(1, kD, kB, 1 << 20);
+    cfg.machine.bsp.v = kV;
+    cfg.routing = mode;
+    cfg.mu = 64;
+    // Receive side is hash-skewed: budget several times the average.
+    cfg.gamma = 16 * (32 * 8 + 8 + 32) + 64;
+    sim::SeqSimulator simr(cfg);
+    std::uint64_t checksum = 0;
+    auto result = simr.run<SparseTrafficProgram>(
+        prog, make, [&](std::uint32_t, SparseTrafficProgram::State& s) {
+          checksum += s.checksum;
+        });
+    if (mode == sim::RoutingMode::compact) {
+      compact_ios = result.total_io.parallel_ios;
+      checksum_ref = checksum;
+    }
+    const auto& io = result.total_io;
+    const char* label = mode == sim::RoutingMode::compact
+                            ? "EM-BSP (compact)"
+                        : mode == sim::RoutingMode::padded
+                            ? "EM-BSP (padded, paper-exact)"
+                            : "EM-BSP (deterministic, CGM note)";
+    table.add_row(
+        {label,
+         util::fmt_count(io.parallel_ios),
+         util::fmt_count(io.blocks_read + io.blocks_written),
+         util::fmt_double(io.utilization(kD), 2),
+         util::fmt_count(result.routing_stats.max_chain),
+         util::fmt_count(result.routing_stats.dummy_blocks),
+         util::fmt_ratio(static_cast<double>(io.parallel_ios) /
+                         static_cast<double>(compact_ios))});
+  }
+
+  // Naive Sibeyn–Kaufmann style comparator.
+  baseline::NaiveSimConfig ncfg;
+  ncfg.v = kV;
+  ncfg.D = kD;
+  ncfg.B = kB;
+  ncfg.mu = 64;
+  ncfg.cell_bytes = 4 * (32 * 8 + 8) + 64;
+  baseline::NaiveSimulator naive(ncfg);
+  std::uint64_t naive_checksum = 0;
+  auto nres = naive.run<SparseTrafficProgram>(
+      prog, make, [&](std::uint32_t, SparseTrafficProgram::State& s) {
+        naive_checksum += s.checksum;
+      });
+  table.add_row(
+      {"naive (S-K style)", util::fmt_count(nres.total_io.parallel_ios),
+       util::fmt_count(nres.total_io.blocks_read +
+                       nres.total_io.blocks_written),
+       util::fmt_double(nres.total_io.utilization(kD), 2), "-", "-",
+       util::fmt_ratio(static_cast<double>(nres.total_io.parallel_ios) /
+                       static_cast<double>(compact_ios))});
+
+  std::cout << table.render();
+  verdict(naive_checksum == checksum_ref,
+          "all simulators compute identical results");
+  verdict(nres.total_io.parallel_ios > 3 * compact_ios,
+          "blocked, disk-parallel reorganization beats the naive dense "
+          "v x v scheme by a wide margin");
+  verdict(nres.total_io.utilization(kD) <= 0.25 + 1e-9,
+          "the naive scheme cannot use more than one disk per I/O");
+  return 0;
+}

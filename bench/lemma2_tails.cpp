@@ -1,0 +1,69 @@
+// [L2] Lemma 2 — randomized bucket placement balance.
+//
+// Lemma 2 bounds the probability that one disk holds more than l*R/D
+// blocks of one bucket after R blocks are written with a fresh random disk
+// permutation per write cycle:
+//   Pr[X >= l*R/D] <= exp(-(R/D) (l ln l - l + 1)).
+// This bench performs many independent placements and compares the
+// empirical tail frequencies against the analytic bound (the bound must
+// upper-bound the measurement).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "em/linked_buckets.hpp"
+#include "sim/tail_bounds.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace embsp;
+  using namespace embsp::bench;
+  banner("L2", "Lemma 2: empirical tail vs analytic bound");
+
+  constexpr int kTrials = 3000;
+  util::Table table({"D", "R", "l", "empirical Pr[X >= l R/D]",
+                     "Lemma 2 bound", "bound holds"});
+  bool all_ok = true;
+  for (std::size_t D : {4u, 8u}) {
+    for (std::size_t R : {64u, 256u}) {
+      std::vector<std::size_t> maxima(kTrials);
+      for (int t = 0; t < kTrials; ++t) {
+        em::DiskArray disks(D, 64);
+        em::TrackAllocators alloc(D);
+        em::LinkedBuckets buckets(disks, alloc, 1);
+        util::Rng rng(10007ull * t + D * 31 + R);
+        std::vector<std::byte> block(64, std::byte{1});
+        std::size_t written = 0;
+        while (written < R) {
+          const std::size_t batch = std::min(D, R - written);
+          std::vector<em::LinkedBuckets::OutBlock> out(
+              batch, em::LinkedBuckets::OutBlock{0u, block});
+          buckets.write_cycle(out, rng);
+          written += batch;
+        }
+        std::size_t mx = 0;
+        for (std::size_t d = 0; d < D; ++d) {
+          mx = std::max(mx, buckets.blocks_on_disk(0, d));
+        }
+        maxima[t] = mx;
+      }
+      for (double l : {1.25, 1.5, 2.0}) {
+        const double threshold = l * static_cast<double>(R) / D;
+        int count = 0;
+        for (auto m : maxima) {
+          if (static_cast<double>(m) >= threshold) ++count;
+        }
+        const double empirical = static_cast<double>(count) / kTrials;
+        const double bound = sim::lemma2_tail(l, static_cast<double>(R),
+                                              static_cast<double>(D));
+        const bool ok = empirical <= bound + 0.02;  // sampling slack
+        all_ok = all_ok && ok;
+        table.add_row({std::to_string(D), std::to_string(R),
+                       util::fmt_double(l, 2), util::fmt_double(empirical, 4),
+                       util::fmt_double(bound, 4), ok ? "yes" : "NO"});
+      }
+    }
+  }
+  std::cout << table.render();
+  verdict(all_ok, "the analytic Lemma 2 bound dominates every measured tail");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// [MICRO] google-benchmark microbenchmarks of the EM substrate and the
+// simulator building blocks: wall-clock cost of the pieces every
+// experiment above is built from.
+#include <benchmark/benchmark.h>
+
+#include "em/disk_array.hpp"
+#include "em/linked_buckets.hpp"
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+#include "sim/context_store.hpp"
+#include "sim/message_store.hpp"
+#include "sim/routing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace embsp;
+
+void BM_StripedRegionWrite(benchmark::State& state) {
+  const std::size_t D = static_cast<std::size_t>(state.range(0));
+  em::DiskArray disks(D, 4096);
+  em::TrackAllocators alloc(D);
+  auto region = em::StripedRegion::reserve(disks, alloc, 1024);
+  std::vector<std::byte> buf(64 * 4096, std::byte{1});
+  for (auto _ : state) {
+    region.write_blocks(0, 64, buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          64 * 4096);
+}
+BENCHMARK(BM_StripedRegionWrite)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_StripedRegionRead(benchmark::State& state) {
+  const std::size_t D = static_cast<std::size_t>(state.range(0));
+  em::DiskArray disks(D, 4096);
+  em::TrackAllocators alloc(D);
+  auto region = em::StripedRegion::reserve(disks, alloc, 1024);
+  std::vector<std::byte> buf(64 * 4096, std::byte{1});
+  region.write_blocks(0, 64, buf);
+  for (auto _ : state) {
+    region.read_blocks(0, 64, buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          64 * 4096);
+}
+BENCHMARK(BM_StripedRegionRead)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_LinkedBucketCycle(benchmark::State& state) {
+  const std::size_t D = static_cast<std::size_t>(state.range(0));
+  em::DiskArray disks(D, 4096);
+  em::TrackAllocators alloc(D);
+  em::LinkedBuckets buckets(disks, alloc, D);
+  util::Rng rng(1);
+  std::vector<std::byte> block(4096, std::byte{2});
+  std::vector<em::LinkedBuckets::OutBlock> out;
+  for (std::size_t d = 0; d < D; ++d) {
+    out.push_back({static_cast<std::uint32_t>(d), block});
+  }
+  for (auto _ : state) {
+    buckets.write_cycle(out, rng);
+    for (std::size_t d = 0; d < D; ++d) {
+      buckets.drain_bucket(d, [](std::span<const std::byte>) {});
+    }
+  }
+}
+BENCHMARK(BM_LinkedBucketCycle)->Arg(2)->Arg(8);
+
+void BM_ContextSwap(benchmark::State& state) {
+  em::DiskArray disks(4, 1024);
+  em::TrackAllocators alloc(4);
+  sim::ContextStore store(disks, alloc, 64, 900);
+  std::vector<std::vector<std::byte>> payloads(
+      16, std::vector<std::byte>(900, std::byte{3}));
+  store.write(0, payloads);
+  for (auto _ : state) {
+    auto got = store.read(0, 16);
+    store.write(0, got);
+    benchmark::DoNotOptimize(got);
+  }
+}
+BENCHMARK(BM_ContextSwap);
+
+void BM_PackBlocks(benchmark::State& state) {
+  std::vector<bsp::Message> msgs(64);
+  for (std::uint32_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].src = i;
+    msgs[i].dst = i;
+    msgs[i].seq = i;
+    msgs[i].payload.resize(100 + i);
+  }
+  std::vector<const bsp::Message*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  for (auto _ : state) {
+    std::size_t blocks = 0;
+    sim::pack_blocks(ptrs, 0, 1024,
+                     [&](std::span<const std::byte>) { ++blocks; });
+    benchmark::DoNotOptimize(blocks);
+  }
+}
+BENCHMARK(BM_PackBlocks);
+
+void BM_Reassemble(benchmark::State& state) {
+  std::vector<bsp::Message> msgs(64);
+  for (std::uint32_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].src = i;
+    msgs[i].dst = 0;
+    msgs[i].seq = i;
+    msgs[i].payload.resize(100 + i, std::byte{5});
+  }
+  std::vector<const bsp::Message*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  std::vector<std::vector<std::byte>> blocks;
+  sim::pack_blocks(ptrs, 0, 1024, [&](std::span<const std::byte> b) {
+    blocks.emplace_back(b.begin(), b.end());
+  });
+  for (auto _ : state) {
+    sim::Reassembler r;
+    for (const auto& b : blocks) r.absorb(b, 0);
+    auto out = r.take();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Reassemble);
+
+void BM_MessageStoreRoundTrip(benchmark::State& state) {
+  em::DiskArray disks(4, 1024);
+  em::TrackAllocators alloc(4);
+  sim::MessageStore store(disks, alloc,
+                          sim::MessageStoreConfig{8, 64,
+                                                  sim::RoutingMode::compact});
+  util::Rng rng(7);
+  std::vector<bsp::Message> msgs(32);
+  for (std::uint32_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].src = i;
+    msgs[i].dst = i % 16;
+    msgs[i].seq = i;
+    msgs[i].payload.resize(200, std::byte{6});
+  }
+  for (auto _ : state) {
+    store.write_messages(msgs, [](std::uint32_t d) { return d / 2; }, rng);
+    store.flush(rng);
+    store.reorganize(rng);
+    for (std::uint32_t g = 0; g < 8; ++g) {
+      auto got = store.fetch_group(g);
+      benchmark::DoNotOptimize(got);
+    }
+  }
+}
+BENCHMARK(BM_MessageStoreRoundTrip);
+
+}  // namespace

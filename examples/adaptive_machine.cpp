@@ -1,0 +1,72 @@
+// The conclusion's adaptivity claim:
+//
+//   "an application that is based on our method could adapt dynamically to
+//    the operating parameters and numbers of the available resources such
+//    as processors, memory, and disks."
+//
+// One CGM sort — written once, with no machine knowledge — is executed on
+// six differently shaped EM machines.  The simulation adapts k, the bucket
+// layout and the blocking automatically; the table shows how the cost moves
+// with each resource.
+//
+//   ./examples/adaptive_machine
+
+#include <iostream>
+
+#include "embsp/embsp.hpp"
+
+using namespace embsp;
+
+namespace {
+struct KeyLess {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+}  // namespace
+
+int main() {
+  const std::uint64_t n = 1 << 16;
+  auto keys = util::random_keys(n, 2026);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+
+  struct Config {
+    const char* label;
+    std::uint32_t p;
+    std::size_t D, B, M;
+  };
+  const Config configs[] = {
+      {"laptop: 1 proc, 1 disk", 1, 1, 4096, 1 << 20},
+      {"laptop + SSD array: 1 proc, 8 disks", 1, 8, 4096, 1 << 20},
+      {"small block device: 1 proc, 4 disks, B=512", 1, 4, 512, 1 << 20},
+      {"memory-starved node: 1 proc, 4 disks, M=64K", 1, 4, 4096, 1 << 16},
+      {"cluster: 4 procs x 2 disks", 4, 2, 4096, 1 << 20},
+      {"big cluster: 8 procs x 4 disks", 8, 4, 4096, 1 << 20},
+  };
+
+  util::Table table({"machine", "k", "max IOs/proc", "I/O time (G=1)",
+                     "utilization", "sorted"});
+  for (const auto& c : configs) {
+    sim::SimConfig cfg;
+    cfg.machine.p = c.p;
+    cfg.machine.em = {c.M, c.D, c.B, 1.0};
+    cgm::ParEmExec exec(cfg);
+    auto out = cgm::cgm_sort<std::uint64_t, KeyLess>(exec, keys, 64);
+    std::uint64_t ios = 0;
+    double util_sum = 0;
+    for (const auto& io : out.exec.sim->per_proc_io) {
+      ios = std::max(ios, io.parallel_ios);
+      util_sum += io.utilization(c.D);
+    }
+    table.add_row({c.label, std::to_string(out.exec.sim->group_size),
+                   util::fmt_count(ios),
+                   util::fmt_double(static_cast<double>(ios) * 1.0, 0),
+                   util::fmt_double(util_sum / c.p, 2),
+                   out.sorted == want ? "yes" : "NO"});
+  }
+  std::cout << "one cgm_sort call, six machines (n = " << n << " keys):\n"
+            << table.render()
+            << "\nmore disks / more processors / bigger blocks all reduce "
+               "I/O time\nwithout touching the algorithm — the adaptivity "
+               "the paper's conclusion\ndescribes.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "baseline/em_list_ranking.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/em_mergesort.hpp"
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+namespace {
+
+std::span<const std::byte> as_bytes(std::span<const std::uint64_t> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size() * 8};
+}
+
+/// Blocked sequential write of a whole array into a region.
+void stream_out(em::StripedRegion& region, std::span<const std::uint64_t> a,
+                std::size_t ib, std::size_t mem_items) {
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t written = 0;
+  const std::uint64_t n = a.size();
+  while (written < n) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(mem_items / ib * ib, n - written);
+    chunk.assign(a.begin() + written, a.begin() + written + take);
+    chunk.resize((take + ib - 1) / ib * ib, 0);
+    region.write_blocks(written / ib, chunk.size() / ib, as_bytes(chunk));
+    written += take;
+  }
+}
+
+/// Blocked sequential read of a whole array out of a region.
+void stream_in(const em::StripedRegion& region, std::vector<std::uint64_t>& a,
+               std::uint64_t n, std::size_t ib, std::size_t mem_items) {
+  a.clear();
+  a.reserve(n);
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t read = 0;
+  const std::uint64_t blocks = (n + ib - 1) / ib;
+  while (read < blocks) {
+    const std::uint64_t take = std::min<std::uint64_t>(
+        std::max<std::size_t>(1, mem_items / ib), blocks - read);
+    chunk.resize(take * ib);
+    region.read_blocks(read, take,
+                       {reinterpret_cast<std::byte*>(chunk.data()),
+                        take * ib * 8});
+    a.insert(a.end(), chunk.begin(), chunk.end());
+    read += take;
+  }
+  a.resize(n);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> em_list_ranking(em::DiskArray& disks,
+                                           std::span<const std::uint64_t> succ,
+                                           std::size_t memory_bytes,
+                                           EmListRankStats* stats) {
+  const std::uint64_t n = succ.size();
+  if (n == 0) return {};
+  if (n >= (1ull << 32)) {
+    throw std::invalid_argument("em_list_ranking: n >= 2^32 unsupported");
+  }
+  const std::size_t B = disks.block_size();
+  const std::size_t ib = B / 8;
+  const std::size_t mem_items = memory_bytes / 8;
+  EmListRankStats local;
+  EmListRankStats& st = stats ? *stats : local;
+  st = EmListRankStats{};
+  const auto start = disks.stats();
+
+  em::TrackAllocators alloc(disks.num_disks());
+  const std::uint64_t blocks = (n + ib - 1) / ib;
+  auto s_region = em::StripedRegion::reserve(disks, alloc, blocks);
+  auto r_region = em::StripedRegion::reserve(disks, alloc, blocks);
+
+  // Initialize: S = succ, R[i] = (succ[i] == i) ? 0 : 1.
+  {
+    std::vector<std::uint64_t> r0(n);
+    for (std::uint64_t i = 0; i < n; ++i) r0[i] = succ[i] == i ? 0 : 1;
+    stream_out(s_region, succ, ib, mem_items);
+    stream_out(r_region, r0, ib, mem_items);
+  }
+
+  // NOTE: the driver stages the intermediate streams in memory vectors for
+  // orchestration simplicity; every logical disk transfer of the EM
+  // algorithm (array scans and the sorts' own passes) is still performed
+  // against the disk array and counted.  This matches the standard
+  // accounting for PRAM-simulation EM algorithms, whose cost is dominated
+  // by the per-round sorts.
+  const std::size_t rounds =
+      n <= 1 ? 0
+             : static_cast<std::size_t>(
+                   std::ceil(std::log2(static_cast<double>(n))));
+  st.rounds = rounds;
+
+  std::vector<std::uint64_t> s_cur, r_cur, stream;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // 1. Scan S producing queries keyed by succ: (S[i] << 32) | i.
+    stream_in(s_region, s_cur, n, ib, mem_items);
+    stream.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      stream[i] = (s_cur[i] << 32) | i;
+    }
+    auto sorted_q = em_mergesort(disks, stream, memory_bytes, nullptr, &alloc);
+
+    // 2. Join against index-ordered S and R (scanned once, cursor moves
+    //    monotonically because sorted_q is ordered by s).
+    stream_in(r_region, r_cur, n, ib, mem_items);
+    std::vector<std::uint64_t> a(n), rc(n);
+    for (std::uint64_t q = 0; q < n; ++q) {
+      const std::uint64_t s = sorted_q[q] >> 32;
+      const std::uint64_t i = sorted_q[q] & 0xFFFFFFFFull;
+      a[q] = (i << 32) | s_cur[s];
+      rc[q] = (i << 32) | r_cur[s];
+    }
+
+    // 3. Route answers back to their owners by sorting on i.
+    auto sorted_a = em_mergesort(disks, a, memory_bytes, nullptr, &alloc);
+    auto sorted_rc = em_mergesort(disks, rc, memory_bytes, nullptr, &alloc);
+
+    // 4. Update: S[i] = succ[succ[i]], R[i] += rank[succ[i]].
+    for (std::uint64_t i = 0; i < n; ++i) {
+      s_cur[i] = sorted_a[i] & 0xFFFFFFFFull;
+      r_cur[i] += sorted_rc[i] & 0xFFFFFFFFull;
+    }
+    stream_out(s_region, s_cur, ib, mem_items);
+    stream_out(r_region, r_cur, ib, mem_items);
+  }
+
+  stream_in(r_region, r_cur, n, ib, mem_items);
+  st.total = disks.stats().since(start);
+  return r_cur;
+}
+
+}  // namespace embsp::baseline

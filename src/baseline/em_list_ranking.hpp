@@ -1,0 +1,39 @@
+// Sequential EM list ranking by PRAM simulation (Chiang et al. [14] style) —
+// the Group C comparison point of Table 1:
+//   O(G * n/B * log_{M/B}(n/B)) per pointer-jumping round, log2(n) rounds,
+// i.e. an EM sort for every PRAM step.
+//
+// Each round replaces succ[i] with succ[succ[i]] and accumulates
+// rank[i] += rank[succ[i]] — the classic pointer-jumping recurrence — with
+// the random accesses resolved by sorting:
+//   1. scan succ[] producing query records keyed by succ[i];
+//   2. EM-sort the queries; scan them in lock-step with succ[]/rank[]
+//      (both index-ordered) producing answer records keyed by i;
+//   3. EM-sort the answers; scan to update succ[]/rank[].
+//
+// The result is rank[i] = number of hops from i to the list tail, matching
+// cgm_list_ranking, so the benches compare identical problems.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/io_stats.hpp"
+
+namespace embsp::baseline {
+
+struct EmListRankStats {
+  em::IoStats total;       ///< all I/O including sorts
+  std::size_t rounds = 0;  ///< pointer-jumping rounds (= ceil(log2 n))
+};
+
+/// succ[i] is node i's successor; the tail points to itself.  Returns
+/// rank[i] = #hops from i to the tail.  Requires n < 2^32.
+std::vector<std::uint64_t> em_list_ranking(em::DiskArray& disks,
+                                           std::span<const std::uint64_t> succ,
+                                           std::size_t memory_bytes,
+                                           EmListRankStats* stats = nullptr);
+
+}  // namespace embsp::baseline

@@ -1,0 +1,352 @@
+#include "baseline/em_mergesort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+namespace {
+
+/// A sorted run stored in a slice of a striped region, plus the forecasting
+/// key of every block (the classical technique: one record per block of
+/// metadata, size n/B in total).
+template <typename Rec>
+struct Run {
+  std::uint64_t first_block = 0;  ///< global block index in the region
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_items = 0;
+  std::vector<Rec> forecast;  ///< first record of each block
+};
+
+template <typename Rec>
+struct RunCursor {
+  const Run<Rec>* run = nullptr;
+  std::uint64_t next_block = 0;  ///< blocks fetched so far
+  std::vector<Rec> buffer;
+  std::size_t buffer_pos = 0;
+
+  [[nodiscard]] bool buffer_empty() const {
+    return buffer_pos >= buffer.size();
+  }
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer.size() - buffer_pos;
+  }
+  [[nodiscard]] bool blocks_left() const {
+    return next_block < run->num_blocks;
+  }
+  [[nodiscard]] bool exhausted() const {
+    return buffer_empty() && !blocks_left();
+  }
+  void append(std::span<const Rec> items) {
+    // Compact consumed prefix so the buffer stays small.
+    if (buffer_pos > 0) {
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(buffer_pos));
+      buffer_pos = 0;
+    }
+    buffer.insert(buffer.end(), items.begin(), items.end());
+  }
+};
+
+template <typename Rec>
+std::span<const std::byte> as_bytes(std::span<const Rec> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()),
+          s.size() * sizeof(Rec)};
+}
+
+/// The full external mergesort, generic over the record type.  `pad` is a
+/// maximal sentinel record used to fill partial blocks; `less` must be a
+/// strict total order with pad as its maximum.
+template <typename Rec, typename Less>
+std::vector<Rec> em_mergesort_impl(em::DiskArray& disks,
+                                   std::span<const Rec> input,
+                                   std::size_t memory_bytes, Rec pad,
+                                   Less less, EmSortStats* stats,
+                                   em::TrackAllocators* alloc_in) {
+  const std::size_t B = disks.block_size();
+  if (B % sizeof(Rec) != 0) {
+    throw std::invalid_argument(
+        "em_mergesort: block size must be a multiple of the record size");
+  }
+  const std::size_t ib = B / sizeof(Rec);  // items per block
+  const std::size_t D = disks.num_disks();
+  const std::size_t mem_items = memory_bytes / sizeof(Rec);
+  if (mem_items < 2 * ib * D) {
+    throw std::invalid_argument(
+        "em_mergesort: memory must hold at least two blocks per disk");
+  }
+  const std::uint64_t n = input.size();
+  EmSortStats local_stats;
+  EmSortStats& st = stats ? *stats : local_stats;
+  st = EmSortStats{};
+
+  em::TrackAllocators own_alloc(D);
+  em::TrackAllocators& alloc = alloc_in ? *alloc_in : own_alloc;
+  const std::uint64_t total_blocks = n == 0 ? 1 : (n + ib - 1) / ib;
+
+  auto snapshot = [&]() { return disks.stats(); };
+  auto account = [&](em::IoStats& slot, const em::IoStats& before) {
+    slot += disks.stats().since(before);
+  };
+
+  // --- Load: place the unsorted input on disk (striped). ------------------
+  auto in_region = em::StripedRegion::reserve(disks, alloc, total_blocks);
+  {
+    const auto before = snapshot();
+    std::vector<Rec> chunk;
+    std::uint64_t written = 0;
+    while (written < n) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(mem_items / ib * ib, n - written);
+      chunk.assign(input.begin() + written, input.begin() + written + take);
+      chunk.resize((take + ib - 1) / ib * ib, pad);
+      in_region.write_blocks(written / ib, chunk.size() / ib,
+                             as_bytes<Rec>(chunk));
+      written += take;
+    }
+    account(st.load, before);
+  }
+  if (n == 0) return {};
+
+  // --- Pass 0: run formation. ---------------------------------------------
+  auto region_a = em::StripedRegion::reserve(disks, alloc, total_blocks);
+  auto region_b = em::StripedRegion::reserve(disks, alloc, total_blocks);
+  std::vector<Run<Rec>> runs;
+  {
+    const auto before = snapshot();
+    std::vector<Rec> chunk;
+    std::uint64_t block = 0;
+    std::uint64_t item = 0;
+    while (item < n) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(mem_items / ib * ib, n - item);
+      const std::uint64_t blocks = (take + ib - 1) / ib;
+      chunk.resize(blocks * ib);
+      in_region.read_blocks(
+          block, blocks,
+          {reinterpret_cast<std::byte*>(chunk.data()), blocks * B});
+      chunk.resize(take);
+      std::sort(chunk.begin(), chunk.end(), less);
+      chunk.resize(blocks * ib, pad);
+      region_a.write_blocks(block, blocks, as_bytes<Rec>(chunk));
+      Run<Rec> run;
+      run.first_block = block;
+      run.num_blocks = blocks;
+      run.num_items = take;
+      for (std::uint64_t b = 0; b < blocks; ++b) {
+        run.forecast.push_back(chunk[b * ib]);
+      }
+      runs.push_back(std::move(run));
+      block += blocks;
+      item += take;
+    }
+    account(st.run_formation, before);
+  }
+  st.initial_runs = runs.size();
+
+  // --- Merge passes (forecasting keeps all D drives busy). -----------------
+  const std::size_t fan_in = std::max<std::size_t>(
+      2, mem_items / ib >= 2 * D + 2 ? mem_items / ib - 2 * D : 2);
+  st.fan_in = fan_in;
+
+  em::StripedRegion* src = &region_a;
+  em::StripedRegion* dst = &region_b;
+
+  const auto merge_before = snapshot();
+  while (runs.size() > 1) {
+    ++st.merge_passes;
+    std::vector<Run<Rec>> next_runs;
+    std::uint64_t out_block = 0;
+    for (std::size_t g = 0; g < runs.size(); g += fan_in) {
+      const std::size_t gend = std::min(runs.size(), g + fan_in);
+      std::vector<RunCursor<Rec>> cursors;
+      for (std::size_t r = g; r < gend; ++r) {
+        cursors.push_back(RunCursor<Rec>{&runs[r], 0, {}, 0});
+      }
+
+      Run<Rec> merged;
+      merged.first_block = out_block;
+      std::vector<Rec> out_buf;
+      out_buf.reserve(ib * D + ib);
+
+      auto flush_out = [&](bool final_flush) {
+        while (out_buf.size() >= ib * D || (final_flush && !out_buf.empty())) {
+          const std::uint64_t blocks =
+              std::min<std::uint64_t>(D, (out_buf.size() + ib - 1) / ib);
+          std::vector<Rec> tmp(
+              out_buf.begin(),
+              out_buf.begin() +
+                  std::min<std::size_t>(out_buf.size(), blocks * ib));
+          out_buf.erase(out_buf.begin(), out_buf.begin() + tmp.size());
+          tmp.resize(blocks * ib, pad);
+          for (std::uint64_t b = 0; b < blocks; ++b) {
+            merged.forecast.push_back(tmp[b * ib]);
+          }
+          dst->write_blocks(out_block, blocks, as_bytes<Rec>(tmp));
+          out_block += blocks;
+          merged.num_blocks += blocks;
+          if (!final_flush) break;
+        }
+      };
+
+      constexpr std::size_t kPrefetch = 2;
+      auto refill = [&]() {
+        for (;;) {
+          std::vector<std::size_t> urgent;
+          std::vector<std::size_t> candidates;
+          for (std::size_t c = 0; c < cursors.size(); ++c) {
+            if (!cursors[c].blocks_left()) continue;
+            if (cursors[c].buffer_empty()) {
+              urgent.push_back(c);
+            } else if (cursors[c].buffered() < kPrefetch * ib) {
+              candidates.push_back(c);
+            }
+          }
+          if (urgent.empty()) return;
+          auto by_forecast = [&](std::size_t a, std::size_t b) {
+            return less(cursors[a].run->forecast[cursors[a].next_block],
+                        cursors[b].run->forecast[cursors[b].next_block]);
+          };
+          std::sort(urgent.begin(), urgent.end(), by_forecast);
+          std::sort(candidates.begin(), candidates.end(), by_forecast);
+          std::vector<std::uint8_t> disk_used(D, 0);
+          std::vector<em::ReadOp> ops;
+          std::vector<std::pair<std::size_t, std::vector<Rec>>> fills;
+          auto try_add = [&](std::size_t c) {
+            const std::uint64_t gblock =
+                cursors[c].run->first_block + cursors[c].next_block;
+            const auto [disk, track] = src->location(gblock);
+            if (disk_used[disk]) return;
+            disk_used[disk] = 1;
+            fills.emplace_back(c, std::vector<Rec>(ib));
+            ops.push_back(
+                {disk, track,
+                 {reinterpret_cast<std::byte*>(fills.back().second.data()),
+                  B}});
+          };
+          for (std::size_t c : urgent) {
+            if (ops.size() == D) break;
+            try_add(c);
+          }
+          for (std::size_t c : candidates) {
+            if (ops.size() == D) break;
+            try_add(c);
+          }
+          disks.parallel_read(ops);
+          for (auto& [c, data] : fills) {
+            auto& cur = cursors[c];
+            const std::uint64_t base = cur.next_block * ib;
+            const std::uint64_t remain = cur.run->num_items - base;
+            data.resize(std::min<std::uint64_t>(ib, remain));
+            cur.append(data);
+            ++cur.next_block;
+          }
+        }
+      };
+
+      struct HeapLess {
+        Less less;
+        const std::vector<RunCursor<Rec>>* cursors;
+        bool operator()(std::size_t a, std::size_t b) const {
+          // Max-heap by default: invert for a min-heap over head records.
+          return less((*cursors)[b].buffer[(*cursors)[b].buffer_pos],
+                      (*cursors)[a].buffer[(*cursors)[a].buffer_pos]);
+        }
+      };
+      std::priority_queue<std::size_t, std::vector<std::size_t>, HeapLess>
+          heap(HeapLess{less, &cursors});
+      refill();
+      for (std::size_t c = 0; c < cursors.size(); ++c) {
+        if (!cursors[c].exhausted()) heap.push(c);
+      }
+      while (!heap.empty()) {
+        const std::size_t c = heap.top();
+        heap.pop();
+        auto& cur = cursors[c];
+        out_buf.push_back(cur.buffer[cur.buffer_pos]);
+        merged.num_items += 1;
+        ++cur.buffer_pos;
+        if (cur.buffer_empty() && cur.blocks_left()) refill();
+        if (!cur.exhausted()) heap.push(c);
+        if (out_buf.size() >= ib * D) flush_out(false);
+      }
+      flush_out(true);
+      next_runs.push_back(std::move(merged));
+    }
+    runs = std::move(next_runs);
+    std::swap(src, dst);
+  }
+  account(st.merge, merge_before);
+
+  // --- Collect the final run back into memory. -----------------------------
+  std::vector<Rec> out_items;
+  {
+    const auto before = snapshot();
+    const Run<Rec>& final_run = runs.front();
+    std::vector<Rec> chunk;
+    std::uint64_t b = 0;
+    const std::uint64_t batch_blocks =
+        std::max<std::uint64_t>(1, mem_items / ib);
+    while (b < final_run.num_blocks) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(batch_blocks, final_run.num_blocks - b);
+      chunk.resize(take * ib);
+      src->read_blocks(
+          final_run.first_block + b, take,
+          {reinterpret_cast<std::byte*>(chunk.data()), take * B});
+      out_items.insert(out_items.end(), chunk.begin(), chunk.end());
+      b += take;
+    }
+    out_items.resize(n);  // drop padding
+    account(st.collect, before);
+  }
+  return out_items;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> em_mergesort(em::DiskArray& disks,
+                                        std::span<const std::uint64_t> input,
+                                        std::size_t memory_bytes,
+                                        EmSortStats* stats,
+                                        em::TrackAllocators* alloc_in) {
+  return em_mergesort_impl<std::uint64_t>(
+      disks, input, memory_bytes, UINT64_MAX, std::less<std::uint64_t>{},
+      stats, alloc_in);
+}
+
+std::vector<KeyValue> em_mergesort_kv(em::DiskArray& disks,
+                                      std::span<const KeyValue> input,
+                                      std::size_t memory_bytes,
+                                      EmSortStats* stats,
+                                      em::TrackAllocators* alloc_in) {
+  auto less = [](const KeyValue& a, const KeyValue& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.value < b.value;
+  };
+  return em_mergesort_impl<KeyValue>(disks, input, memory_bytes,
+                                     KeyValue{UINT64_MAX, UINT64_MAX}, less,
+                                     stats, alloc_in);
+}
+
+double em_sort_predicted_ios(std::uint64_t n, std::size_t memory_bytes,
+                             std::size_t num_disks, std::size_t block_bytes) {
+  const double ib = static_cast<double>(block_bytes) / 8.0;
+  const double blocks = std::ceil(static_cast<double>(n) / ib);
+  const double mb =
+      static_cast<double>(memory_bytes) / static_cast<double>(block_bytes);
+  const double runs = std::ceil(static_cast<double>(n) /
+                                (static_cast<double>(memory_bytes) / 8.0));
+  const double passes =
+      runs <= 1 ? 0.0
+                : std::ceil(std::log(runs) / std::log(std::max(2.0, mb)));
+  return 2.0 * blocks / static_cast<double>(num_disks) * (1.0 + passes);
+}
+
+}  // namespace embsp::baseline

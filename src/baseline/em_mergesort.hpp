@@ -1,0 +1,70 @@
+// Sequential external-memory mergesort — the classical I/O-optimal
+// comparison point of Table 1 (Aggarwal–Vitter [1]; PDM variant [33]):
+//   Theta(G * n/(DB) * log_{M/B}(n/B)) I/O time on one processor, D disks.
+//
+// Implementation: run formation (memory-sized sorted runs, striped across
+// the disks) followed by (M/B)-way merge passes.  The merge keeps full disk
+// parallelism with the classical *forecasting* technique: the first key of
+// every unread block is retained when the run is written, and refills fetch
+// the D most urgently needed blocks (on distinct drives) in one parallel
+// I/O.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/io_stats.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+struct EmSortStats {
+  em::IoStats load;           ///< writing the unsorted input to disk
+  em::IoStats run_formation;  ///< pass 0: read, sort, write runs
+  em::IoStats merge;          ///< all merge passes
+  em::IoStats collect;        ///< reading the final result back
+  std::size_t initial_runs = 0;
+  std::size_t merge_passes = 0;
+  std::size_t fan_in = 0;
+
+  [[nodiscard]] em::IoStats algorithm_io() const {
+    em::IoStats s = run_formation;
+    s += merge;
+    return s;
+  }
+};
+
+/// Sorts `input` using `disks` as external memory with an internal memory
+/// budget of `memory_bytes`.  Returns the sorted keys; fills `stats`.
+/// Pass `alloc` to share track allocation with other on-disk structures on
+/// the same drives (the sort reserves its scratch regions from it);
+/// nullptr uses private allocators starting at track 0.
+std::vector<std::uint64_t> em_mergesort(em::DiskArray& disks,
+                                        std::span<const std::uint64_t> input,
+                                        std::size_t memory_bytes,
+                                        EmSortStats* stats = nullptr,
+                                        em::TrackAllocators* alloc = nullptr);
+
+/// 16-byte key/value record variant (same algorithm, same cost shape);
+/// sorts by `key` with ties broken by `value` (a deterministic total
+/// order).  Used by the PRAM-simulation framework, whose every step is
+/// "sort the requests, scan, sort the answers".
+struct KeyValue {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+std::vector<KeyValue> em_mergesort_kv(em::DiskArray& disks,
+                                      std::span<const KeyValue> input,
+                                      std::size_t memory_bytes,
+                                      EmSortStats* stats = nullptr,
+                                      em::TrackAllocators* alloc = nullptr);
+
+/// Predicted parallel I/O count of the optimal bound, for theory columns:
+/// 2 * ceil(n/(D*ib)) * (1 + passes) with ib = B/8 items per block.
+double em_sort_predicted_ios(std::uint64_t n, std::size_t memory_bytes,
+                             std::size_t num_disks, std::size_t block_bytes);
+
+}  // namespace embsp::baseline

@@ -1,0 +1,183 @@
+#include "baseline/em_permutation.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "baseline/em_mergesort.hpp"
+
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+namespace {
+
+std::span<const std::byte> as_bytes(std::span<const std::uint64_t> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size() * 8};
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> em_permute_naive(
+    em::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> perm, std::size_t memory_bytes,
+    EmPermStats* stats) {
+  const std::size_t B = disks.block_size();
+  const std::size_t ib = B / 8;
+  const std::size_t D = disks.num_disks();
+  const std::uint64_t n = values.size();
+  if (perm.size() != n) {
+    throw std::invalid_argument("em_permute_naive: size mismatch");
+  }
+  EmPermStats local;
+  EmPermStats& st = stats ? *stats : local;
+  st = EmPermStats{};
+  em::TrackAllocators alloc(D);
+  const std::uint64_t blocks = n == 0 ? 1 : (n + ib - 1) / ib;
+  auto in_region = em::StripedRegion::reserve(disks, alloc, blocks);
+  auto out_region = em::StripedRegion::reserve(disks, alloc, blocks);
+  const std::size_t mem_items = memory_bytes / 8;
+
+  auto snapshot = [&]() { return disks.stats(); };
+  auto account = [&](em::IoStats& slot, const em::IoStats& before) {
+    slot += disks.stats().since(before);
+  };
+
+  // Load input.
+  {
+    const auto before = snapshot();
+    std::vector<std::uint64_t> chunk;
+    std::uint64_t written = 0;
+    while (written < n) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(mem_items / ib * ib, n - written);
+      chunk.assign(values.begin() + written, values.begin() + written + take);
+      chunk.resize((take + ib - 1) / ib * ib, 0);
+      in_region.write_blocks(written / ib, chunk.size() / ib, as_bytes(chunk));
+      written += take;
+    }
+    account(st.load, before);
+  }
+
+  // Random-access placement.  The input is streamed in blocked fashion; the
+  // destination blocks are read, patched, and written back one record at a
+  // time — the unblocked access pattern whose cost the paper's intro calls
+  // out.  Consecutive records whose destinations fall in the same block are
+  // coalesced (the best a naive implementation can do), but random targets
+  // make that rare.
+  {
+    const auto before = snapshot();
+    std::vector<std::uint64_t> in_chunk;
+    std::vector<std::uint64_t> blk(ib);
+    auto blk_bytes = std::span<std::byte>(
+        reinterpret_cast<std::byte*>(blk.data()), B);
+    std::uint64_t pos = 0;
+    while (pos < n) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(mem_items / ib * ib, n - pos);
+      in_chunk.assign(values.begin() + pos, values.begin() + pos + take);
+      // (The in-memory copy stands in for the blocked read of the input —
+      // count it explicitly so the naive algorithm is not undercharged.)
+      std::uint64_t read_blocks = 0;
+      while (read_blocks * ib < take) {
+        const std::uint64_t batch = std::min<std::uint64_t>(
+            D, (take + ib - 1) / ib - read_blocks);
+        std::vector<em::ReadOp> ops;
+        std::vector<std::vector<std::uint64_t>> bufs(batch,
+                                                     std::vector<std::uint64_t>(ib));
+        for (std::uint64_t i = 0; i < batch; ++i) {
+          const auto [disk, track] =
+              in_region.location(pos / ib + read_blocks + i);
+          ops.push_back({disk, track,
+                         {reinterpret_cast<std::byte*>(bufs[i].data()), B}});
+        }
+        disks.parallel_read(ops);
+        read_blocks += batch;
+      }
+      for (std::uint64_t i = 0; i < take; ++i) {
+        const std::uint64_t target = perm[pos + i];
+        const std::uint64_t tb = target / ib;
+        const auto [disk, track] = out_region.location(tb);
+        std::vector<em::ReadOp> r{{disk, track, blk_bytes}};
+        disks.parallel_read(r);
+        blk[target % ib] = in_chunk[i];
+        std::vector<em::WriteOp> w{
+            {disk, track,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(blk.data()), B)}};
+        disks.parallel_write(w);
+      }
+      pos += take;
+    }
+    account(st.algorithm, before);
+  }
+
+  // Collect.
+  std::vector<std::uint64_t> out;
+  {
+    const auto before = snapshot();
+    std::vector<std::uint64_t> chunk;
+    std::uint64_t b = 0;
+    while (b < blocks && n > 0) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(std::max<std::size_t>(1, mem_items / ib),
+                                  blocks - b);
+      chunk.resize(take * ib);
+      out_region.read_blocks(
+          b, take, {reinterpret_cast<std::byte*>(chunk.data()), take * 8 * ib});
+      out.insert(out.end(), chunk.begin(), chunk.end());
+      b += take;
+    }
+    out.resize(n);
+    account(st.collect, before);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> em_permute_sort(
+    em::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> perm, std::size_t memory_bytes,
+    EmPermStats* stats) {
+  const std::uint64_t n = values.size();
+  if (perm.size() != n) {
+    throw std::invalid_argument("em_permute_sort: size mismatch");
+  }
+  EmPermStats local;
+  EmPermStats& st = stats ? *stats : local;
+  st = EmPermStats{};
+
+  // Pack (target, value) into sortable 128-bit pairs encoded as two sorted
+  // streams: because targets are a permutation of [0, n), sorting the
+  // composite key (target << 32 | low-bits trick) would overflow for large
+  // n; instead sort 128-bit records represented as pairs of uint64 via a
+  // keyed mergesort on the target and carry the value alongside.  The
+  // em_mergesort baseline sorts plain uint64 keys, so we interleave:
+  // record i -> two consecutive words (target_i, value_i) and sort by the
+  // even-indexed word.  For simplicity (and identical I/O volume) we sort
+  // packed (target * 2^32 + low32(value)) when n < 2^32 and recover the
+  // high bits from a second pass; n beyond 2^32 is outside bench range.
+  if (n >= (1ull << 32)) {
+    throw std::invalid_argument("em_permute_sort: n >= 2^32 unsupported");
+  }
+  EmSortStats sort_stats;
+  std::vector<std::uint64_t> tagged(n);
+  std::vector<std::uint32_t> high(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    tagged[i] = (perm[i] << 32) | (values[i] & 0xFFFFFFFFull);
+    high[perm[i]] = static_cast<std::uint32_t>(values[i] >> 32);
+  }
+  auto sorted = em_mergesort(disks, tagged, memory_bytes, &sort_stats);
+  st.load = sort_stats.load;
+  st.algorithm = sort_stats.algorithm_io();
+  st.collect = sort_stats.collect;
+
+  std::vector<std::uint64_t> out(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<std::uint64_t>(high[i]) << 32) |
+             (sorted[i] & 0xFFFFFFFFull);
+  }
+  return out;
+}
+
+}  // namespace embsp::baseline

@@ -1,0 +1,43 @@
+// Sequential external-memory permutation — Table 1's
+//   Theta(G * min(n/D, n/(DB) * log_{M/B}(n/B)))
+// row [1], [33].  Two classical strategies:
+//
+//  * naive     — random access: stream the input; for every record, read the
+//    destination block, place the record, write the block back.  ~2 I/Os per
+//    record (batched opportunistically over distinct disks), i.e. the n/D
+//    branch of the min.
+//  * sort-based — tag each record with its destination index and run the
+//    I/O-optimal mergesort on (destination, value) pairs: the sort branch.
+//
+// The crossover between the two is precisely what the n/D-vs-sort min in
+// Table 1 expresses; bench/table1_group_a measures both.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/io_stats.hpp"
+
+namespace embsp::baseline {
+
+struct EmPermStats {
+  em::IoStats load;
+  em::IoStats algorithm;
+  em::IoStats collect;
+};
+
+/// output[perm[i]] = values[i], via per-record random disk access.
+std::vector<std::uint64_t> em_permute_naive(
+    em::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> perm, std::size_t memory_bytes,
+    EmPermStats* stats = nullptr);
+
+/// output[perm[i]] = values[i], via external mergesort on (target, value).
+std::vector<std::uint64_t> em_permute_sort(
+    em::DiskArray& disks, std::span<const std::uint64_t> values,
+    std::span<const std::uint64_t> perm, std::size_t memory_bytes,
+    EmPermStats* stats = nullptr);
+
+}  // namespace embsp::baseline

@@ -1,0 +1,201 @@
+#include "baseline/em_pram.hpp"
+
+#include <stdexcept>
+
+#include "baseline/em_mergesort.hpp"
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+namespace {
+
+constexpr std::uint64_t kPidBits = 20;
+constexpr std::uint64_t kSlotBits = 4;
+
+std::span<const std::byte> as_bytes(std::span<const std::uint64_t> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size() * 8};
+}
+
+void stream_out(em::StripedRegion& region, std::span<const std::uint64_t> a,
+                std::size_t ib, std::size_t mem_items) {
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t written = 0;
+  const std::uint64_t n = a.size();
+  while (written < n) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(mem_items / ib * ib, n - written);
+    chunk.assign(a.begin() + written, a.begin() + written + take);
+    chunk.resize((take + ib - 1) / ib * ib, 0);
+    region.write_blocks(written / ib, chunk.size() / ib, as_bytes(chunk));
+    written += take;
+  }
+}
+
+void stream_in(const em::StripedRegion& region, std::vector<std::uint64_t>& a,
+               std::uint64_t n, std::size_t ib, std::size_t mem_items) {
+  a.clear();
+  a.reserve(n);
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t read = 0;
+  const std::uint64_t blocks = (n + ib - 1) / ib;
+  while (read < blocks) {
+    const std::uint64_t take = std::min<std::uint64_t>(
+        std::max<std::size_t>(1, mem_items / ib), blocks - read);
+    chunk.resize(take * ib);
+    region.read_blocks(
+        read, take,
+        {reinterpret_cast<std::byte*>(chunk.data()), take * ib * 8});
+    a.insert(a.end(), chunk.begin(), chunk.end());
+    read += take;
+  }
+  a.resize(n);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> em_pram_run(em::DiskArray& disks,
+                                       const PramProgram& program,
+                                       const PramConfig& config,
+                                       std::span<const std::uint64_t> memory,
+                                       std::size_t memory_bytes,
+                                       EmPramStats* stats) {
+  if (config.num_procs >= (1ull << kPidBits)) {
+    throw std::invalid_argument("em_pram_run: too many PRAM processors");
+  }
+  if (config.memory_cells >= (1ull << (64 - kPidBits - kSlotBits))) {
+    throw std::invalid_argument("em_pram_run: shared memory too large");
+  }
+  if (memory.size() != config.memory_cells) {
+    throw std::invalid_argument("em_pram_run: initial memory size mismatch");
+  }
+  if (config.max_reads > (1u << kSlotBits)) {
+    throw std::invalid_argument("em_pram_run: max_reads too large");
+  }
+  EmPramStats local;
+  EmPramStats& st = stats ? *stats : local;
+  st = EmPramStats{};
+  const auto start = disks.stats();
+
+  const std::size_t B = disks.block_size();
+  const std::size_t ib = B / 8;
+  const std::size_t mem_items = memory_bytes / 8;
+  const std::uint64_t P = config.num_procs;
+  const std::uint64_t M = config.memory_cells;
+
+  em::TrackAllocators alloc(disks.num_disks());
+  // Shared memory and register files live on disk; contexts are 9 words
+  // (8 registers + active flag).
+  auto mem_region = em::StripedRegion::reserve(disks, alloc,
+                                               (M + ib - 1) / ib);
+  auto ctx_region = em::StripedRegion::reserve(disks, alloc,
+                                               (P * 9 + ib - 1) / ib);
+  stream_out(mem_region, memory, ib, mem_items);
+  {
+    std::vector<std::uint64_t> ctx0(P * 9, 0);
+    for (std::uint64_t p = 0; p < P; ++p) ctx0[p * 9 + 8] = 1;  // active
+    stream_out(ctx_region, ctx0, ib, mem_items);
+  }
+
+  std::vector<std::uint64_t> mem_cur, ctx_cur;
+  std::vector<std::uint64_t> scratch_addrs;
+  std::vector<PramWrite> scratch_writes;
+
+  for (std::size_t step = 0;; ++step) {
+    if (step >= config.max_steps) {
+      throw std::runtime_error("em_pram_run: step limit exceeded");
+    }
+    // --- 1. Plan reads (register scan). ------------------------------------
+    stream_in(ctx_region, ctx_cur, P * 9, ib, mem_items);
+    std::vector<KeyValue> requests;
+    for (std::uint64_t p = 0; p < P; ++p) {
+      if (ctx_cur[p * 9 + 8] == 0) continue;
+      PramContext ctx;
+      for (int r = 0; r < 8; ++r) ctx.reg[r] = ctx_cur[p * 9 + r];
+      scratch_addrs.clear();
+      program.plan_reads(step, p, ctx, scratch_addrs);
+      if (scratch_addrs.size() > config.max_reads) {
+        throw std::runtime_error("em_pram_run: processor exceeded max_reads");
+      }
+      for (std::size_t slot = 0; slot < scratch_addrs.size(); ++slot) {
+        const std::uint64_t addr = scratch_addrs[slot];
+        if (addr >= M) {
+          throw std::out_of_range("em_pram_run: read address out of range");
+        }
+        requests.push_back(
+            KeyValue{addr, (p << kSlotBits) | slot});
+      }
+    }
+    st.read_requests += requests.size();
+
+    // --- 2. Sort requests by address; join against the memory scan. --------
+    auto sorted_req = em_mergesort_kv(disks, requests, memory_bytes, nullptr,
+                                      &alloc);
+    stream_in(mem_region, mem_cur, M, ib, mem_items);
+    std::vector<KeyValue> answers;
+    answers.reserve(sorted_req.size());
+    for (const auto& rq : sorted_req) {
+      answers.push_back(KeyValue{rq.value, mem_cur[rq.key]});
+    }
+    auto sorted_ans = em_mergesort_kv(disks, answers, memory_bytes, nullptr,
+                                      &alloc);
+
+    // --- 3. Compute (register scan aligned with sorted answers). -----------
+    std::vector<KeyValue> writes;  // key = addr << pidbits | pid
+    std::size_t cursor = 0;
+    bool any_active = false;
+    std::vector<std::uint64_t> values;
+    for (std::uint64_t p = 0; p < P; ++p) {
+      if (ctx_cur[p * 9 + 8] == 0) continue;
+      PramContext ctx;
+      for (int r = 0; r < 8; ++r) ctx.reg[r] = ctx_cur[p * 9 + r];
+      values.clear();
+      while (cursor < sorted_ans.size() &&
+             (sorted_ans[cursor].key >> kSlotBits) == p) {
+        values.push_back(sorted_ans[cursor].value);
+        ++cursor;
+      }
+      scratch_writes.clear();
+      const bool cont =
+          program.compute(step, p, ctx, values, scratch_writes);
+      if (scratch_writes.size() > config.max_writes) {
+        throw std::runtime_error(
+            "em_pram_run: processor exceeded max_writes");
+      }
+      for (const auto& w : scratch_writes) {
+        if (w.addr >= M) {
+          throw std::out_of_range("em_pram_run: write address out of range");
+        }
+        writes.push_back(KeyValue{(w.addr << kPidBits) | p, w.value});
+      }
+      for (int r = 0; r < 8; ++r) ctx_cur[p * 9 + r] = ctx.reg[r];
+      ctx_cur[p * 9 + 8] = cont ? 1 : 0;
+      any_active = any_active || cont;
+    }
+    st.write_requests += writes.size();
+    stream_out(ctx_region, ctx_cur, ib, mem_items);
+
+    // --- 4. Apply writes: sort by (addr, pid); highest pid wins. ------------
+    auto sorted_wr = em_mergesort_kv(disks, writes, memory_bytes, nullptr,
+                                     &alloc);
+    for (std::size_t i = 0; i < sorted_wr.size(); ++i) {
+      const std::uint64_t addr = sorted_wr[i].key >> kPidBits;
+      // Priority CRCW: the last record of an equal-address run carries the
+      // highest processor id.
+      if (i + 1 == sorted_wr.size() ||
+          (sorted_wr[i + 1].key >> kPidBits) != addr) {
+        mem_cur[addr] = sorted_wr[i].value;
+      }
+    }
+    stream_out(mem_region, mem_cur, ib, mem_items);
+
+    ++st.steps;
+    if (!any_active) break;
+  }
+
+  stream_in(mem_region, mem_cur, M, ib, mem_items);
+  st.total = disks.stats().since(start);
+  return mem_cur;
+}
+
+}  // namespace embsp::baseline

@@ -1,0 +1,95 @@
+// General PRAM-to-EM simulation framework — the Chiang et al. [14]
+// technique the paper's §2.1 reviews:
+//
+//   "Chiang et al. explored simulation of PRAM algorithms as a source of
+//    new EM techniques.  Their approach involves an EM sort with every
+//    PRAM step."
+//
+// A synchronous priority-CRCW PRAM with P processors and a shared memory
+// of 64-bit cells is simulated on the disk substrate; each PRAM step costs
+// O(sort(#requests)) I/Os:
+//
+//   1. scan the register files, collect read requests (addr, pid, slot);
+//   2. EM-sort the requests by address; merge-join against a sequential
+//      scan of the memory array; EM-sort the answers back by (pid, slot);
+//   3. scan registers + answers, run each processor's compute function,
+//      collect write requests;
+//   4. EM-sort the writes by (addr, pid) and merge-apply against the
+//      memory scan — the highest processor id wins a conflict (priority
+//      CRCW), deterministically.
+//
+// This is the *general* predecessor technique; baseline::em_list_ranking
+// is its hand-specialized instance, and bench/table1_group_c compares both
+// against the paper's EM-CGM algorithms.  As in em_list_ranking, the
+// orchestration stages streams in memory vectors for simplicity, but every
+// logical disk transfer (array scans + the sorts' passes) is performed
+// against the disk array and counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/io_stats.hpp"
+
+namespace embsp::baseline {
+
+struct PramContext {
+  std::array<std::uint64_t, 8> reg{};  ///< per-processor registers
+  std::uint8_t active = 1;
+};
+
+struct PramWrite {
+  std::uint64_t addr;
+  std::uint64_t value;
+};
+
+/// A synchronous PRAM program.  Each step, every active processor first
+/// plans its reads (addresses may depend on registers but not on this
+/// step's reads), then computes on the fetched values and issues writes.
+class PramProgram {
+ public:
+  virtual ~PramProgram() = default;
+
+  /// Append the cell addresses to read this step (at most
+  /// PramConfig::max_reads).
+  virtual void plan_reads(std::uint64_t step, std::uint64_t pid,
+                          const PramContext& ctx,
+                          std::vector<std::uint64_t>& addrs) const = 0;
+
+  /// `values[i]` is the content of the i-th planned address.  Returns true
+  /// to stay active next step; an all-inactive step ends the run.
+  virtual bool compute(std::uint64_t step, std::uint64_t pid,
+                       PramContext& ctx,
+                       std::span<const std::uint64_t> values,
+                       std::vector<PramWrite>& writes) const = 0;
+};
+
+struct PramConfig {
+  std::uint64_t num_procs = 1;
+  std::uint64_t memory_cells = 1;
+  std::size_t max_reads = 2;
+  std::size_t max_writes = 2;
+  std::size_t max_steps = 1 << 20;
+};
+
+struct EmPramStats {
+  em::IoStats total;
+  std::size_t steps = 0;
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+};
+
+/// Runs the program until every processor is inactive; returns the final
+/// shared memory.  Requires memory_cells < 2^40 and num_procs < 2^20
+/// (request keys are packed into 64 bits).
+std::vector<std::uint64_t> em_pram_run(em::DiskArray& disks,
+                                       const PramProgram& program,
+                                       const PramConfig& config,
+                                       std::span<const std::uint64_t> memory,
+                                       std::size_t memory_bytes,
+                                       EmPramStats* stats = nullptr);
+
+}  // namespace embsp::baseline

@@ -1,0 +1,124 @@
+#include "baseline/em_transpose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "em/striped_region.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::baseline {
+
+namespace {
+std::span<const std::byte> as_bytes(std::span<const std::uint64_t> s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size() * 8};
+}
+}  // namespace
+
+std::vector<std::uint64_t> em_transpose(em::DiskArray& disks,
+                                        std::span<const std::uint64_t> matrix,
+                                        std::uint64_t rows, std::uint64_t cols,
+                                        std::size_t memory_bytes,
+                                        EmTransposeStats* stats) {
+  const std::size_t B = disks.block_size();
+  const std::size_t ib = B / 8;
+  const std::size_t D = disks.num_disks();
+  const std::uint64_t n = rows * cols;
+  if (matrix.size() != n) {
+    throw std::invalid_argument("em_transpose: size mismatch");
+  }
+  if (rows % ib != 0 || cols % ib != 0) {
+    throw std::invalid_argument(
+        "em_transpose: rows and cols must be multiples of the per-block item "
+        "count B/8 = " +
+        std::to_string(ib));
+  }
+  EmTransposeStats local;
+  EmTransposeStats& st = stats ? *stats : local;
+  st = EmTransposeStats{};
+
+  // Tile side: largest multiple of ib with 2 tiles fitting in memory.
+  std::uint64_t t = ib;
+  while ((t + ib) * (t + ib) * 2 * 8 <= memory_bytes) t += ib;
+  t = std::min({t, rows, cols});
+  st.tile = t;
+
+  em::TrackAllocators alloc(D);
+  auto in_region = em::StripedRegion::reserve(disks, alloc, n / ib);
+  auto out_region = em::StripedRegion::reserve(disks, alloc, n / ib);
+  const std::size_t mem_items = memory_bytes / 8;
+
+  auto snapshot = [&]() { return disks.stats(); };
+  auto account = [&](em::IoStats& slot, const em::IoStats& before) {
+    slot += disks.stats().since(before);
+  };
+
+  // Load.
+  {
+    const auto before = snapshot();
+    std::uint64_t written = 0;
+    std::vector<std::uint64_t> chunk;
+    while (written < n) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(mem_items / ib * ib, n - written);
+      chunk.assign(matrix.begin() + written, matrix.begin() + written + take);
+      in_region.write_blocks(written / ib, take / ib, as_bytes(chunk));
+      written += take;
+    }
+    account(st.load, before);
+  }
+
+  // Tiled transpose.
+  {
+    const auto before = snapshot();
+    std::vector<std::uint64_t> tile_in(t * t), tile_out(t * t);
+    for (std::uint64_t i0 = 0; i0 < rows; i0 += t) {
+      const std::uint64_t th = std::min<std::uint64_t>(t, rows - i0);
+      for (std::uint64_t j0 = 0; j0 < cols; j0 += t) {
+        const std::uint64_t tw = std::min<std::uint64_t>(t, cols - j0);
+        // Read th row segments of tw items each (block aligned).
+        for (std::uint64_t i = 0; i < th; ++i) {
+          const std::uint64_t off = (i0 + i) * cols + j0;
+          in_region.read_blocks(
+              off / ib, tw / ib,
+              {reinterpret_cast<std::byte*>(tile_in.data() + i * tw),
+               tw * 8});
+        }
+        for (std::uint64_t i = 0; i < th; ++i) {
+          for (std::uint64_t j = 0; j < tw; ++j) {
+            tile_out[j * th + i] = tile_in[i * tw + j];
+          }
+        }
+        // Write tw row segments of th items into the transposed layout.
+        for (std::uint64_t j = 0; j < tw; ++j) {
+          const std::uint64_t off = (j0 + j) * rows + i0;
+          out_region.write_blocks(
+              off / ib, th / ib,
+              as_bytes({tile_out.data() + j * th, th}));
+        }
+      }
+    }
+    account(st.algorithm, before);
+  }
+
+  // Collect.
+  std::vector<std::uint64_t> out;
+  {
+    const auto before = snapshot();
+    std::vector<std::uint64_t> chunk;
+    std::uint64_t b = 0;
+    const std::uint64_t blocks = n / ib;
+    while (b < blocks) {
+      const std::uint64_t take = std::min<std::uint64_t>(
+          std::max<std::size_t>(1, mem_items / ib), blocks - b);
+      chunk.resize(take * ib);
+      out_region.read_blocks(
+          b, take, {reinterpret_cast<std::byte*>(chunk.data()), take * B});
+      out.insert(out.end(), chunk.begin(), chunk.end());
+      b += take;
+    }
+    account(st.collect, before);
+  }
+  return out;
+}
+
+}  // namespace embsp::baseline

@@ -1,0 +1,35 @@
+// Sequential external-memory matrix transpose — Table 1's
+//   Theta(G * n/(DB) * log(min(M, r, c, n/B)) / log(M/B))
+// row [1].  Implemented as the classical blocked tile transpose: square
+// tiles of t x t elements with t a multiple of the per-block item count and
+// t^2 <= M are read (row segments, fully blocked), transposed in memory,
+// and written to the transposed positions.  One pass when a tile row/column
+// fits in memory — the common case for the bench ranges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/io_stats.hpp"
+
+namespace embsp::baseline {
+
+struct EmTransposeStats {
+  em::IoStats load;
+  em::IoStats algorithm;
+  em::IoStats collect;
+  std::size_t tile = 0;
+};
+
+/// Transposes the row-major `rows x cols` matrix.  Requires rows and cols
+/// to be multiples of the per-block item count (B/8) so tile boundaries are
+/// block-aligned.
+std::vector<std::uint64_t> em_transpose(em::DiskArray& disks,
+                                        std::span<const std::uint64_t> matrix,
+                                        std::uint64_t rows, std::uint64_t cols,
+                                        std::size_t memory_bytes,
+                                        EmTransposeStats* stats = nullptr);
+
+}  // namespace embsp::baseline

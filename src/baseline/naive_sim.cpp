@@ -1,0 +1,47 @@
+#include "baseline/naive_sim.hpp"
+
+#include <cstring>
+
+namespace embsp::baseline {
+
+NaiveSimulator::NaiveSimulator(NaiveSimConfig cfg) : cfg_(cfg) {
+  if (cfg_.v == 0 || cfg_.B == 0 || cfg_.mu == 0 || cfg_.cell_bytes == 0) {
+    throw std::invalid_argument("NaiveSimulator: invalid configuration");
+  }
+  disks_ = std::make_unique<em::DiskArray>(cfg_.D, cfg_.B);
+  ctx_blocks_ = (cfg_.mu + 4 + cfg_.B - 1) / cfg_.B;
+  cell_blocks_ = (cfg_.cell_bytes + 16 + cfg_.B - 1) / cfg_.B;
+}
+
+std::pair<std::uint32_t, std::uint64_t> NaiveSimulator::place(
+    std::uint64_t global_block) const {
+  // Blocks are laid out round-robin across drives, but accesses below never
+  // batch two drives into one I/O — the naive design is oblivious to disk
+  // parallelism.
+  return {static_cast<std::uint32_t>(global_block % cfg_.D),
+          global_block / cfg_.D};
+}
+
+void NaiveSimulator::read_region(std::uint64_t start_block,
+                                 std::size_t nblocks,
+                                 std::vector<std::byte>& out) {
+  out.resize(nblocks * cfg_.B);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto [disk, track] = place(start_block + b);
+    em::ReadOp op{disk, track,
+                  std::span<std::byte>(out).subspan(b * cfg_.B, cfg_.B)};
+    disks_->parallel_read({&op, 1});
+  }
+}
+
+void NaiveSimulator::write_region(std::uint64_t start_block,
+                                  std::span<const std::byte> data) {
+  const std::size_t nblocks = data.size() / cfg_.B;
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto [disk, track] = place(start_block + b);
+    em::WriteOp op{disk, track, data.subspan(b * cfg_.B, cfg_.B)};
+    disks_->parallel_write({&op, 1});
+  }
+}
+
+}  // namespace embsp::baseline

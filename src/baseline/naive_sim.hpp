@@ -1,0 +1,246 @@
+// Naive BSP-to-EM simulation in the style of Sibeyn–Kaufmann [26], the
+// concurrent work §2.1 contrasts with:
+//
+//   "They simulate a superstep of one virtual processor at a time, saving
+//    the context and generated messages in a v x v array on disk, where
+//    each cell is of size 3*mu ... the paper does not include techniques to
+//    accommodate the blocking factor ... nor does it provide mechanisms for
+//    handling multiple disks or multiple physical processors."
+//
+// Faithfully to that design, this simulator:
+//   * runs one virtual processor per round (k = 1, no memory grouping),
+//   * keeps a dense v x v message matrix on disk with a fixed-capacity cell
+//    per (source, destination) pair, reading *every* source cell of a
+//    destination each superstep (one I/O per block, one disk at a time),
+//   * never issues multi-disk parallel I/O — disks hold data round-robin
+//     but each operation touches a single drive.
+//
+// It executes the same Program concept as the real simulators, so tests
+// can verify identical results while the benches compare I/O counts —
+// the quantitative version of the paper's §2.1 comparison.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "bsp/cost_model.hpp"
+#include "bsp/program.hpp"
+#include "em/disk_array.hpp"
+#include "util/serialization.hpp"
+
+namespace embsp::baseline {
+
+struct NaiveSimConfig {
+  std::uint32_t v = 1;        ///< virtual processors
+  std::size_t D = 1;          ///< disks (used one at a time)
+  std::size_t B = 4096;       ///< block size
+  std::size_t mu = 0;         ///< max context bytes
+  std::size_t cell_bytes = 0; ///< capacity of one (src, dst) message cell
+  std::uint64_t seed = 1;     ///< unused; kept for interface symmetry
+  std::size_t max_supersteps = 100000;
+};
+
+struct NaiveSimResult {
+  em::IoStats total_io;
+  std::size_t lambda = 0;
+  std::uint64_t max_tracks_per_disk = 0;
+};
+
+class NaiveSimulator {
+ public:
+  explicit NaiveSimulator(NaiveSimConfig cfg);
+
+  template <bsp::Program P>
+  NaiveSimResult run(
+      const P& prog,
+      const std::function<typename P::State(std::uint32_t)>& make_state,
+      const std::function<void(std::uint32_t, typename P::State&)>& collect);
+
+  [[nodiscard]] const em::DiskArray& disks() const { return *disks_; }
+
+ private:
+  // Single-block, single-disk I/O helpers (the S-K access pattern).
+  void read_region(std::uint64_t start_block, std::size_t nblocks,
+                   std::vector<std::byte>& out);
+  void write_region(std::uint64_t start_block,
+                    std::span<const std::byte> data);
+  [[nodiscard]] std::pair<std::uint32_t, std::uint64_t> place(
+      std::uint64_t global_block) const;
+
+  NaiveSimConfig cfg_;
+  std::unique_ptr<em::DiskArray> disks_;
+  std::size_t ctx_blocks_ = 0;
+  std::size_t cell_blocks_ = 0;
+  std::uint64_t ctx_base_ = 0;   ///< first global block of the context area
+  std::uint64_t cell_base_ = 0;  ///< first global block of the v x v matrix
+  std::vector<std::byte> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <bsp::Program P>
+NaiveSimResult NaiveSimulator::run(
+    const P& prog,
+    const std::function<typename P::State(std::uint32_t)>& make_state,
+    const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+  using State = typename P::State;
+  const std::uint32_t v = cfg_.v;
+
+  // Layout: contexts first, then two v x v cell matrices (row-major by
+  // source) used alternately per superstep — the receiver of superstep s
+  // still reads matrix s%2 while senders fill matrix (s+1)%2, mirroring
+  // the 3*mu cell provisioning of [26].
+  ctx_base_ = 0;
+  cell_base_ = static_cast<std::uint64_t>(v) * ctx_blocks_;
+
+  // Cell header: (superstep_tag, length).  Cells from older supersteps are
+  // treated as empty, so empty cells never need to be cleared.
+  struct CellHeader {
+    std::uint64_t tag;
+    std::uint64_t len;
+  };
+  const std::uint64_t kNoTag = UINT64_MAX;
+
+  const std::uint64_t matrix_blocks =
+      static_cast<std::uint64_t>(v) * v * cell_blocks_;
+  auto cell_block = [&](std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t parity) {
+    return cell_base_ + parity * matrix_blocks +
+           (static_cast<std::uint64_t>(src) * v + dst) * cell_blocks_;
+  };
+
+  // Write initial contexts.
+  std::vector<std::byte> buf;
+  for (std::uint32_t j = 0; j < v; ++j) {
+    util::Writer w;
+    make_state(j).serialize(w);
+    auto payload = w.take();
+    if (payload.size() > cfg_.mu) {
+      throw std::runtime_error("NaiveSimulator: context exceeds mu");
+    }
+    buf.assign(ctx_blocks_ * cfg_.B, std::byte{0});
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(buf.data(), &len, 4);
+    std::memcpy(buf.data() + 4, payload.data(), payload.size());
+    write_region(ctx_base_ + static_cast<std::uint64_t>(j) * ctx_blocks_,
+                 buf);
+  }
+
+  NaiveSimResult result;
+  bsp::WorkMeter meter;
+  for (std::size_t step = 0;; ++step) {
+    if (step >= cfg_.max_supersteps) {
+      throw std::runtime_error("NaiveSimulator: superstep limit exceeded");
+    }
+    bool any_continue = false;
+    for (std::uint32_t j = 0; j < v; ++j) {
+      // Fetch context.
+      read_region(ctx_base_ + static_cast<std::uint64_t>(j) * ctx_blocks_,
+                  ctx_blocks_, buf);
+      std::uint32_t len = 0;
+      std::memcpy(&len, buf.data(), 4);
+      State state;
+      util::Reader ctx_reader(std::span<const std::byte>(buf).subspan(4, len));
+      state.deserialize(ctx_reader);
+
+      // Fetch the whole column j of the message matrix: the dense-array
+      // design reads every source cell (at least its first block).
+      std::vector<bsp::Message> incoming;
+      std::vector<std::byte> cell;
+      for (std::uint32_t i = 0; i < v; ++i) {
+        read_region(cell_block(i, j, step % 2), 1, cell);
+        CellHeader h;
+        std::memcpy(&h, cell.data(), sizeof(h));
+        if (h.tag != step || h.len == 0) continue;
+        if (sizeof(h) + h.len > cfg_.B) {
+          // Long cell: read the remaining blocks.
+          std::vector<std::byte> rest;
+          const std::size_t more =
+              (sizeof(h) + h.len + cfg_.B - 1) / cfg_.B - 1;
+          read_region(cell_block(i, j, step % 2) + 1, more, rest);
+          cell.insert(cell.end(), rest.begin(), rest.end());
+        }
+        util::Reader r(std::span<const std::byte>(cell).subspan(
+            sizeof(h), h.len));
+        while (!r.exhausted()) {
+          bsp::Message m;
+          m.src = i;
+          m.dst = j;
+          m.seq = r.read<std::uint32_t>();
+          const auto plen = r.read<std::uint32_t>();
+          auto bytes = r.read_bytes(plen);
+          m.payload.assign(bytes.begin(), bytes.end());
+          incoming.push_back(std::move(m));
+        }
+      }
+
+      bsp::Inbox in(std::move(incoming));
+      bsp::Outbox out(j, v);
+      meter.reset();
+      bsp::ProcEnv env{j, v, &meter};
+      const bool cont = prog.superstep(step, env, state, in, out);
+      any_continue = any_continue || cont;
+
+      // Write generated messages into row j of the matrix (next superstep's
+      // tag), one cell per destination.
+      std::vector<util::Writer> cells(v);
+      for (const auto& m : out.messages()) {
+        cells[m.dst].write<std::uint32_t>(m.seq);
+        cells[m.dst].write<std::uint32_t>(
+            static_cast<std::uint32_t>(m.payload.size()));
+        cells[m.dst].write_bytes(m.payload);
+      }
+      for (std::uint32_t d = 0; d < v; ++d) {
+        if (cells[d].size() == 0) continue;
+        CellHeader h{step + 1, cells[d].size()};
+        if (sizeof(h) + h.len > cell_blocks_ * cfg_.B) {
+          throw std::runtime_error(
+              "NaiveSimulator: cell capacity exceeded (raise cell_bytes)");
+        }
+        const std::size_t blocks = (sizeof(h) + h.len + cfg_.B - 1) / cfg_.B;
+        std::vector<std::byte> data(blocks * cfg_.B, std::byte{0});
+        std::memcpy(data.data(), &h, sizeof(h));
+        std::memcpy(data.data() + sizeof(h), cells[d].bytes().data(), h.len);
+        write_region(cell_block(j, d, (step + 1) % 2), data);
+      }
+      (void)kNoTag;
+
+      // Write the context back.
+      util::Writer w;
+      state.serialize(w);
+      auto payload = w.take();
+      if (payload.size() > cfg_.mu) {
+        throw std::runtime_error("NaiveSimulator: context exceeds mu");
+      }
+      buf.assign(ctx_blocks_ * cfg_.B, std::byte{0});
+      const auto out_len = static_cast<std::uint32_t>(payload.size());
+      std::memcpy(buf.data(), &out_len, 4);
+      std::memcpy(buf.data() + 4, payload.data(), payload.size());
+      write_region(ctx_base_ + static_cast<std::uint64_t>(j) * ctx_blocks_,
+                   buf);
+    }
+    ++result.lambda;
+    if (!any_continue) break;
+  }
+
+  for (std::uint32_t j = 0; j < v; ++j) {
+    read_region(ctx_base_ + static_cast<std::uint64_t>(j) * ctx_blocks_,
+                ctx_blocks_, buf);
+    std::uint32_t len = 0;
+    std::memcpy(&len, buf.data(), 4);
+    State state;
+    util::Reader r(std::span<const std::byte>(buf).subspan(4, len));
+    state.deserialize(r);
+    collect(j, state);
+  }
+
+  result.total_io = disks_->stats();
+  result.max_tracks_per_disk = disks_->max_tracks_used();
+  return result;
+}
+
+}  // namespace embsp::baseline

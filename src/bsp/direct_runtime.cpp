@@ -1,0 +1,3 @@
+#include "bsp/direct_runtime.hpp"
+
+// Template executor lives in the header; this TU anchors the module.

@@ -1,0 +1,44 @@
+#include "bsp/message.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace embsp::bsp {
+
+Inbox::Inbox(std::vector<Message> messages) : messages_(std::move(messages)) {
+  sort_inbox(messages_);
+}
+
+std::size_t Inbox::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& m : messages_) total += m.payload.size();
+  return total;
+}
+
+Outbox::Outbox(std::uint32_t src, std::uint32_t nprocs)
+    : src_(src), nprocs_(nprocs) {}
+
+void Outbox::send(std::uint32_t dst, std::span<const std::byte> payload) {
+  send_owned(dst, std::vector<std::byte>(payload.begin(), payload.end()));
+}
+
+void Outbox::send_owned(std::uint32_t dst, std::vector<std::byte> payload) {
+  if (dst >= nprocs_) {
+    throw std::out_of_range("Outbox: destination " + std::to_string(dst) +
+                            " out of range (v = " + std::to_string(nprocs_) +
+                            ")");
+  }
+  total_bytes_ += payload.size();
+  messages_.push_back(Message{src_, dst, next_seq_++, std::move(payload)});
+}
+
+void sort_inbox(std::vector<Message>& messages) {
+  std::sort(messages.begin(), messages.end(),
+            [](const Message& a, const Message& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+}
+
+}  // namespace embsp::bsp

@@ -1,0 +1,38 @@
+#include "bsp/params.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace embsp::bsp {
+
+void MachineParams::validate() const {
+  if (p == 0) throw std::invalid_argument("MachineParams: p must be > 0");
+  if (bsp.v == 0) throw std::invalid_argument("MachineParams: v must be > 0");
+  if (bsp.b == 0) throw std::invalid_argument("MachineParams: b must be > 0");
+  if (!em.valid()) {
+    throw std::invalid_argument(
+        "MachineParams: EM parameters invalid (need D,B > 0 and M >= D*B)");
+  }
+  if (bsp.v % p != 0) {
+    throw std::invalid_argument(
+        "MachineParams: v must be a multiple of p (each real processor "
+        "simulates v/p virtual processors)");
+  }
+}
+
+std::uint64_t min_virtual_processors(const MachineParams& m, std::size_t k) {
+  const double log_mb =
+      std::max(1.0, std::log2(static_cast<double>(m.em.M) /
+                              static_cast<double>(m.em.B)));
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(k) * m.p * m.em.D * log_mb));
+}
+
+std::size_t default_group_size(std::size_t memory_bytes,
+                               std::size_t context_bytes) {
+  if (context_bytes == 0) return 1;
+  return std::max<std::size_t>(1, memory_bytes / context_bytes);
+}
+
+}  // namespace embsp::bsp

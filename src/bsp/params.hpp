@@ -1,0 +1,48 @@
+// Machine parameters for the BSP* and EM-BSP* models (§2.2, §3 and the
+// terminology table in Appendix A.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace embsp::bsp {
+
+/// BSP* parameters of the *virtual* machine being simulated.
+struct BspParams {
+  std::uint32_t v = 1;   ///< number of (virtual) processors
+  std::size_t b = 1;     ///< minimum packet size for full router bandwidth
+  double g = 1.0;        ///< time to transport one packet of size b
+  double L = 1.0;        ///< barrier synchronization time
+};
+
+/// EM extension parameters of the *target* machine (per real processor).
+struct EmParams {
+  std::size_t M = 1 << 20;  ///< local memory size in bytes
+  std::size_t D = 1;        ///< number of disk drives per processor
+  std::size_t B = 4096;     ///< transfer block size in bytes
+  double G = 1.0;           ///< time per parallel I/O operation (D blocks)
+
+  /// The model requires M >= D*B: a processor must be able to hold one
+  /// block from each local disk simultaneously (§3).
+  [[nodiscard]] bool valid() const { return D > 0 && B > 0 && M >= D * B; }
+};
+
+/// Full EM-BSP* target machine: p real processors, each with EmParams.
+struct MachineParams {
+  std::uint32_t p = 1;  ///< number of real processors
+  BspParams bsp;        ///< parameters of the virtual BSP* machine
+  EmParams em;          ///< per-processor EM parameters
+
+  void validate() const;  ///< throws std::invalid_argument on violations
+};
+
+/// Slackness condition of Theorem 1: v >= k * p * D * log2(M/B).
+/// Returns the minimum v for the given machine and group size k.
+std::uint64_t min_virtual_processors(const MachineParams& m, std::size_t k);
+
+/// Group size k = floor(M / mu), at least 1 (§5.1: "To maximize the use of
+/// available memory, we choose k = floor(M/mu)").
+std::size_t default_group_size(std::size_t memory_bytes,
+                               std::size_t context_bytes);
+
+}  // namespace embsp::bsp

@@ -1,0 +1,60 @@
+// The BSP* program concept shared by all three executors.
+//
+// A program describes one virtual processor's behaviour:
+//
+//   struct MyProgram {
+//     struct State { ...; void serialize(util::Writer&) const;
+//                         void deserialize(util::Reader&); };
+//     // Computation + sending superstep.  Return true to request another
+//     // superstep (the runtime keeps going while *any* processor returns
+//     // true; every processor is invoked every superstep).
+//     bool superstep(std::size_t step, const ProcEnv& env, State& state,
+//                    const Inbox& in, Outbox& out) const;
+//   };
+//
+// Programs must be *oblivious to the executor*: all inter-processor state
+// flows through messages, and State must round-trip through serialization
+// (the EM simulators park it on disk between compound supersteps).
+#pragma once
+
+#include <cstdint>
+
+#include "bsp/message.hpp"
+#include "util/serialization.hpp"
+
+namespace embsp::bsp {
+
+/// Accounting hook for the computation cost T_comp ("basic computation
+/// operations").  Programs charge their local work so the c-optimality
+/// analysis (§5.4, Observation 2) has a machine-independent T_comp.
+class WorkMeter {
+ public:
+  void charge(std::uint64_t ops) { ops_ += ops; }
+  [[nodiscard]] std::uint64_t total() const { return ops_; }
+  void reset() { ops_ = 0; }
+
+ private:
+  std::uint64_t ops_ = 0;
+};
+
+/// Per-virtual-processor environment passed to each superstep.
+struct ProcEnv {
+  std::uint32_t pid = 0;     ///< virtual processor id in [0, v)
+  std::uint32_t nprocs = 1;  ///< v, the number of virtual processors
+  WorkMeter* meter = nullptr;
+
+  void charge(std::uint64_t ops) const {
+    if (meter != nullptr) meter->charge(ops);
+  }
+};
+
+template <typename P>
+concept Program = requires(const P& prog, std::size_t step, const ProcEnv& env,
+                           typename P::State& state, const Inbox& in,
+                           Outbox& out) {
+  requires util::Serializable<typename P::State>;
+  requires std::default_initializable<typename P::State>;
+  { prog.superstep(step, env, state, in, out) } -> std::same_as<bool>;
+};
+
+}  // namespace embsp::bsp

@@ -1,0 +1,31 @@
+#include "cgm/geometry_closest_pair.hpp"
+
+#include <algorithm>
+
+namespace embsp::cgm {
+
+CpBest closest_pair_sweep(std::vector<CpPoint> pts) {
+  CpBest best;
+  if (pts.size() < 2) return best;
+  std::sort(pts.begin(), pts.end(), [](const CpPoint& a, const CpPoint& b) {
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dy = pts[j].y - pts[i].y;
+      if (dy * dy >= best.dist2) break;  // y-window prune
+      if (pts[i].tag == pts[j].tag) continue;  // same point seen twice
+      const double dx = pts[j].x - pts[i].x;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 < best.dist2) {
+        best.dist2 = d2;
+        best.tag_a = std::min(pts[i].tag, pts[j].tag);
+        best.tag_b = std::max(pts[i].tag, pts[j].tag);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace embsp::cgm

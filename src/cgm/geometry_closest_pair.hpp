@@ -1,0 +1,190 @@
+// CGM closest pair (Table 1, Group B — the "2D-nearest neighbors" family).
+//
+//   1. global sort by x (4 supersteps);
+//   2. each processor finds its local closest pair and announces its slab
+//      x-extent and local distance to everyone (1 superstep, O(v) words);
+//   3. with the global candidate distance d0 known, every point within d0
+//      of a slab boundary is sent to the processors whose slab intersects
+//      (p.x, p.x + d0] (1 superstep);
+//   4. receivers scan cross pairs with the classic y-ordered window, and a
+//      final min-reduction picks the answer (2 supersteps).
+// lambda = O(1), communication O(n/v + strip) per processor.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cgm/sort.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+
+struct CpPoint {
+  double x, y;
+  std::uint64_t tag;
+};
+
+struct CpPointLess {
+  bool operator()(const CpPoint& a, const CpPoint& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.tag < b.tag;
+  }
+};
+
+struct CpBest {
+  double dist2 = std::numeric_limits<double>::infinity();
+  std::uint64_t tag_a = 0;
+  std::uint64_t tag_b = 0;
+};
+
+/// Best pair within one y-sorted point set (sweep with window).  Exposed
+/// for unit tests.
+CpBest closest_pair_sweep(std::vector<CpPoint> pts);
+
+struct ClosestPairProgram {
+  using Sorter = SortEngine<CpPoint, CpPointLess>;
+
+  struct SlabInfo {
+    double min_x, max_x;
+    CpBest best;
+    std::uint8_t empty;
+    std::uint8_t pad[7];
+  };
+
+  struct State {
+    std::vector<CpPoint> pts;
+    CpBest best;
+    void serialize(util::Writer& w) const {
+      w.write_vector(pts);
+      w.write(best);
+    }
+    void deserialize(util::Reader& r) {
+      pts = r.read_vector<CpPoint>();
+      best = r.read<CpBest>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::uint32_t v = env.nprocs;
+    if (step < Sorter::kSteps) {
+      Sorter::step(step, env, s.pts, in, out, CpPointLess{});
+      return true;
+    }
+    switch (step - Sorter::kSteps) {
+      case 0: {  // local pair + slab announcement to everyone
+        s.best = closest_pair_sweep(s.pts);
+        env.charge(s.pts.size() * 8 + 1);
+        SlabInfo info{};
+        info.empty = s.pts.empty() ? 1 : 0;
+        if (!s.pts.empty()) {
+          info.min_x = s.pts.front().x;
+          info.max_x = s.pts.back().x;
+        }
+        info.best = s.best;
+        for (std::uint32_t q = 0; q < v; ++q) out.send_value(q, info);
+        return true;
+      }
+      case 1: {  // strip exchange
+        std::vector<SlabInfo> slabs;
+        double d2 = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          slabs.push_back(in.value<SlabInfo>(i));  // inbox sorted by source
+          if (slabs.back().best.dist2 < d2) {
+            d2 = slabs.back().best.dist2;
+            if (d2 < s.best.dist2) s.best = slabs.back().best;
+          }
+        }
+        if (!std::isfinite(d2)) {
+          // Fewer than two points per slab everywhere: fall back to sending
+          // everything to the next nonempty slab's owner (tiny inputs).
+          d2 = std::numeric_limits<double>::max();
+        }
+        const double d = std::sqrt(d2);
+        std::vector<std::vector<CpPoint>> strip(v);
+        for (const auto& p : s.pts) {
+          for (std::uint32_t q = env.pid + 1; q < v; ++q) {
+            if (slabs[q].empty) continue;
+            if (slabs[q].min_x <= p.x + d) {
+              strip[q].push_back(p);
+            } else {
+              break;  // slabs are x-ordered; no further slab qualifies
+            }
+          }
+        }
+        for (std::uint32_t q = env.pid + 1; q < v; ++q) {
+          if (!strip[q].empty()) out.send_vector(q, strip[q]);
+        }
+        env.charge(s.pts.size() + 1);
+        return true;
+      }
+      case 2: {  // cross-slab pairs, then reduce at processor 0
+        std::vector<CpPoint> candidates;
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          auto part = in.vector<CpPoint>(i);
+          candidates.insert(candidates.end(), part.begin(), part.end());
+        }
+        if (!candidates.empty() && !s.pts.empty()) {
+          // Cross pairs only matter within the best-so-far window; the
+          // sweep over the union is a correct superset.
+          std::vector<CpPoint> all = s.pts;
+          all.insert(all.end(), candidates.begin(), candidates.end());
+          const CpBest cross = closest_pair_sweep(std::move(all));
+          if (cross.dist2 < s.best.dist2) s.best = cross;
+        }
+        env.charge((candidates.size() + s.pts.size()) * 8 + 1);
+        out.send_value(0, s.best);
+        return true;
+      }
+      case 3: {  // processor 0 combines and broadcasts
+        if (env.pid == 0) {
+          CpBest best;
+          for (std::size_t i = 0; i < in.count(); ++i) {
+            const auto b = in.value<CpBest>(i);
+            if (b.dist2 < best.dist2) best = b;
+          }
+          for (std::uint32_t q = 0; q < v; ++q) out.send_value(q, best);
+        }
+        return true;
+      }
+      default:
+        s.best = in.value<CpBest>(0);
+        return false;
+    }
+  }
+};
+
+struct ClosestPairOutcome {
+  CpBest best;
+  ExecResult exec;
+};
+
+template <class Exec>
+ClosestPairOutcome cgm_closest_pair(Exec& exec,
+                                    std::span<const util::Point2D> points,
+                                    std::uint32_t v) {
+  ClosestPairProgram prog;
+  using State = ClosestPairProgram::State;
+  BlockDist dist{points.size(), v};
+  ClosestPairOutcome outcome;
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        for (std::uint64_t i = 0; i < dist.count(pid); ++i) {
+          s.pts.push_back(
+              CpPoint{points[first + i].x, points[first + i].y, first + i});
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            if (pid == 0) outcome.best = s.best;
+          }));
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,19 @@
+#include "cgm/geometry_dominance.hpp"
+
+namespace embsp::cgm {
+
+std::vector<std::uint64_t> dominance_bruteforce(
+    std::span<const util::Point2D> points,
+    std::span<const std::uint64_t> weights) {
+  std::vector<std::uint64_t> counts(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (points[j].x < points[i].x && points[j].y < points[i].y) {
+        counts[i] += weights[j];
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace embsp::cgm

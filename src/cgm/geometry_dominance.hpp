@@ -1,0 +1,252 @@
+// CGM 2D weighted dominance counting (Table 1, Group B), O(1) rounds.
+//
+// For every point q, compute the total weight of points p with p.x < q.x
+// and p.y < q.y (strict dominance; general position assumed).
+//
+// Distribution-sweeping decomposition.  After a global sort by x (x-slab =
+// processor id, x-rank = global position) and a global sort by y (y-slab =
+// processor id), the dominating set of q splits into three disjoint parts:
+//   LOCAL — p in q's y-slab: counted by a local y-sweep with a Fenwick
+//           tree over x-ranks;
+//   B1    — p in an earlier y-slab and a strictly smaller x-slab: counted
+//           from the v x v histogram "weight of (y-slab, x-slab) cells",
+//           prefix-summed at processor 0;
+//   B2    — p in an earlier y-slab and the *same* x-slab: points are routed
+//           to their x-slab owner, which sweeps them in x-rank order with a
+//           Fenwick tree over y-slab ids.
+// Partial results (LOCAL + B1 from the y-slab owner, B2 from the x-slab
+// owner) meet at the point's home processor.  lambda = 15 supersteps, all
+// h-relations O(n/v + v).
+#pragma once
+
+#include <vector>
+
+#include "cgm/primitives.hpp"
+#include "cgm/sort.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+
+struct DomPoint {
+  double x, y;
+  std::uint64_t w;      ///< weight
+  std::uint64_t tag;    ///< original index
+  std::uint64_t xrank;  ///< global position in x order
+  std::uint32_t xslab;  ///< processor id of the x-slab
+  std::uint32_t yslab;  ///< processor id of the y-slab
+  std::uint64_t count;  ///< running partial result
+};
+
+struct DomByX {
+  bool operator()(const DomPoint& a, const DomPoint& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    return a.tag < b.tag;
+  }
+};
+
+struct DomByY {
+  bool operator()(const DomPoint& a, const DomPoint& b) const {
+    if (a.y != b.y) return a.y < b.y;
+    return a.tag < b.tag;
+  }
+};
+
+struct DominanceProgram {
+  std::uint64_t n = 0;
+  using SortX = SortEngine<DomPoint, DomByX>;
+  using SortY = SortEngine<DomPoint, DomByY>;
+
+  struct TagCount {
+    std::uint64_t tag;
+    std::uint64_t count;
+  };
+
+  struct State {
+    std::vector<DomPoint> pts;
+    std::vector<std::uint64_t> out;  ///< results for owned tags
+    std::uint64_t xoff = 0;          ///< x-rank offset of this slab
+    void serialize(util::Writer& w) const {
+      w.write_vector(pts);
+      w.write_vector(out);
+      w.write(xoff);
+    }
+    void deserialize(util::Reader& r) {
+      pts = r.read_vector<DomPoint>();
+      out = r.read_vector<std::uint64_t>();
+      xoff = r.read<std::uint64_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::uint32_t v = env.nprocs;
+    BlockDist home{n, v};
+
+    // Steps 0..3: sort by x.
+    if (step < 4) {
+      SortX::step(step, env, s.pts, in, out, DomByX{});
+      return true;
+    }
+    // Steps 4..6: exclusive prefix sum of slab sizes -> x-rank offsets.
+    if (step <= 6) {
+      std::uint64_t total = 0;
+      PrefixSumEngine::step(step - 4, env, s.pts.size(), s.xoff, total, in,
+                            out);
+      if (step == 6) {
+        for (std::uint64_t i = 0; i < s.pts.size(); ++i) {
+          s.pts[i].xrank = s.xoff + i;
+          s.pts[i].xslab = env.pid;
+        }
+        // Begin the y-sort in the same superstep (its samples are the only
+        // messages sent here, so the next inbox is unambiguous).
+        SortY::step(0, env, s.pts, in, out, DomByY{});
+      }
+      return true;
+    }
+    // Steps 7..9: remaining y-sort steps.
+    if (step <= 9) {
+      SortY::step(step - 6, env, s.pts, in, out, DomByY{});
+      return true;
+    }
+    switch (step) {
+      case 10: {
+        // LOCAL: y-sweep with a Fenwick tree over (locally compressed)
+        // x-ranks; also build this y-slab's histogram over x-slabs.
+        for (auto& p : s.pts) p.yslab = env.pid;
+        std::vector<std::uint64_t> ranks;
+        ranks.reserve(s.pts.size());
+        for (const auto& p : s.pts) ranks.push_back(p.xrank);
+        std::sort(ranks.begin(), ranks.end());
+        Fenwick bit(ranks.size());
+        for (auto& p : s.pts) {  // pts are y-sorted
+          const auto idx = static_cast<std::size_t>(
+              std::lower_bound(ranks.begin(), ranks.end(), p.xrank) -
+              ranks.begin());
+          p.count = bit.prefix(idx);
+          bit.add(idx, p.w);
+        }
+        env.charge(s.pts.size() * 8 + 1);
+        std::vector<std::uint64_t> hist(v, 0);
+        for (const auto& p : s.pts) hist[p.xslab] += p.w;
+        out.send_vector(0, hist);
+        return true;
+      }
+      case 11: {
+        // Processor 0: exclusive prefix over y-slabs of the histograms.
+        if (env.pid == 0) {
+          std::vector<std::uint64_t> run(v, 0);
+          for (std::size_t t = 0; t < in.count(); ++t) {
+            out.send_vector(static_cast<std::uint32_t>(t), run);
+            auto h = in.vector<std::uint64_t>(t);  // inbox sorted by source
+            for (std::uint32_t sx = 0; sx < v; ++sx) run[sx] += h[sx];
+          }
+        }
+        return true;
+      }
+      case 12: {
+        // B1 from the prefix histogram; route points to x-slab owners.
+        auto pt = in.vector<std::uint64_t>(0);  // P_t[s]
+        std::vector<std::uint64_t> pfx(v + 1, 0);
+        for (std::uint32_t sx = 0; sx < v; ++sx) pfx[sx + 1] = pfx[sx] + pt[sx];
+        std::vector<std::vector<DomPoint>> route(v);
+        for (auto& p : s.pts) {
+          p.count += pfx[p.xslab];  // B1: earlier y-slab, smaller x-slab
+          route[p.xslab].push_back(p);
+        }
+        env.charge(s.pts.size() + 1);
+        for (std::uint32_t q = 0; q < v; ++q) {
+          if (!route[q].empty()) out.send_vector(q, route[q]);
+        }
+        return true;
+      }
+      case 13: {
+        // B2 at the x-slab owner: sweep in x-rank order, Fenwick over
+        // y-slab ids.  Send B2 and (LOCAL + B1) partials to the homes.
+        std::vector<DomPoint> mine;
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          auto part = in.vector<DomPoint>(i);
+          mine.insert(mine.end(), part.begin(), part.end());
+        }
+        std::sort(mine.begin(), mine.end(),
+                  [](const DomPoint& a, const DomPoint& b) {
+                    return a.xrank < b.xrank;
+                  });
+        Fenwick bit(v);
+        std::vector<std::vector<TagCount>> results(v);
+        for (const auto& p : mine) {
+          const std::uint64_t b2 = bit.prefix(p.yslab);
+          bit.add(p.yslab, p.w);
+          const auto owner = home.owner(p.tag);
+          // LOCAL + B1 travelled with the point; add B2 here so each tag
+          // gets exactly one result message.
+          results[owner].push_back(TagCount{p.tag, p.count + b2});
+        }
+        env.charge(mine.size() * 8 + 1);
+        for (std::uint32_t q = 0; q < v; ++q) {
+          if (!results[q].empty()) out.send_vector(q, results[q]);
+        }
+        s.pts.clear();
+        return true;
+      }
+      default: {
+        // Step 14: homes collect results for their tags.
+        s.out.assign(home.count(env.pid), 0);
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          for (const auto& tc : in.vector<TagCount>(i)) {
+            s.out[tc.tag - home.first(env.pid)] = tc.count;
+          }
+        }
+        env.charge(s.out.size() + 1);
+        return false;
+      }
+    }
+  }
+};
+
+struct DominanceOutcome {
+  std::vector<std::uint64_t> counts;  ///< by original index
+  ExecResult exec;
+};
+
+/// Weighted dominance counts for `points` with weights `weights`.
+template <class Exec>
+DominanceOutcome cgm_dominance_counts(Exec& exec,
+                                      std::span<const util::Point2D> points,
+                                      std::span<const std::uint64_t> weights,
+                                      std::uint32_t v) {
+  DominanceProgram prog{points.size()};
+  using State = DominanceProgram::State;
+  BlockDist dist{points.size(), v};
+  DominanceOutcome outcome;
+  outcome.counts.assign(points.size(), 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        for (std::uint64_t i = 0; i < dist.count(pid); ++i) {
+          DomPoint p{};
+          p.x = points[first + i].x;
+          p.y = points[first + i].y;
+          p.w = weights[first + i];
+          p.tag = first + i;
+          s.pts.push_back(p);
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto first = dist.first(pid);
+            for (std::uint64_t i = 0; i < s.out.size(); ++i) {
+              outcome.counts[first + i] = s.out[i];
+            }
+          }));
+  return outcome;
+}
+
+/// Reference O(n^2) implementation for tests.
+std::vector<std::uint64_t> dominance_bruteforce(
+    std::span<const util::Point2D> points,
+    std::span<const std::uint64_t> weights);
+
+}  // namespace embsp::cgm

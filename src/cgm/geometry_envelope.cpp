@@ -1,0 +1,190 @@
+#include "cgm/geometry_envelope.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace embsp::cgm {
+
+namespace {
+
+double piece_eval(const EnvPiece& p, double x) {
+  if (p.x2 == p.x1) return std::min(p.y1, p.y2);
+  const double t = (x - p.x1) / (p.x2 - p.x1);
+  return p.y1 + t * (p.y2 - p.y1);
+}
+
+/// Index of the piece covering x in a sorted, non-overlapping list; -1 if
+/// no piece covers x.
+std::ptrdiff_t find_piece(std::span<const EnvPiece> env, double x) {
+  auto it = std::upper_bound(
+      env.begin(), env.end(), x,
+      [](double value, const EnvPiece& p) { return value < p.x1; });
+  if (it == env.begin()) return -1;
+  --it;
+  if (x > it->x2) return -1;
+  return it - env.begin();
+}
+
+void append_piece(std::vector<EnvPiece>& out, const EnvPiece& src, double x1,
+                  double x2) {
+  if (x2 <= x1) return;
+  EnvPiece clipped{x1, piece_eval(src, x1), x2, piece_eval(src, x2), src.seg};
+  if (!out.empty() && out.back().seg == clipped.seg &&
+      out.back().x2 == clipped.x1) {
+    out.back().x2 = clipped.x2;  // coalesce adjacent pieces of one segment
+    out.back().y2 = clipped.y2;
+  } else {
+    out.push_back(clipped);
+  }
+}
+
+}  // namespace
+
+std::vector<EnvPiece> merge_envelopes(std::span<const EnvPiece> a,
+                                      std::span<const EnvPiece> b) {
+  if (a.empty()) return {b.begin(), b.end()};
+  if (b.empty()) return {a.begin(), a.end()};
+
+  // Elementary intervals: between consecutive breakpoints of either input.
+  std::vector<double> xs;
+  xs.reserve(2 * (a.size() + b.size()));
+  for (const auto& p : a) {
+    xs.push_back(p.x1);
+    xs.push_back(p.x2);
+  }
+  for (const auto& p : b) {
+    xs.push_back(p.x1);
+    xs.push_back(p.x2);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  std::vector<EnvPiece> out;
+  out.reserve(a.size() + b.size());
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double x1 = xs[i];
+    const double x2 = xs[i + 1];
+    const double mid = 0.5 * (x1 + x2);
+    const auto ia = find_piece(a, mid);
+    const auto ib = find_piece(b, mid);
+    if (ia < 0 && ib < 0) continue;
+    if (ia < 0) {
+      append_piece(out, b[ib], x1, x2);
+    } else if (ib < 0) {
+      append_piece(out, a[ia], x1, x2);
+    } else {
+      // Both pieces are linear over [x1, x2].  If they cross in the
+      // interior (the *generalized* envelope row: segments may intersect),
+      // split at the crossing; otherwise the endpoint comparison decides
+      // the whole interval (the non-crossing case never splits).
+      const double da1 = piece_eval(a[ia], x1) - piece_eval(b[ib], x1);
+      const double da2 = piece_eval(a[ia], x2) - piece_eval(b[ib], x2);
+      if (da1 * da2 < 0) {
+        const double t = da1 / (da1 - da2);  // crossing parameter in (0,1)
+        const double xc = x1 + t * (x2 - x1);
+        const EnvPiece& first = da1 < 0 ? a[ia] : b[ib];
+        const EnvPiece& second = da1 < 0 ? b[ib] : a[ia];
+        append_piece(out, first, x1, xc);
+        append_piece(out, second, xc, x2);
+      } else {
+        const bool a_lower =
+            piece_eval(a[ia], mid) <= piece_eval(b[ib], mid);
+        append_piece(out, a_lower ? a[ia] : b[ib], x1, x2);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EnvPiece> build_envelope(std::span<const util::Segment2D> segs,
+                                     std::uint64_t first_id) {
+  if (segs.empty()) return {};
+  if (segs.size() == 1) {
+    const auto& s = segs[0];
+    return {EnvPiece{s.x1, s.y1, s.x2, s.y2, first_id}};
+  }
+  const std::size_t half = segs.size() / 2;
+  auto left = build_envelope(segs.subspan(0, half), first_id);
+  auto right = build_envelope(segs.subspan(half), first_id + half);
+  return merge_envelopes(left, right);
+}
+
+double envelope_eval(std::span<const EnvPiece> env, double x) {
+  const auto i = find_piece(env, x);
+  if (i < 0) return std::numeric_limits<double>::infinity();
+  return piece_eval(env[i], x);
+}
+
+bool EnvelopeLocateProgram::superstep(std::size_t step,
+                                      const bsp::ProcEnv& env, State& s,
+                                      const bsp::Inbox& in,
+                                      bsp::Outbox& out) const {
+  const std::uint32_t v = env.nprocs;
+  switch (step) {
+    case 0: {  // broadcast slab boundary (first piece's x1)
+      Boundary b{};
+      b.has = s.pieces.empty() ? 0 : 1;
+      if (b.has) b.first_x = s.pieces.front().x1;
+      for (std::uint32_t q = 0; q < v; ++q) out.send_value(q, b);
+      return true;
+    }
+    case 1: {  // route queries to the slab whose x-range contains them
+      std::vector<Boundary> bounds;
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        bounds.push_back(in.value<Boundary>(i));
+      }
+      std::vector<std::vector<Query>> route(v);
+      for (const auto& q : s.queries) {
+        // Owner: last nonempty slab whose first_x <= q.x (pieces are
+        // globally x-sorted); fall back to the first nonempty slab, whose
+        // scan will report "undefined" when x precedes the envelope.
+        std::uint32_t owner = UINT32_MAX;
+        for (std::uint32_t t = 0; t < v; ++t) {
+          if (!bounds[t].has) continue;
+          if (owner == UINT32_MAX || bounds[t].first_x <= q.x) owner = t;
+          if (bounds[t].first_x > q.x) break;
+        }
+        if (owner == UINT32_MAX) owner = 0;  // empty envelope
+        route[owner].push_back(q);
+      }
+      env.charge(s.queries.size() + 1);
+      for (std::uint32_t t = 0; t < v; ++t) {
+        if (!route[t].empty()) out.send_vector(t, route[t]);
+      }
+      return true;
+    }
+    case 2: {  // answer by binary search over the local slab
+      std::vector<std::vector<Reply>> replies(v);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& q : in.vector<Query>(i)) {
+          EnvelopeAnswer ans{0, 0, 0, {}};
+          const auto idx = find_piece(s.pieces, q.x);
+          if (idx >= 0) {
+            ans.y = piece_eval(s.pieces[idx], q.x);
+            ans.seg = s.pieces[idx].seg;
+            ans.has = 1;
+          }
+          replies[q.home].push_back(Reply{q.tag, ans});
+        }
+      }
+      env.charge(s.pieces.size() + 1);
+      for (std::uint32_t t = 0; t < v; ++t) {
+        if (!replies[t].empty()) out.send_vector(t, replies[t]);
+      }
+      return true;
+    }
+    default: {  // collect at homes
+      BlockDist qdist{num_queries, v};
+      s.answers.assign(s.queries.size(), EnvelopeAnswer{0, 0, 0, {}});
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& r : in.vector<Reply>(i)) {
+          s.answers[r.tag - qdist.first(env.pid)] = r.ans;
+        }
+      }
+      return false;
+    }
+  }
+}
+
+}  // namespace embsp::cgm

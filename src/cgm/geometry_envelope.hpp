@@ -1,0 +1,218 @@
+// CGM lower envelope of line segments (Table 1, Group B) — both rows:
+//
+//  * non-intersecting segments: envelopes of disjoint subsets never cross
+//    inside an elementary x-interval, the merge never splits a piece, and
+//    the result has O(n) pieces (order-2 Davenport–Schinzel);
+//  * the *generalized* envelope (segments may intersect): the merge splits
+//    pieces at crossings, giving the O(n alpha(n)) order-3
+//    Davenport–Schinzel complexity of Table 1's generalized row.
+//
+// Algorithm: each processor folds its block of segments into a local
+// envelope (divide and conquer), then a binary merge tree combines the
+// envelopes towards processor 0 — lambda = 1 + ceil(log2 v) supersteps.
+// Table 1 cites an O(1)-round algorithm [19]; see DESIGN.md substitutions.
+#pragma once
+
+#include <vector>
+
+#include "bsp/program.hpp"
+#include "cgm/runner.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+
+/// One linear piece of the (partial) envelope: segment `seg` restricted to
+/// [x1, x2] with heights y1 = f(x1), y2 = f(x2).
+struct EnvPiece {
+  double x1, y1, x2, y2;
+  std::uint64_t seg;
+};
+
+/// Merge two partial lower envelopes (pieces sorted by x, non-overlapping
+/// within each input).  Exposed for unit tests.
+std::vector<EnvPiece> merge_envelopes(std::span<const EnvPiece> a,
+                                      std::span<const EnvPiece> b);
+
+/// Envelope of a set of segments (divide and conquer).  Exposed for tests.
+std::vector<EnvPiece> build_envelope(std::span<const util::Segment2D> segs,
+                                     std::uint64_t first_id);
+
+/// Height of the envelope at x, or +infinity where undefined.
+double envelope_eval(std::span<const EnvPiece> env, double x);
+
+struct EnvelopeProgram {
+  struct State {
+    std::vector<EnvPiece> env;
+    std::uint8_t active = 1;
+    void serialize(util::Writer& w) const {
+      w.write_vector(env);
+      w.write(active);
+    }
+    void deserialize(util::Reader& r) {
+      env = r.read_vector<EnvPiece>();
+      active = r.read<std::uint8_t>();
+    }
+  };
+
+  static std::size_t merge_rounds(std::uint32_t v) {
+    std::size_t r = 0;
+    while ((1u << r) < v) ++r;
+    return r;
+  }
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env_,
+                 State& s, const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::size_t rounds = merge_rounds(env_.nprocs);
+    if (step > 0) {
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        auto part = in.vector<EnvPiece>(i);
+        s.env = merge_envelopes(s.env, part);
+      }
+      env_.charge(s.env.size() + 1);
+    }
+    if (step < rounds) {
+      const std::uint32_t stride = 1u << step;
+      if (s.active && (env_.pid & stride) != 0) {
+        out.send_vector(env_.pid - stride, s.env);
+        s.env.clear();
+        s.active = 0;
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+struct EnvelopeOutcome {
+  std::vector<EnvPiece> envelope;  ///< global lower envelope at processor 0
+  ExecResult exec;
+};
+
+/// Batched point location on a computed envelope: for each query x, the
+/// envelope height and the segment id attaining it (or has == 0 where the
+/// envelope is undefined).  O(1) rounds: envelope pieces are
+/// block-distributed by x order, slab boundary x's are broadcast, queries
+/// route to the owning slab and answers route home.
+struct EnvelopeAnswer {
+  double y;
+  std::uint64_t seg;
+  std::uint8_t has;
+  std::uint8_t pad[7];
+};
+
+struct EnvelopeLocateProgram {
+  std::uint64_t num_pieces = 0;
+  std::uint64_t num_queries = 0;
+
+  struct Boundary {
+    double first_x;
+    std::uint8_t has;
+    std::uint8_t pad[7];
+  };
+  struct Query {
+    double x;
+    std::uint64_t tag;
+    std::uint32_t home;
+    std::uint32_t pad;
+  };
+  struct Reply {
+    std::uint64_t tag;
+    EnvelopeAnswer ans;
+  };
+
+  struct State {
+    std::vector<EnvPiece> pieces;   ///< slab of the envelope, x-ordered
+    std::vector<Query> queries;     ///< queries homed here
+    std::vector<EnvelopeAnswer> answers;
+    void serialize(util::Writer& w) const {
+      w.write_vector(pieces);
+      w.write_vector(queries);
+      w.write_vector(answers);
+    }
+    void deserialize(util::Reader& r) {
+      pieces = r.read_vector<EnvPiece>();
+      queries = r.read_vector<Query>();
+      answers = r.read_vector<EnvelopeAnswer>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const;
+};
+
+struct EnvelopeLocateOutcome {
+  std::vector<EnvelopeAnswer> answers;  ///< per query
+  ExecResult exec;
+};
+
+/// Alias emphasizing that the same pipeline computes the generalized
+/// envelope of possibly-intersecting segments.
+template <class Exec>
+EnvelopeOutcome cgm_lower_envelope_general(
+    Exec& exec, std::span<const util::Segment2D> segs, std::uint32_t v) {
+  return cgm_lower_envelope(exec, segs, v);
+}
+
+/// Locates each query x on the envelope (as produced by
+/// cgm_lower_envelope).
+template <class Exec>
+EnvelopeLocateOutcome cgm_envelope_locate(Exec& exec,
+                                          std::span<const EnvPiece> envelope,
+                                          std::span<const double> queries,
+                                          std::uint32_t v) {
+  EnvelopeLocateProgram prog;
+  prog.num_pieces = envelope.size();
+  prog.num_queries = queries.size();
+  using State = EnvelopeLocateProgram::State;
+  BlockDist pdist{envelope.size(), v};
+  BlockDist qdist{queries.size(), v};
+  EnvelopeLocateOutcome outcome;
+  outcome.answers.assign(queries.size(), EnvelopeAnswer{0, 0, 0, {}});
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto pf = pdist.first(pid);
+        s.pieces.assign(envelope.begin() + pf,
+                        envelope.begin() + pf + pdist.count(pid));
+        const auto qf = qdist.first(pid);
+        for (std::uint64_t i = 0; i < qdist.count(pid); ++i) {
+          s.queries.push_back(
+              EnvelopeLocateProgram::Query{queries[qf + i], qf + i, pid, 0});
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto qf = qdist.first(pid);
+            for (std::uint64_t i = 0; i < s.answers.size(); ++i) {
+              outcome.answers[qf + i] = s.answers[i];
+            }
+          }));
+  return outcome;
+}
+
+template <class Exec>
+EnvelopeOutcome cgm_lower_envelope(Exec& exec,
+                                   std::span<const util::Segment2D> segs,
+                                   std::uint32_t v) {
+  EnvelopeProgram prog;
+  using State = EnvelopeProgram::State;
+  BlockDist dist{segs.size(), v};
+  EnvelopeOutcome outcome;
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        s.env = build_envelope(segs.subspan(first, dist.count(pid)), first);
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            if (pid == 0) outcome.envelope = std::move(s.env);
+          }));
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,41 @@
+#include "cgm/geometry_hull.hpp"
+
+#include <algorithm>
+
+namespace embsp::cgm {
+
+namespace {
+
+double cross(const HullPoint& o, const HullPoint& a, const HullPoint& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+std::vector<HullPoint> monotone_chain(std::span<const HullPoint> sorted) {
+  const std::size_t n = sorted.size();
+  if (n <= 2) return {sorted.begin(), sorted.end()};
+  std::vector<HullPoint> hull(2 * n);
+  std::size_t k = 0;
+  // Lower hull.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], sorted[i]) <= 0) --k;
+    hull[k++] = sorted[i];
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], sorted[i]) <= 0) --k;
+    hull[k++] = sorted[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+std::vector<HullPoint> hull_points_sorted(std::span<const HullPoint> sorted) {
+  auto hull = monotone_chain(sorted);
+  std::sort(hull.begin(), hull.end(), HullPointLess{});
+  return hull;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,136 @@
+// CGM 2D convex hull (Table 1, Group B — stand-in for the paper's 3D hull
+// row; see DESIGN.md substitutions).
+//
+//   1. global sort by (x, y) (4 supersteps);
+//   2. local hulls via Andrew's monotone chain;
+//   3. binary-tree merge: in round r, processor i with bit r set sends its
+//      hull points to i - 2^r, which merges (hull points stay x-sorted, so
+//      a linear merge + monotone chain recomputation suffices);
+// lambda = 4 + ceil(log2 v) supersteps; processor 0 ends with the hull.
+#pragma once
+
+#include <vector>
+
+#include "cgm/sort.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+
+struct HullPoint {
+  double x, y;
+  std::uint64_t tag;
+};
+
+struct HullPointLess {
+  bool operator()(const HullPoint& a, const HullPoint& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.tag < b.tag;
+  }
+};
+
+/// Andrew's monotone chain over x-sorted points; returns hull vertices in
+/// counter-clockwise order starting from the leftmost point.  Collinear
+/// points on hull edges are dropped.
+std::vector<HullPoint> monotone_chain(std::span<const HullPoint> sorted);
+
+/// Hull points of `sorted`, returned still sorted by (x, y) — the form the
+/// tree merge keeps between rounds.  Exposed for testing.
+std::vector<HullPoint> hull_points_sorted(std::span<const HullPoint> sorted);
+
+struct HullProgram {
+  using Sorter = SortEngine<HullPoint, HullPointLess>;
+
+  struct State {
+    std::vector<HullPoint> pts;  ///< slab points, then hull candidates
+    std::uint8_t active = 1;
+    void serialize(util::Writer& w) const {
+      w.write_vector(pts);
+      w.write(active);
+    }
+    void deserialize(util::Reader& r) {
+      pts = r.read_vector<HullPoint>();
+      active = r.read<std::uint8_t>();
+    }
+  };
+
+  static std::size_t merge_rounds(std::uint32_t v) {
+    std::size_t r = 0;
+    while ((1u << r) < v) ++r;
+    return r;
+  }
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::size_t rounds = merge_rounds(env.nprocs);
+    if (step < Sorter::kSteps) {
+      Sorter::step(step, env, s.pts, in, out, HullPointLess{});
+      return true;
+    }
+    const std::size_t r = step - Sorter::kSteps;
+    if (r == 0) {
+      s.pts = hull_points_sorted(s.pts);
+      env.charge(s.pts.size() * 4 + 1);
+    } else {
+      // Merge hull candidates received from pid + 2^(r-1).
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        auto part = in.vector<HullPoint>(i);
+        std::vector<HullPoint> merged;
+        merged.reserve(s.pts.size() + part.size());
+        std::merge(s.pts.begin(), s.pts.end(), part.begin(), part.end(),
+                   std::back_inserter(merged), HullPointLess{});
+        s.pts = hull_points_sorted(merged);
+      }
+      env.charge(s.pts.size() * 4 + 1);
+    }
+    if (r < rounds) {
+      const std::uint32_t stride = 1u << r;
+      if (s.active && (env.pid & stride) != 0) {
+        out.send_vector(env.pid - stride, s.pts);
+        s.pts.clear();
+        s.active = 0;
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+struct HullOutcome {
+  std::vector<util::Point2D> hull;      ///< CCW order
+  std::vector<std::uint64_t> hull_tags; ///< original indices, CCW order
+  ExecResult exec;
+};
+
+template <class Exec>
+HullOutcome cgm_convex_hull(Exec& exec, std::span<const util::Point2D> points,
+                            std::uint32_t v) {
+  HullProgram prog;
+  using State = HullProgram::State;
+  BlockDist dist{points.size(), v};
+  HullOutcome outcome;
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        for (std::uint64_t i = 0; i < dist.count(pid); ++i) {
+          s.pts.push_back(
+              HullPoint{points[first + i].x, points[first + i].y, first + i});
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            if (pid == 0) {
+              auto hull = monotone_chain(s.pts);
+              for (const auto& h : hull) {
+                outcome.hull.push_back({h.x, h.y});
+                outcome.hull_tags.push_back(h.tag);
+              }
+            }
+          }));
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,59 @@
+#include "cgm/geometry_maxima.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace embsp::cgm {
+
+void merge_staircase(std::vector<StairPoint>& stairs,
+                     std::span<const StairPoint> pts) {
+  if (pts.empty()) return;
+  std::vector<StairPoint> all;
+  all.reserve(stairs.size() + pts.size());
+  all.insert(all.end(), stairs.begin(), stairs.end());
+  all.insert(all.end(), pts.begin(), pts.end());
+  std::sort(all.begin(), all.end(),
+            [](const StairPoint& a, const StairPoint& b) {
+              if (a.y != b.y) return a.y < b.y;
+              return a.z > b.z;
+            });
+  // Sweep from the largest y down: keep entries whose z strictly exceeds
+  // everything to their right.  An entry B with B.y >= A.y and B.z >= A.z
+  // makes A redundant as a dominator.
+  stairs.clear();
+  double max_z = -std::numeric_limits<double>::infinity();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (it->z > max_z) {
+      stairs.push_back(*it);
+      max_z = it->z;
+    }
+  }
+  std::reverse(stairs.begin(), stairs.end());  // ascending y, descending z
+}
+
+bool staircase_dominates(const std::vector<StairPoint>& stairs, double y,
+                         double z) {
+  // First entry with entry.y > y; entries ascend in y and descend in z, so
+  // it carries the largest z among all entries with larger y.
+  auto it = std::upper_bound(
+      stairs.begin(), stairs.end(), y,
+      [](double value, const StairPoint& s) { return value < s.y; });
+  return it != stairs.end() && it->z > z;
+}
+
+std::vector<std::uint8_t> maxima3d_bruteforce(
+    std::span<const util::Point3D> points) {
+  std::vector<std::uint8_t> maximal(points.size(), 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (points[j].x > points[i].x && points[j].y > points[i].y &&
+          points[j].z > points[i].z) {
+        maximal[i] = 0;
+        break;
+      }
+    }
+  }
+  return maximal;
+}
+
+}  // namespace embsp::cgm

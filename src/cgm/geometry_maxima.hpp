@@ -1,0 +1,176 @@
+// CGM 3D-maxima (Table 1, Group B).
+//
+// A point p is *maximal* if no input point q has q.x > p.x, q.y > p.y and
+// q.z > p.z simultaneously.  Algorithm:
+//   1. global sort by x descending (SortEngine, 4 supersteps);
+//   2. each processor sweeps its slab in x order, maintaining the 2D
+//      staircase (the (y, z)-maxima) of the points seen so far — a point is
+//      dominated iff the staircase built from larger-x points covers it;
+//   3. processors combine their slab staircases with a parallel prefix
+//      (Hillis–Steele doubling, ceil(log2 v) + 1 supersteps) so processor i
+//      obtains the staircase of all larger-x slabs;
+//   4. a final local sweep seeded with that prefix staircase marks maxima.
+//
+// lambda = O(log v); the paper's Table 1 cites an O(1)-round algorithm [19]
+// with a more intricate staircase-splitting scheme — see DESIGN.md
+// (substitutions).  Inputs are assumed in general position (distinct
+// coordinates), the standard assumption for these algorithms.
+#pragma once
+
+#include <vector>
+
+#include "cgm/sort.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+
+struct MaxPoint {
+  double x, y, z;
+  std::uint64_t tag;   ///< original index
+  std::uint8_t maximal;  ///< output flag
+  std::uint8_t pad[7];
+};
+
+struct MaxPointXDesc {
+  bool operator()(const MaxPoint& a, const MaxPoint& b) const {
+    if (a.x != b.x) return a.x > b.x;
+    if (a.y != b.y) return a.y < b.y;
+    if (a.z != b.z) return a.z < b.z;
+    return a.tag < b.tag;
+  }
+};
+
+/// (y, z) staircase entry; kept sorted by y ascending / z descending.
+struct StairPoint {
+  double y, z;
+};
+
+/// Merge `pts` into the staircase `stairs` (both arbitrary), keeping only
+/// (y, z)-maxima.  Exposed for unit testing.
+void merge_staircase(std::vector<StairPoint>& stairs,
+                     std::span<const StairPoint> pts);
+
+/// True iff (y, z) is strictly dominated by some staircase entry.
+bool staircase_dominates(const std::vector<StairPoint>& stairs, double y,
+                         double z);
+
+struct MaximaProgram {
+  using Sorter = SortEngine<MaxPoint, MaxPointXDesc>;
+
+  struct State {
+    std::vector<MaxPoint> pts;
+    std::vector<StairPoint> acc;     ///< doubling accumulator (incl. self)
+    std::vector<StairPoint> prefix;  ///< staircase of larger-x slabs
+    void serialize(util::Writer& w) const {
+      w.write_vector(pts);
+      w.write_vector(acc);
+      w.write_vector(prefix);
+    }
+    void deserialize(util::Reader& r) {
+      pts = r.read_vector<MaxPoint>();
+      acc = r.read_vector<StairPoint>();
+      prefix = r.read_vector<StairPoint>();
+    }
+  };
+
+  static std::size_t doubling_rounds(std::uint32_t v) {
+    std::size_t r = 0;
+    while ((1u << r) < v) ++r;
+    return r;
+  }
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::uint32_t v = env.nprocs;
+    const std::size_t rounds = doubling_rounds(v);
+    const std::size_t sort_end = Sorter::kSteps;  // steps 0..3
+
+    if (step < sort_end) {
+      Sorter::step(step, env, s.pts, in, out, MaxPointXDesc{});
+      if (step + 1 == sort_end) return true;  // fall through next superstep
+      return true;
+    }
+
+    const std::size_t r = step - sort_end;  // doubling round index
+    if (r == 0) {
+      // Build the local slab staircase (all local points).
+      s.acc.clear();
+      std::vector<StairPoint> pts;
+      pts.reserve(s.pts.size());
+      for (const auto& p : s.pts) pts.push_back({p.y, p.z});
+      merge_staircase(s.acc, pts);
+      s.prefix.clear();
+      env.charge(s.pts.size() + 1);
+    }
+    if (r > 0 && r <= rounds) {
+      // Receive the accumulator sent in the previous round from pid - 2^(r-1).
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        auto part = in.vector<StairPoint>(i);
+        merge_staircase(s.acc, part);
+        merge_staircase(s.prefix, part);
+      }
+      env.charge(s.acc.size() + 1);
+    }
+    if (r < rounds) {
+      const std::uint32_t stride = 1u << r;
+      if (env.pid + stride < v) {
+        // Send the staircase covering slabs (pid - 2^r, pid] — which after
+        // the merges above is exactly `acc` — to pid + 2^r; the receiver
+        // folds it into both its accumulator and its exclusive prefix.
+        out.send_vector(env.pid + stride, s.acc);
+      }
+      return true;
+    }
+    if (r == rounds) {
+      // Final sweep: points are in x-descending order; seed with the prefix
+      // staircase (larger-x slabs), insert-after-query locally.
+      std::vector<StairPoint> stairs = s.prefix;
+      for (auto& p : s.pts) {
+        p.maximal = staircase_dominates(stairs, p.y, p.z) ? 0 : 1;
+        const StairPoint sp{p.y, p.z};
+        merge_staircase(stairs, std::span<const StairPoint>(&sp, 1));
+      }
+      env.charge(s.pts.size() * 4 + 1);
+      return false;
+    }
+    return true;
+  }
+};
+
+struct MaximaOutcome {
+  std::vector<std::uint8_t> maximal;  ///< by original index
+  ExecResult exec;
+};
+
+template <class Exec>
+MaximaOutcome cgm_3d_maxima(Exec& exec,
+                            std::span<const util::Point3D> points,
+                            std::uint32_t v) {
+  MaximaProgram prog;
+  using State = MaximaProgram::State;
+  BlockDist dist{points.size(), v};
+  MaximaOutcome outcome;
+  outcome.maximal.assign(points.size(), 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        for (std::uint64_t i = 0; i < dist.count(pid); ++i) {
+          const auto& p = points[first + i];
+          s.pts.push_back(MaxPoint{p.x, p.y, p.z, first + i, 0, {}});
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t, State& s) {
+            for (const auto& p : s.pts) outcome.maximal[p.tag] = p.maximal;
+          }));
+  return outcome;
+}
+
+/// Reference O(n^2) implementation for tests.
+std::vector<std::uint8_t> maxima3d_bruteforce(
+    std::span<const util::Point3D> points);
+
+}  // namespace embsp::cgm

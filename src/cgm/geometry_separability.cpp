@@ -1,0 +1,140 @@
+#include "cgm/geometry_separability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace embsp::cgm {
+
+namespace {
+
+double cross3(const util::Point2D& o, const util::Point2D& a,
+              const util::Point2D& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+/// Squared distance from point p to segment [a, b].
+double point_segment_dist2(const util::Point2D& p, const util::Point2D& a,
+                           const util::Point2D& b) {
+  const double vx = b.x - a.x, vy = b.y - a.y;
+  const double wx = p.x - a.x, wy = p.y - a.y;
+  const double vv = vx * vx + vy * vy;
+  double t = vv > 0 ? (wx * vx + wy * vy) / vv : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = p.x - (a.x + t * vx);
+  const double dy = p.y - (a.y + t * vy);
+  return dx * dx + dy * dy;
+}
+
+/// Point strictly inside (or on the boundary of) a convex polygon given in
+/// CCW order; degenerate polygons (points, segments) handled by distance.
+bool point_in_convex(const util::Point2D& p,
+                     std::span<const util::Point2D> poly) {
+  const std::size_t h = poly.size();
+  if (h == 0) return false;
+  if (h == 1) return p.x == poly[0].x && p.y == poly[0].y;
+  if (h == 2) return point_segment_dist2(p, poly[0], poly[1]) == 0.0;
+  for (std::size_t i = 0; i < h; ++i) {
+    if (cross3(poly[i], poly[(i + 1) % h], p) < 0) return false;
+  }
+  return true;
+}
+
+bool segments_intersect(const util::Point2D& a, const util::Point2D& b,
+                        const util::Point2D& c, const util::Point2D& d) {
+  const double d1 = cross3(c, d, a);
+  const double d2 = cross3(c, d, b);
+  const double d3 = cross3(a, b, c);
+  const double d4 = cross3(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  auto on = [](const util::Point2D& p, const util::Point2D& q,
+               const util::Point2D& r) {
+    return cross3(p, q, r) == 0 && std::min(p.x, q.x) <= r.x &&
+           r.x <= std::max(p.x, q.x) && std::min(p.y, q.y) <= r.y &&
+           r.y <= std::max(p.y, q.y);
+  };
+  return on(c, d, a) || on(c, d, b) || on(a, b, c) || on(a, b, d);
+}
+
+}  // namespace
+
+bool convex_hulls_disjoint(std::span<const util::Point2D> hull_a,
+                           std::span<const util::Point2D> hull_b) {
+  if (hull_a.empty() || hull_b.empty()) return true;
+  // Containment either way.
+  if (point_in_convex(hull_a[0], hull_b)) return false;
+  if (point_in_convex(hull_b[0], hull_a)) return false;
+  // Any boundary crossing.
+  const std::size_t ha = hull_a.size(), hb = hull_b.size();
+  for (std::size_t i = 0; i < ha; ++i) {
+    const auto& a1 = hull_a[i];
+    const auto& a2 = hull_a[(i + 1) % ha];
+    for (std::size_t j = 0; j < hb; ++j) {
+      const auto& b1 = hull_b[j];
+      const auto& b2 = hull_b[(j + 1) % hb];
+      if (segments_intersect(a1, a2, b1, b2)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<util::Point2D> minkowski_difference_hull(
+    std::span<const util::Point2D> hull_a,
+    std::span<const util::Point2D> hull_b) {
+  std::vector<HullPoint> diffs;
+  diffs.reserve(hull_a.size() * hull_b.size());
+  std::uint64_t tag = 0;
+  for (const auto& b : hull_b) {
+    for (const auto& a : hull_a) {
+      diffs.push_back(HullPoint{b.x - a.x, b.y - a.y, tag++});
+    }
+  }
+  std::sort(diffs.begin(), diffs.end(), HullPointLess{});
+  auto hull = monotone_chain(diffs);
+  std::vector<util::Point2D> out;
+  out.reserve(hull.size());
+  for (const auto& h : hull) out.push_back({h.x, h.y});
+  return out;
+}
+
+bool polygon_intersects_ray(std::span<const util::Point2D> poly, double dx,
+                            double dy) {
+  if (poly.empty()) return false;
+  const util::Point2D origin{0, 0};
+  if (point_in_convex(origin, poly)) return true;
+  // The ray hits the polygon iff it crosses its boundary.  Use a far point
+  // along d well beyond the polygon's extent.
+  double scale = 1.0;
+  for (const auto& p : poly) {
+    scale = std::max({scale, std::abs(p.x), std::abs(p.y)});
+  }
+  const double norm = std::hypot(dx, dy);
+  if (norm == 0) return false;
+  const util::Point2D far{dx / norm * 4 * scale, dy / norm * 4 * scale};
+  const std::size_t h = poly.size();
+  if (h == 1) {
+    return point_segment_dist2(poly[0], origin, far) == 0.0;
+  }
+  for (std::size_t i = 0; i < h; ++i) {
+    if (segments_intersect(origin, far, poly[i], poly[(i + 1) % h])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool direction_separable(std::span<const util::Point2D> hull_a,
+                         std::span<const util::Point2D> hull_b, double dx,
+                         double dy) {
+  if (hull_a.empty() || hull_b.empty()) return true;
+  if (!convex_hulls_disjoint(hull_a, hull_b)) return false;
+  // A translated by t*d intersects B iff some b - a equals t*d, i.e. the
+  // Minkowski difference hull(B) (-) hull(A) meets the ray t*d (t >= 0).
+  const auto diff = minkowski_difference_hull(hull_a, hull_b);
+  return !polygon_intersects_ray(diff, dx, dy);
+}
+
+}  // namespace embsp::cgm

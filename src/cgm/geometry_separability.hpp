@@ -1,0 +1,81 @@
+// CGM uni- and multi-directional separability (Table 1, Group B).
+//
+// Two solid convex objects (given as point sets A and B; the objects are
+// their convex hulls) are
+//   * linearly separable   — some line keeps hull(A) and hull(B) on
+//     opposite sides (equivalently the hulls are disjoint);
+//   * d-separable          — A can be translated to infinity along the
+//     direction d without ever intersecting B (uni-directional
+//     separability; assumes the hulls start disjoint);
+//   * multi-directionally separable — d-separable for at least one of a
+//     batch of query directions.
+//
+// Following the CGM geometry recipe ([19]): the heavy, input-sized work is
+// two O(1)-round CGM hull computations; the decisions then run on the
+// output-sized hulls (like the hull/envelope gathers).  d-separability
+// reduces to "does the Minkowski difference hull(B) (-) hull(A) intersect
+// the ray t*d, t >= 0", which is an O(hA * hB) construction plus an O(h)
+// ray test.
+#pragma once
+
+#include <vector>
+
+#include "cgm/geometry_hull.hpp"
+
+namespace embsp::cgm {
+
+/// True iff the (solid) convex hulls of the two vertex lists are disjoint.
+/// Handles degenerate hulls (points, segments).
+bool convex_hulls_disjoint(std::span<const util::Point2D> hull_a,
+                           std::span<const util::Point2D> hull_b);
+
+/// Minkowski difference hull: { b - a : a in hull_a, b in hull_b }.
+std::vector<util::Point2D> minkowski_difference_hull(
+    std::span<const util::Point2D> hull_a,
+    std::span<const util::Point2D> hull_b);
+
+/// True iff the convex polygon `poly` intersects the ray { t*d : t >= 0 }.
+bool polygon_intersects_ray(std::span<const util::Point2D> poly, double dx,
+                            double dy);
+
+/// True iff A (as a solid hull) can translate to infinity along (dx, dy)
+/// without intersecting B.  Requires the hulls to be initially disjoint
+/// (returns false otherwise).
+bool direction_separable(std::span<const util::Point2D> hull_a,
+                         std::span<const util::Point2D> hull_b, double dx,
+                         double dy);
+
+struct SeparabilityOutcome {
+  std::vector<util::Point2D> hull_a;
+  std::vector<util::Point2D> hull_b;
+  bool linearly_separable = false;
+  std::vector<std::uint8_t> dir_separable;  ///< per query direction
+  bool multi_separable = false;             ///< any query direction works
+  ExecResult exec_a;
+  ExecResult exec_b;
+};
+
+/// Full pipeline: two CGM hulls + output-sized separability decisions.
+template <class Exec>
+SeparabilityOutcome cgm_separability(
+    Exec& exec, std::span<const util::Point2D> a,
+    std::span<const util::Point2D> b,
+    std::span<const util::Point2D> query_dirs, std::uint32_t v) {
+  SeparabilityOutcome out;
+  auto ha = cgm_convex_hull(exec, a, v);
+  auto hb = cgm_convex_hull(exec, b, v);
+  out.hull_a = std::move(ha.hull);
+  out.hull_b = std::move(hb.hull);
+  out.exec_a = std::move(ha.exec);
+  out.exec_b = std::move(hb.exec);
+  out.linearly_separable = convex_hulls_disjoint(out.hull_a, out.hull_b);
+  out.dir_separable.reserve(query_dirs.size());
+  for (const auto& d : query_dirs) {
+    const bool ok = direction_separable(out.hull_a, out.hull_b, d.x, d.y);
+    out.dir_separable.push_back(ok ? 1 : 0);
+    out.multi_separable = out.multi_separable || ok;
+  }
+  return out;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,70 @@
+#include "cgm/graph_biconnectivity.hpp"
+
+#include <stdexcept>
+
+namespace embsp::cgm {
+
+std::vector<std::uint64_t> biconnected_bruteforce(
+    std::uint64_t n, std::span<const util::Edge> edges) {
+  // Hopcroft–Tarjan: iterative DFS keeping a stack of edges; when a child
+  // subtree cannot reach above the current vertex, the edges popped since
+  // entering it form one block.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> adj(n);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].u].push_back({edges[e].v, e});
+    adj[edges[e].v].push_back({edges[e].u, e});
+  }
+  std::vector<std::uint64_t> block(edges.size(), UINT64_MAX);
+  std::vector<std::uint64_t> disc(n, UINT64_MAX), low(n, 0);
+  std::vector<std::uint64_t> edge_stack;
+  std::uint64_t timer = 0;
+
+  struct Frame {
+    std::uint64_t u;
+    std::uint64_t parent_edge;
+    std::size_t next;
+  };
+  for (std::uint64_t start = 0; start < n; ++start) {
+    if (disc[start] != UINT64_MAX) continue;
+    std::vector<Frame> stack{{start, UINT64_MAX, 0}};
+    disc[start] = low[start] = timer++;
+    while (!stack.empty()) {
+      auto& f = stack.back();
+      if (f.next < adj[f.u].size()) {
+        const auto [w, e] = adj[f.u][f.next++];
+        if (e == f.parent_edge) continue;
+        if (disc[w] == UINT64_MAX) {
+          edge_stack.push_back(e);
+          disc[w] = low[w] = timer++;
+          stack.push_back(Frame{w, e, 0});
+        } else if (disc[w] < disc[f.u]) {
+          edge_stack.push_back(e);
+          low[f.u] = std::min(low[f.u], disc[w]);
+        }
+      } else {
+        const auto u = f.u;
+        const auto pe = f.parent_edge;
+        stack.pop_back();
+        if (stack.empty()) continue;
+        auto& pf = stack.back();
+        low[pf.u] = std::min(low[pf.u], low[u]);
+        if (low[u] >= disc[pf.u]) {
+          // Pop one block: everything above (and including) pe.
+          std::uint64_t label = UINT64_MAX;
+          std::vector<std::uint64_t> members;
+          while (!edge_stack.empty()) {
+            const auto e = edge_stack.back();
+            edge_stack.pop_back();
+            members.push_back(e);
+            if (e == pe) break;
+          }
+          for (auto e : members) label = std::min(label, e);
+          for (auto e : members) block[e] = label;
+        }
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,205 @@
+// CGM biconnected components (Table 1, Group C: "ear and open ear
+// decomposition, biconnected components" row) via the Tarjan–Vishkin
+// reduction, composed entirely from this library's CGM phases:
+//
+//   1. spanning tree            — cgm_connected_components
+//   2. Euler tour of the tree   — cgm_euler_tour (first/last positions
+//                                  serve as preorder/subtree intervals)
+//   3. low(v) / high(v)         — two batched distributed range-minimum
+//                                  passes over the tour (cgm_batched_
+//                                  range_min with crafted key arrays)
+//   4. auxiliary graph          — one node per tree edge; Tarjan–Vishkin
+//                                  rules connect tree edges that share a
+//                                  biconnected component:
+//        (A) nontree edge (u,v), u and v unrelated in the tree: join the
+//            parent edges of u and v;
+//        (B) tree edge (v,w), w a non-root child: join (p(v),v) and (v,w)
+//            iff low(w) < first(v) or high(w) > last(v) — some nontree
+//            edge escapes subtree(v) from within subtree(w).
+//   5. connected components of the auxiliary graph label the blocks;
+//      every edge of G inherits the label of its descendant endpoint's
+//      parent tree edge.
+//
+// The driver performs O(n + m) sequential glue (rooting the tree, key
+// preparation, rule application) between the CGM phases, matching the
+// driver pattern of the other Table 1 rows.
+#pragma once
+
+#include <vector>
+
+#include "cgm/graph_components.hpp"
+#include "cgm/graph_euler_tour.hpp"
+#include "cgm/graph_lca.hpp"
+
+namespace embsp::cgm {
+
+struct BiconnectivityOutcome {
+  /// Per input edge: biconnected component label (normalized to the
+  /// smallest edge index in the block).
+  std::vector<std::uint64_t> edge_block;
+  std::size_t num_blocks = 0;
+  ExecResult cc_exec;    ///< spanning tree phase
+  ExecResult aux_exec;   ///< auxiliary graph connectivity phase
+};
+
+/// Biconnected components of a *connected* graph (throws otherwise).
+template <class Exec>
+BiconnectivityOutcome cgm_biconnected_components(
+    Exec& exec, std::uint64_t n, std::span<const util::Edge> edges,
+    std::uint32_t v);
+
+/// Sequential reference (Hopcroft–Tarjan DFS) for tests.
+std::vector<std::uint64_t> biconnected_bruteforce(
+    std::uint64_t n, std::span<const util::Edge> edges);
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <class Exec>
+BiconnectivityOutcome cgm_biconnected_components(
+    Exec& exec, std::uint64_t n, std::span<const util::Edge> edges,
+    std::uint32_t v) {
+  BiconnectivityOutcome outcome;
+  outcome.edge_block.assign(edges.size(), UINT64_MAX);
+  if (n == 0 || edges.empty()) return outcome;
+
+  // --- 1. spanning tree -----------------------------------------------------
+  auto cc = cgm_connected_components(exec, n, edges, v);
+  outcome.cc_exec = std::move(cc.exec);
+  {
+    const std::uint64_t root_label = cc.component[0];
+    for (std::uint64_t x = 0; x < n; ++x) {
+      if (cc.component[x] != root_label) {
+        throw std::invalid_argument(
+            "cgm_biconnected_components: the graph must be connected");
+      }
+    }
+  }
+
+  // Root the tree at 0 (sequential glue over the n-1 tree edges).
+  std::vector<std::vector<std::uint64_t>> adj(n);
+  std::vector<std::uint8_t> is_tree(edges.size(), 0);
+  for (auto id : cc.tree_edges) {
+    is_tree[id] = 1;
+    adj[edges[id].u].push_back(edges[id].v);
+    adj[edges[id].v].push_back(edges[id].u);
+  }
+  std::vector<std::uint64_t> parent(n, UINT64_MAX);
+  {
+    std::vector<std::uint64_t> stack{0};
+    parent[0] = 0;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (auto w : adj[u]) {
+        if (parent[w] == UINT64_MAX) {
+          parent[w] = u;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  // --- 2. Euler tour ----------------------------------------------------------
+  auto tour = cgm_euler_tour(exec, parent, v);
+  const auto& first = tour.first_pos;
+  const auto& last = tour.last_pos;
+
+  // --- 3. low / high via distributed RMQ -------------------------------------
+  // Per-vertex keys: the extreme first_pos reachable through an incident
+  // nontree edge (or the vertex's own position).
+  std::vector<std::uint64_t> key_low(n), key_high(n);
+  for (std::uint64_t x = 0; x < n; ++x) key_low[x] = key_high[x] = first[x];
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (is_tree[e]) continue;
+    const auto u = edges[e].u;
+    const auto w = edges[e].v;
+    key_low[u] = std::min(key_low[u], first[w]);
+    key_low[w] = std::min(key_low[w], first[u]);
+    key_high[u] = std::max(key_high[u], first[w]);
+    key_high[w] = std::max(key_high[w], first[u]);
+  }
+  // Tour-position arrays: a vertex's key sits at its entry position (its
+  // down arc); all other positions are neutral.
+  const std::uint64_t m_arcs = tour.num_arcs;
+  const std::uint64_t kNeutral = UINT64_MAX;
+  std::vector<TourEntry> low_arr(m_arcs, TourEntry{0, kNeutral});
+  std::vector<TourEntry> high_arr(m_arcs, TourEntry{0, kNeutral});
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (parent[x] == x) continue;  // the root has no entry arc
+    low_arr[first[x]] = TourEntry{key_low[x], key_low[x]};
+    // Maximum via key reversal (the RMQ engine minimizes).
+    high_arr[first[x]] = TourEntry{key_high[x], kNeutral - key_high[x]};
+  }
+  std::vector<LcaQuery> queries;
+  std::vector<std::uint64_t> query_vertex;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (parent[x] == x) continue;
+    queries.push_back(LcaQuery{first[x], last[x], queries.size()});
+    query_vertex.push_back(x);
+  }
+  std::vector<std::uint64_t> low(n, 0), high(n, 0);
+  if (!queries.empty()) {
+    auto low_rmq = cgm_batched_range_min(exec, low_arr, queries, v);
+    auto high_rmq = cgm_batched_range_min(exec, high_arr, queries, v);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      low[query_vertex[i]] = low_rmq.payload[i];
+      high[query_vertex[i]] = high_rmq.payload[i];
+    }
+  }
+
+  // --- 4. auxiliary graph -----------------------------------------------------
+  // Aux vertex for tree edge (p(w), w) = w; the root has no edge, so aux
+  // vertices live in [0, n) with the root isolated.
+  auto unrelated = [&](std::uint64_t a, std::uint64_t b) {
+    const bool a_anc = first[a] <= first[b] && first[b] <= last[a];
+    const bool b_anc = first[b] <= first[a] && first[a] <= last[b];
+    return !a_anc && !b_anc;
+  };
+  std::vector<util::Edge> aux;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (is_tree[e]) continue;
+    const auto u = edges[e].u;
+    const auto w = edges[e].v;
+    if (unrelated(u, w)) aux.push_back(util::Edge{u, w});  // rule (A)
+  }
+  for (std::uint64_t w = 0; w < n; ++w) {
+    if (parent[w] == w) continue;
+    const auto pv = parent[w];
+    if (parent[pv] == pv) continue;  // p(w) is the root: no edge above it
+    if (low[w] < first[pv] || high[w] > last[pv]) {
+      aux.push_back(util::Edge{w, pv});  // rule (B)
+    }
+  }
+
+  // --- 5. connected components of the auxiliary graph -------------------------
+  auto aux_cc = cgm_connected_components(exec, n, aux, v);
+  outcome.aux_exec = std::move(aux_cc.exec);
+
+  // Every edge inherits the label of its descendant endpoint's parent
+  // edge; normalize labels to the smallest member edge index.
+  std::vector<std::uint64_t> raw(edges.size());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto u = edges[e].u;
+    const auto w = edges[e].v;
+    std::uint64_t child;
+    if (is_tree[e]) {
+      child = parent[w] == u ? w : u;
+    } else {
+      // The descendant endpoint (for unrelated pairs either side works —
+      // rule (A) put them in one aux component).
+      child = first[u] > first[w] ? u : w;
+    }
+    raw[e] = aux_cc.component[child];
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> norm;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    auto [it, inserted] = norm.try_emplace(raw[e], e);
+    outcome.edge_block[e] = it->second;
+  }
+  outcome.num_blocks = norm.size();
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,154 @@
+// CGM ear decomposition (Table 1, Group C: the "ear and open ear
+// decomposition" half of the biconnectivity row), Maon–Schieber–Vishkin
+// style, composed from the library's phases:
+//
+//   1. spanning tree (cgm_connected_components) and Euler tour;
+//   2. batched LCA of every nontree edge (each nontree edge's fundamental
+//      cycle is a candidate ear);
+//   3. nontree edges ranked by (depth of their LCA, edge id) — the MSV
+//      ear order;
+//   4. every tree edge joins the smallest-ranked nontree edge whose
+//      fundamental cycle covers it.  Because a covering edge's LCA lies
+//      strictly above the tree edge while a non-covering incident edge's
+//      LCA lies inside the subtree (hence deeper), the covering minimum
+//      equals a plain *subtree minimum* of per-vertex incident ranks —
+//      one batched distributed RMQ (cgm_batched_range_min).
+//
+// For a 2-edge-connected input every tree edge is covered and the ears
+// partition the edges: ear 0 is a cycle and every later ear is a path
+// whose endpoints lie on earlier ears (open, for biconnected inputs).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cgm/graph_components.hpp"
+#include "cgm/graph_lca.hpp"
+
+namespace embsp::cgm {
+
+struct EarDecompositionOutcome {
+  /// Per input edge: ear index in [0, m - n + 1); ear 0 is the root cycle.
+  std::vector<std::uint64_t> ear;
+  std::size_t num_ears = 0;
+  ExecResult cc_exec;
+  ExecResult rmq_exec;
+};
+
+/// Ear decomposition of a connected, 2-edge-connected graph (throws if a
+/// bridge or disconnection is detected).
+template <class Exec>
+EarDecompositionOutcome cgm_ear_decomposition(
+    Exec& exec, std::uint64_t n, std::span<const util::Edge> edges,
+    std::uint32_t v) {
+  EarDecompositionOutcome outcome;
+  outcome.ear.assign(edges.size(), UINT64_MAX);
+  if (edges.empty()) return outcome;
+
+  // --- spanning tree ---------------------------------------------------------
+  auto cc = cgm_connected_components(exec, n, edges, v);
+  outcome.cc_exec = std::move(cc.exec);
+  {
+    const std::uint64_t root_label = cc.component[0];
+    for (std::uint64_t x = 0; x < n; ++x) {
+      if (cc.component[x] != root_label) {
+        throw std::invalid_argument(
+            "cgm_ear_decomposition: the graph must be connected");
+      }
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> adj(n);
+  std::vector<std::uint8_t> is_tree(edges.size(), 0);
+  for (auto id : cc.tree_edges) {
+    is_tree[id] = 1;
+    adj[edges[id].u].push_back(edges[id].v);
+    adj[edges[id].v].push_back(edges[id].u);
+  }
+  std::vector<std::uint64_t> parent(n, UINT64_MAX);
+  {
+    std::vector<std::uint64_t> stack{0};
+    parent[0] = 0;
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (auto w : adj[u]) {
+        if (parent[w] == UINT64_MAX) {
+          parent[w] = u;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  // --- LCA depth of every nontree edge ---------------------------------------
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> lca_queries;
+  std::vector<std::size_t> nontree_ids;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (is_tree[e]) continue;
+    lca_queries.emplace_back(edges[e].u, edges[e].v);
+    nontree_ids.push_back(e);
+  }
+  auto lca = cgm_batched_lca(exec, parent, lca_queries, v);
+  const auto& tour = lca.tour;
+
+  // --- MSV ear order: (depth of LCA, edge id) ---------------------------------
+  std::vector<std::size_t> order(nontree_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto da = tour.depth[lca.lca[a]];
+    const auto db = tour.depth[lca.lca[b]];
+    if (da != db) return da < db;
+    return nontree_ids[a] < nontree_ids[b];
+  });
+  std::vector<std::uint64_t> rank(nontree_ids.size());
+  for (std::size_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  outcome.num_ears = nontree_ids.size();
+  for (std::size_t i = 0; i < nontree_ids.size(); ++i) {
+    outcome.ear[nontree_ids[i]] = rank[i];
+  }
+
+  // --- subtree-min of per-vertex incident ranks --------------------------------
+  const std::uint64_t kNone = UINT64_MAX;
+  std::vector<std::uint64_t> key(n, kNone);
+  for (std::size_t i = 0; i < nontree_ids.size(); ++i) {
+    const auto& e = edges[nontree_ids[i]];
+    key[e.u] = std::min(key[e.u], rank[i]);
+    key[e.v] = std::min(key[e.v], rank[i]);
+  }
+  std::vector<TourEntry> arr(tour.num_arcs, TourEntry{kNone, kNone});
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (parent[x] == x) continue;
+    arr[tour.first_pos[x]] = TourEntry{key[x], key[x]};
+  }
+  std::vector<LcaQuery> rmq_queries;
+  std::vector<std::uint64_t> query_vertex;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (parent[x] == x) continue;
+    rmq_queries.push_back(
+        LcaQuery{tour.first_pos[x], tour.last_pos[x], rmq_queries.size()});
+    query_vertex.push_back(x);
+  }
+  if (!rmq_queries.empty()) {
+    auto rmq = cgm_batched_range_min(exec, arr, rmq_queries, v);
+    outcome.rmq_exec = std::move(rmq.exec);
+    // Locate each tree edge (p(w), w) -> ear of the covering minimum.
+    std::unordered_map<std::uint64_t, std::uint64_t> ear_of_child;
+    for (std::size_t i = 0; i < rmq_queries.size(); ++i) {
+      if (rmq.payload[i] == kNone) {
+        throw std::invalid_argument(
+            "cgm_ear_decomposition: bridge detected — the graph must be "
+            "2-edge-connected");
+      }
+      ear_of_child.emplace(query_vertex[i], rmq.payload[i]);
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!is_tree[e]) continue;
+      const auto child =
+          parent[edges[e].v] == edges[e].u ? edges[e].v : edges[e].u;
+      outcome.ear[e] = ear_of_child.at(child);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,173 @@
+#include "cgm/graph_euler_tour.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace embsp::cgm {
+
+bool ArcLinkProgram::superstep(std::size_t step, const bsp::ProcEnv& env,
+                               State& s, const bsp::Inbox& in,
+                               bsp::Outbox& out) const {
+  const std::uint32_t v = env.nprocs;
+
+  // Steps 0..3: global sort by (tail, head).
+  if (step < 4) {
+    Sorter::step(step, env, s.arcs, in, out, ArcLess{});
+    return true;
+  }
+  // Steps 4..6: prefix sum of slab sizes -> global arc positions.
+  if (step <= 6) {
+    std::uint64_t total = 0;
+    PrefixSumEngine::step(step - 4, env, s.arcs.size(), s.offset, total, in,
+                          out);
+    if (step == 6) {
+      for (std::uint64_t i = 0; i < s.arcs.size(); ++i) {
+        s.arcs[i].gpos = s.offset + i;
+      }
+    }
+    return true;
+  }
+  switch (step) {
+    case 7: {
+      // Broadcast this slab's boundary info to everyone (owner lookups and
+      // the open-group scan at processor 0 both need it).
+      BoundaryInfo info{};
+      info.has = s.arcs.empty() ? 0 : 1;
+      info.offset = s.offset;
+      info.count = s.arcs.size();
+      info.internal_last_group_start = kNone;
+      if (info.has) {
+        info.first_tail = s.arcs.front().tail;
+        info.first_head = s.arcs.front().head;
+        info.last_tail = s.arcs.back().tail;
+        for (std::uint64_t i = 1; i < s.arcs.size(); ++i) {
+          if (s.arcs[i].tail != s.arcs[i - 1].tail) {
+            info.internal_last_group_start = s.offset + i;
+          }
+        }
+      }
+      for (std::uint32_t q = 0; q < v; ++q) out.send_value(q, info);
+      return true;
+    }
+    case 8: {
+      s.slabs.clear();
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        s.slabs.push_back(in.value<BoundaryInfo>(i));  // sorted by source
+      }
+      if (env.pid == 0) {
+        // Scan: which group is open at each slab's start, and where does it
+        // begin?
+        OpenInfo open{};
+        open.valid = 0;
+        for (std::uint32_t q = 0; q < v; ++q) {
+          out.send_value(q, open);
+          const auto& info = s.slabs[q];
+          if (!info.has) continue;
+          if (info.internal_last_group_start != kNone) {
+            open = OpenInfo{info.last_tail, info.internal_last_group_start,
+                            1, {}};
+          } else if (!(open.valid && open.tail == info.first_tail)) {
+            // The slab is a single group that starts at its own offset.
+            open = OpenInfo{info.first_tail, info.offset, 1, {}};
+          }
+          // else: the single group continues the open one — unchanged.
+        }
+      }
+      return true;
+    }
+    case 9: {
+      s.open = in.value<OpenInfo>(0);
+      // Owner lookup by slab boundary keys (arcs are globally sorted).
+      auto owner_of_key = [&](std::uint64_t tail,
+                              std::uint64_t head) -> std::uint32_t {
+        std::uint32_t owner = 0;
+        for (std::uint32_t q = 0; q < v; ++q) {
+          if (!s.slabs[q].has) continue;
+          const auto& info = s.slabs[q];
+          if (std::make_pair(info.first_tail, info.first_head) <=
+              std::make_pair(tail, head)) {
+            owner = q;
+          } else {
+            break;
+          }
+        }
+        return owner;
+      };
+
+      // For each local arc b = (u, x) at position g: the Euler successor of
+      // the *reversed* arc (x, u) is the cyclic next arc in u's group.
+      std::vector<std::vector<NextMsg>> route(v);
+      for (std::uint64_t i = 0; i < s.arcs.size(); ++i) {
+        const Arc& b = s.arcs[i];
+        // Next arc in the global order, if it shares b's tail.
+        bool next_same_tail = false;
+        if (i + 1 < s.arcs.size()) {
+          next_same_tail = s.arcs[i + 1].tail == b.tail;
+        } else {
+          for (std::uint32_t q = env.pid + 1; q < v; ++q) {
+            if (!s.slabs[q].has) continue;
+            next_same_tail = s.slabs[q].first_tail == b.tail;
+            break;
+          }
+        }
+        std::uint64_t succ_pos;
+        if (next_same_tail) {
+          succ_pos = b.gpos + 1;
+        } else if (b.tail_is_root) {
+          succ_pos = kNone;  // circuit break: rev(b) is the tour tail
+        } else {
+          // Wrap to the start of b's group.
+          std::uint64_t gs = s.offset;
+          bool found = false;
+          for (std::uint64_t j = i + 1; j-- > 0;) {
+            if (j > 0 && s.arcs[j - 1].tail != b.tail) {
+              gs = s.arcs[j].gpos;
+              found = true;
+              break;
+            }
+            if (j == 0) {
+              // Group extends past the slab start: use the open-group info.
+              if (s.open.valid && s.open.tail == b.tail) {
+                gs = s.open.pos;
+                found = true;
+              } else {
+                gs = s.offset;  // group starts exactly at our slab
+                found = true;
+              }
+            }
+          }
+          if (!found) {
+            throw std::runtime_error("ArcLinkProgram: group start not found");
+          }
+          succ_pos = gs;
+        }
+        route[owner_of_key(b.head, b.tail)].push_back(
+            NextMsg{b.head, b.tail, succ_pos});
+      }
+      env.charge(s.arcs.size() * 4 + 1);
+      for (std::uint32_t q = 0; q < v; ++q) {
+        if (!route[q].empty()) out.send_vector(q, route[q]);
+      }
+      return true;
+    }
+    default: {  // step 10: apply the successor assignments
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& msg : in.vector<NextMsg>(i)) {
+          const Arc probe{msg.tail, msg.head, 0, 0, 0, 0, {}};
+          auto it = std::lower_bound(s.arcs.begin(), s.arcs.end(), probe,
+                                     ArcLess{});
+          if (it == s.arcs.end() || it->tail != msg.tail ||
+              it->head != msg.head) {
+            throw std::runtime_error(
+                "ArcLinkProgram: successor routed to the wrong slab");
+          }
+          it->succ = msg.succ;
+        }
+      }
+      env.charge(s.arcs.size() + 1);
+      return false;
+    }
+  }
+}
+
+}  // namespace embsp::cgm

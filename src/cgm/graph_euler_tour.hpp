@@ -1,0 +1,208 @@
+// CGM Euler tour of a rooted tree + the tree computations it unlocks
+// (Table 1, Group C: "Euler tour (tree), tree contraction, expression tree
+// evaluation" representatives — see DESIGN.md substitutions).
+//
+// Stage 1 (ArcLinkProgram, lambda = 11): the 2(n-1) directed arcs are
+// sorted by (tail, head) — grouping each vertex's adjacency list — and the
+// Euler successor next(x->u) = (u -> w), w the cyclic successor of x in
+// adj(u), is computed distributedly: a prefix sum yields global arc
+// positions, slab boundary keys are broadcast so each processor can route
+// "your successor is ..." messages to the owner of the reversed arc, and
+// the circuit is broken at the root's group wrap to form a list.
+//
+// Stage 2: weighted CGM list ranking over the arc list with two channels —
+// w1 = 1 (tour positions) and w2 = +1/-1 for down/up arcs (depths).
+//
+// Outputs per vertex: depth, subtree size, first/last tour position.
+#pragma once
+
+#include <vector>
+
+#include "cgm/graph_list_ranking.hpp"
+#include "cgm/primitives.hpp"
+#include "cgm/sort.hpp"
+
+namespace embsp::cgm {
+
+struct Arc {
+  std::uint64_t tail;
+  std::uint64_t head;
+  std::uint64_t gpos;  ///< global position in sorted order (stage 1)
+  std::uint64_t succ;  ///< Euler successor position (stage 1 output)
+  std::uint8_t down;   ///< 1 = parent->child arc
+  std::uint8_t tail_is_root;  ///< circuit break happens at root groups
+  std::uint8_t pad[6];
+};
+
+struct ArcLess {
+  bool operator()(const Arc& a, const Arc& b) const {
+    if (a.tail != b.tail) return a.tail < b.tail;
+    return a.head < b.head;
+  }
+};
+
+struct ArcLinkProgram {
+  static constexpr std::uint64_t kNone = UINT64_MAX;
+  using Sorter = SortEngine<Arc, ArcLess>;
+
+  struct BoundaryInfo {
+    std::uint64_t first_tail, first_head;
+    std::uint64_t last_tail;
+    std::uint64_t internal_last_group_start;  ///< kNone if whole slab is one
+                                              ///< group continuing leftward
+    std::uint64_t offset;
+    std::uint64_t count;
+    std::uint8_t has;
+    std::uint8_t pad[7];
+  };
+
+  struct OpenInfo {
+    std::uint64_t tail;
+    std::uint64_t pos;
+    std::uint8_t valid;
+    std::uint8_t pad[7];
+  };
+
+  struct NextMsg {
+    std::uint64_t tail, head;  ///< key of the arc whose succ this sets
+    std::uint64_t succ;        ///< kNone = this arc is the tour tail
+  };
+
+  struct State {
+    std::vector<Arc> arcs;
+    std::uint64_t offset = 0;
+    std::vector<BoundaryInfo> slabs;  ///< one per processor, by pid
+    OpenInfo open{};
+    void serialize(util::Writer& w) const {
+      w.write_vector(arcs);
+      w.write(offset);
+      w.write_vector(slabs);
+      w.write(open);
+    }
+    void deserialize(util::Reader& r) {
+      arcs = r.read_vector<Arc>();
+      offset = r.read<std::uint64_t>();
+      slabs = r.read_vector<BoundaryInfo>();
+      open = r.read<OpenInfo>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const;
+};
+
+struct EulerTourOutcome {
+  std::vector<std::uint64_t> depth;         ///< per vertex
+  std::vector<std::uint64_t> subtree_size;  ///< per vertex
+  std::vector<std::uint64_t> first_pos;     ///< first tour position (entry)
+  std::vector<std::uint64_t> last_pos;      ///< last tour position (exit)
+  std::uint64_t num_arcs = 0;
+  ExecResult link_exec;
+  ExecResult rank_exec;
+};
+
+/// parent[] encodes a rooted forest (parent[root] == root; any number of
+/// trees).  Runs stage 1 and stage 2 on `exec` and derives the per-vertex
+/// quantities.  depth and subtree_size are correct for forests; first/last
+/// tour positions are *tree-relative* (each tree's tour counts back from
+/// the shared arc count m), so they are comparable within one tree only.
+template <class Exec>
+EulerTourOutcome cgm_euler_tour(Exec& exec,
+                                std::span<const std::uint64_t> parent,
+                                std::uint32_t v) {
+  const std::uint64_t n = parent.size();
+  EulerTourOutcome outcome;
+  outcome.depth.assign(n, 0);
+  outcome.subtree_size.assign(n, 1);
+  outcome.first_pos.assign(n, 0);
+  outcome.last_pos.assign(n, 0);
+  if (n <= 1) {
+    if (n == 1) outcome.subtree_size[0] = 1;
+    return outcome;
+  }
+
+  // Build the arc list (driver-side input transformation).  Every tree of
+  // the forest contributes its own Euler circuit, broken into a list at
+  // that tree's root.
+  std::vector<Arc> arcs;
+  arcs.reserve(2 * (n - 1));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] == i) continue;
+    const std::uint64_t par = parent[i];
+    const std::uint8_t par_is_root = parent[par] == par ? 1 : 0;
+    arcs.push_back(Arc{par, i, 0, 0, 1, par_is_root, {}});
+    arcs.push_back(Arc{i, par, 0, 0, 0, 0, {}});
+  }
+  const std::uint64_t m = arcs.size();
+  outcome.num_arcs = m;
+  if (m == 0) return outcome;  // forest of isolated vertices
+
+  // Stage 1: sort + link.
+  ArcLinkProgram prog;
+  using State = ArcLinkProgram::State;
+  BlockDist dist{m, v};
+  std::vector<Arc> linked(m);
+  outcome.link_exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        s.arcs.assign(arcs.begin() + first,
+                      arcs.begin() + first + dist.count(pid));
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t, State& s) {
+            for (const auto& a : s.arcs) linked[a.gpos] = a;
+          }));
+
+  // Stage 2: rank the tour list (w1 = 1 for positions, w2 = +-1 for depth).
+  std::vector<std::uint64_t> succ(m), w1(m, 1), w2(m);
+  for (std::uint64_t g = 0; g < m; ++g) {
+    succ[g] = linked[g].succ == ArcLinkProgram::kNone ? g : linked[g].succ;
+    w2[g] = linked[g].down ? 1ull : ~0ull;  // +1 / -1 two's complement
+  }
+  auto ranks = cgm_list_ranking_weighted(exec, succ, w1, w2, v);
+  outcome.rank_exec = std::move(ranks.exec);
+
+  // Derive per-vertex results.  pos(a) = m - rank1(a);
+  // depth(head of a down arc) = w2(a) - rank2(a) = 1 - rank2(a) (signed).
+  for (std::uint64_t g = 0; g < m; ++g) {
+    const auto& a = linked[g];
+    const std::uint64_t pos = m - ranks.rank1[g];
+    if (a.down) {
+      outcome.first_pos[a.head] = pos;
+      outcome.depth[a.head] =
+          static_cast<std::uint64_t>(1 + static_cast<std::int64_t>(
+                                             ~ranks.rank2[g] + 1));
+    } else {
+      outcome.last_pos[a.tail] = pos;
+    }
+  }
+  // Non-roots: from their own tour window; roots: one plus the sizes of
+  // their children's subtrees (a forest may have many roots).
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] != i) {
+      outcome.subtree_size[i] =
+          (outcome.last_pos[i] - outcome.first_pos[i] + 2) / 2;
+    }
+  }
+  std::vector<std::uint64_t> root_size(n, 1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] != i && parent[parent[i]] == parent[i]) {
+      root_size[parent[i]] += outcome.subtree_size[i];
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] == i) {
+      outcome.subtree_size[i] = root_size[i];
+      // Tree-relative tour endpoints (for a forest the absolute values of
+      // different trees overlap — see the function comment).
+      outcome.first_pos[i] = 0;
+      outcome.last_pos[i] = m - 1;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace embsp::cgm

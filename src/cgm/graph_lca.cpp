@@ -1,0 +1,144 @@
+#include "cgm/graph_lca.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace embsp::cgm {
+
+namespace {
+
+/// Sparse table over depths for O(1) local range minima.
+class SparseTable {
+ public:
+  explicit SparseTable(std::span<const TourEntry> a) : a_(a) {
+    const std::size_t n = a.size();
+    if (n == 0) return;
+    levels_.push_back(std::vector<std::uint32_t>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      levels_[0][i] = static_cast<std::uint32_t>(i);
+    }
+    for (std::size_t len = 2; len <= n; len *= 2) {
+      const auto& prev = levels_.back();
+      std::vector<std::uint32_t> cur(n - len + 1);
+      for (std::size_t i = 0; i + len <= n; ++i) {
+        const auto x = prev[i];
+        const auto y = prev[i + len / 2];
+        cur[i] = a_[x].depth <= a_[y].depth ? x : y;
+      }
+      levels_.push_back(std::move(cur));
+    }
+  }
+
+  /// Index of the minimum depth in [l, r] (inclusive, local indices).
+  [[nodiscard]] std::size_t argmin(std::size_t l, std::size_t r) const {
+    const std::size_t len = r - l + 1;
+    std::size_t k = 0;
+    while ((2ull << k) <= len) ++k;
+    const auto x = levels_[k][l];
+    const auto y = levels_[k][r + 1 - (1ull << k)];
+    return a_[x].depth <= a_[y].depth ? x : y;
+  }
+
+ private:
+  std::span<const TourEntry> a_;
+  std::vector<std::vector<std::uint32_t>> levels_;
+};
+
+}  // namespace
+
+bool LcaProgram::superstep(std::size_t step, const bsp::ProcEnv& env,
+                           State& s, const bsp::Inbox& in,
+                           bsp::Outbox& out) const {
+  const std::uint32_t v = env.nprocs;
+  BlockDist adist{array_len, v};
+
+  switch (step) {
+    case 0: {  // broadcast slab minima
+      SlabMin mn{};
+      mn.has = s.slab.empty() ? 0 : 1;
+      if (mn.has) {
+        mn.depth = s.slab[0].depth;
+        mn.vertex = s.slab[0].vertex;
+        for (const auto& e : s.slab) {
+          if (e.depth < mn.depth) {
+            mn.depth = e.depth;
+            mn.vertex = e.vertex;
+          }
+        }
+      }
+      env.charge(s.slab.size() + 1);
+      for (std::uint32_t q = 0; q < v; ++q) out.send_value(q, mn);
+      return true;
+    }
+    case 1: {  // store minima; split queries into boundary sub-queries
+      s.minima.clear();
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        s.minima.push_back(in.value<SlabMin>(i));
+      }
+      std::vector<std::vector<SubQuery>> route(v);
+      for (const auto& q : s.queries) {
+        const auto sl = adist.owner(q.l);
+        const auto sr = adist.owner(q.r);
+        if (sl == sr) {
+          route[sl].push_back(SubQuery{q.l, q.r, q.tag, env.pid, 1, {}});
+        } else {
+          route[sl].push_back(SubQuery{
+              q.l, adist.first(sl) + adist.count(sl) - 1, q.tag, env.pid, 2,
+              {}});
+          route[sr].push_back(
+              SubQuery{adist.first(sr), q.r, q.tag, env.pid, 2, {}});
+        }
+      }
+      env.charge(s.queries.size() + 1);
+      for (std::uint32_t q = 0; q < v; ++q) {
+        if (!route[q].empty()) out.send_vector(q, route[q]);
+      }
+      return true;
+    }
+    case 2: {  // answer sub-queries with a local sparse table
+      SparseTable table(s.slab);
+      const std::uint64_t first = adist.first(env.pid);
+      std::vector<std::vector<Partial>> replies(v);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& sq : in.vector<SubQuery>(i)) {
+          const std::size_t idx =
+              table.argmin(sq.l - first, sq.r - first);
+          replies[sq.home].push_back(
+              Partial{sq.tag, s.slab[idx].depth, s.slab[idx].vertex});
+        }
+      }
+      env.charge(s.slab.size() + 1);
+      for (std::uint32_t q = 0; q < v; ++q) {
+        if (!replies[q].empty()) out.send_vector(q, replies[q]);
+      }
+      return true;
+    }
+    default: {  // step 3: combine partials + middle-slab minima
+      std::unordered_map<std::uint64_t, Partial> best;
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& p : in.vector<Partial>(i)) {
+          auto [it, inserted] = best.try_emplace(p.tag, p);
+          if (!inserted && p.depth < it->second.depth) it->second = p;
+        }
+      }
+      s.answers.assign(s.queries.size(), 0);
+      for (std::size_t i = 0; i < s.queries.size(); ++i) {
+        const auto& q = s.queries[i];
+        Partial acc = best.at(q.tag);
+        const auto sl = adist.owner(q.l);
+        const auto sr = adist.owner(q.r);
+        for (std::uint32_t mid = sl + 1; mid < sr; ++mid) {
+          if (s.minima[mid].has && s.minima[mid].depth < acc.depth) {
+            acc.depth = s.minima[mid].depth;
+            acc.vertex = s.minima[mid].vertex;
+          }
+        }
+        s.answers[i] = acc.vertex;
+      }
+      env.charge(s.queries.size() + 1);
+      return false;
+    }
+  }
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,187 @@
+// CGM batched lowest common ancestors (Table 1, Group C) via the Euler
+// tour technique: LCA(u, v) is the minimum-depth vertex *entered* between
+// the first tour occurrences of u and v, so batched LCA reduces to batched
+// range-minimum queries over the (2n-1)-entry visit array.
+//
+// Distributed RMQ in O(1) rounds:
+//   step 0 — every processor broadcasts its slab minimum (v words);
+//   step 1 — query homes split each query into <= 2 boundary sub-queries
+//            routed to the slabs containing the range endpoints;
+//   step 2 — slab owners answer sub-queries with a local sparse table;
+//   step 3 — homes combine the two partials with the broadcast minima of
+//            the fully covered middle slabs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bsp/program.hpp"
+#include "cgm/graph_euler_tour.hpp"
+#include "cgm/runner.hpp"
+
+namespace embsp::cgm {
+
+struct TourEntry {
+  std::uint64_t vertex;
+  std::uint64_t depth;
+};
+
+struct LcaQuery {
+  std::uint64_t l, r;  ///< visit-array positions, l <= r
+  std::uint64_t tag;
+};
+
+struct LcaProgram {
+  std::uint64_t array_len = 0;  ///< visit array length (2n-1)
+  std::uint64_t num_queries = 0;
+
+  struct SlabMin {
+    std::uint64_t depth;
+    std::uint64_t vertex;
+    std::uint8_t has;
+    std::uint8_t pad[7];
+  };
+  struct SubQuery {
+    std::uint64_t l, r;  ///< clipped to the receiving slab
+    std::uint64_t tag;
+    std::uint32_t home;
+    std::uint8_t parts;  ///< total partials the home should expect
+    std::uint8_t pad[3];
+  };
+  struct Partial {
+    std::uint64_t tag;
+    std::uint64_t depth;
+    std::uint64_t vertex;
+  };
+
+  struct State {
+    std::vector<TourEntry> slab;    ///< visit array slab
+    std::vector<LcaQuery> queries;  ///< queries homed here
+    std::vector<SlabMin> minima;    ///< per-slab minima (after step 1)
+    std::vector<std::uint64_t> answers;  ///< per local query
+    void serialize(util::Writer& w) const {
+      w.write_vector(slab);
+      w.write_vector(queries);
+      w.write_vector(minima);
+      w.write_vector(answers);
+    }
+    void deserialize(util::Reader& r) {
+      slab = r.read_vector<TourEntry>();
+      queries = r.read_vector<LcaQuery>();
+      minima = r.read_vector<SlabMin>();
+      answers = r.read_vector<std::uint64_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const;
+};
+
+struct RmqOutcome {
+  std::vector<std::uint64_t> payload;  ///< payload of the min-key entry
+  ExecResult exec;
+};
+
+/// Generic distributed batched range-minimum: for each query [l, r] over
+/// `array`, the `vertex` payload of the minimum-`depth` entry.  This is
+/// the engine behind batched LCA, and the subtree-aggregate machinery of
+/// the biconnectivity algorithm (arrays crafted so that the "payload" is
+/// the aggregate of interest).
+template <class Exec>
+RmqOutcome cgm_batched_range_min(Exec& exec,
+                                 std::span<const TourEntry> array,
+                                 std::span<const LcaQuery> queries,
+                                 std::uint32_t v) {
+  LcaProgram prog;
+  prog.array_len = array.size();
+  prog.num_queries = queries.size();
+  using State = LcaProgram::State;
+  BlockDist adist{array.size(), v};
+  BlockDist qdist{queries.size(), v};
+  RmqOutcome outcome;
+  outcome.payload.assign(queries.size(), 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto afirst = adist.first(pid);
+        s.slab.assign(array.begin() + afirst,
+                      array.begin() + afirst + adist.count(pid));
+        const auto qfirst = qdist.first(pid);
+        for (std::uint64_t i = 0; i < qdist.count(pid); ++i) {
+          s.queries.push_back(queries[qfirst + i]);
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto qfirst = qdist.first(pid);
+            for (std::uint64_t i = 0; i < s.answers.size(); ++i) {
+              outcome.payload[qfirst + i] = s.answers[i];
+            }
+          }));
+  return outcome;
+}
+
+struct LcaOutcome {
+  std::vector<std::uint64_t> lca;  ///< per query
+  EulerTourOutcome tour;
+  ExecResult exec;
+};
+
+/// Answers LCA queries (pairs of vertices) on the rooted tree `parent`.
+template <class Exec>
+LcaOutcome cgm_batched_lca(
+    Exec& exec, std::span<const std::uint64_t> parent,
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> queries,
+    std::uint32_t v) {
+  LcaOutcome outcome;
+  const std::uint64_t n = parent.size();
+  std::uint64_t root = 0;
+  std::size_t roots = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (parent[i] == i) {
+      root = i;
+      ++roots;
+    }
+  }
+  if (roots != 1) {
+    throw std::invalid_argument(
+        "cgm_batched_lca: parent[] must encode a single tree (found " +
+        std::to_string(roots) + " roots); LCA across a forest is undefined");
+  }
+  outcome.tour = cgm_euler_tour(exec, parent, v);
+
+  // Visit array: A[0] = root, A[p+1] = vertex entered by tour arc p.
+  std::vector<TourEntry> visit(outcome.tour.num_arcs + 1);
+  visit[0] = TourEntry{root, 0};
+  // tour_vertex/depth from the Euler outcome: entry at position p+1 is the
+  // vertex whose first_pos or last_pos equals p.
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (x == root) continue;
+    visit[outcome.tour.first_pos[x] + 1] =
+        TourEntry{x, outcome.tour.depth[x]};
+    visit[outcome.tour.last_pos[x] + 1] =
+        TourEntry{parent[x], outcome.tour.depth[parent[x]]};
+  }
+
+  auto first_of = [&](std::uint64_t x) {
+    return x == root ? 0 : outcome.tour.first_pos[x] + 1;
+  };
+
+  std::vector<LcaQuery> rmq_queries;
+  rmq_queries.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::uint64_t l = first_of(queries[i].first);
+    std::uint64_t r = first_of(queries[i].second);
+    if (l > r) std::swap(l, r);
+    rmq_queries.push_back(LcaQuery{l, r, i});
+  }
+  auto rmq = cgm_batched_range_min(exec, visit, rmq_queries, v);
+  outcome.lca = std::move(rmq.payload);
+  outcome.exec = std::move(rmq.exec);
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,415 @@
+#include "cgm/graph_tree_contraction.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace embsp::cgm {
+
+namespace {
+
+std::uint64_t apply_expr_op(ExprOp op, std::uint64_t a, std::uint64_t b) {
+  return op == ExprOp::kAdd ? a + b : a * b;
+}
+
+}  // namespace
+
+bool TreeContractionProgram::superstep(std::size_t, const bsp::ProcEnv& env,
+                                       State& s, const bsp::Inbox& in,
+                                       bsp::Outbox& out) const {
+  switch (s.phase) {
+    case kContract:
+      return contract_step(env, s, in, out);
+    case kGather:
+      return gather_step(env, s, in, out);
+    case kExpand:
+      return expand_step(env, s, in, out);
+    default:
+      return false;
+  }
+}
+
+bool TreeContractionProgram::contract_step(const bsp::ProcEnv& env, State& s,
+                                           const bsp::Inbox& in,
+                                           bsp::Outbox& out) const {
+  BlockDist dist{n, env.nprocs};
+  const std::uint64_t first = dist.first(env.pid);
+
+  switch (s.sub) {
+    case 0: {
+      if (s.round > 0 && in.value<std::uint8_t>(0) == 0) {
+        // Enter the gather phase: ship every node that still matters
+        // (unresolved, or resolved with an undelivered contribution) to
+        // processor 0.
+        s.phase = kGather;
+        s.total_rounds = s.round;
+        std::vector<GatherNode> nodes;
+        for (std::size_t lu = 0; lu < s.parent.size(); ++lu) {
+          if (s.status[lu] != kUnresolved &&
+              s.status[lu] != kResolvedUnsent) {
+            continue;
+          }
+          GatherNode g{};
+          g.id = first + lu;
+          g.parent = s.parent[lu];
+          g.g_a = s.g_a[lu];
+          g.g_b = s.g_b[lu];
+          g.partial = s.has_partial[lu] ? s.partial[lu] : 0;
+          g.value = s.value[lu];
+          g.op = s.op[lu];
+          // Low nibble: unresolved children count; bit 4: has_partial.
+          g.pending = s.pending[lu] | (s.has_partial[lu] << 4);
+          g.status = s.status[lu];
+          nodes.push_back(g);
+        }
+        if (!nodes.empty()) out.send_vector(0, nodes);
+        s.sub = 1;
+        return true;
+      }
+      // RAKE send: resolved nodes push their contribution up.
+      std::vector<std::vector<Contribution>> contrib(env.nprocs);
+      for (std::size_t lu = 0; lu < s.parent.size(); ++lu) {
+        if (s.status[lu] != kResolvedUnsent) continue;
+        const std::uint64_t u = first + lu;
+        if (s.parent[lu] == u) {
+          s.status[lu] = kFinal;  // the root's value is final
+          continue;
+        }
+        const LinFn g{s.g_a[lu], s.g_b[lu]};
+        contrib[dist.owner(s.parent[lu])].push_back(
+            Contribution{s.parent[lu], g(s.value[lu])});
+        s.status[lu] = kResolvedSent;
+      }
+      env.charge(s.parent.size() + 1);
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!contrib[q].empty()) out.send_vector(q, contrib[q]);
+      }
+      s.sub = 1;
+      return true;
+    }
+    case 1: {  // RAKE receive: fold contributions.
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& c : in.vector<Contribution>(i)) {
+          const std::uint64_t lp = c.parent - first;
+          if (s.has_partial[lp]) {
+            s.value[lp] = apply_expr_op(static_cast<ExprOp>(s.op[lp]),
+                                        s.partial[lp], c.value);
+            s.pending[lp] = 0;
+            s.status[lp] = kResolvedUnsent;
+          } else {
+            s.partial[lp] = c.value;
+            s.has_partial[lp] = 1;
+            s.pending[lp] = 1;
+          }
+        }
+      }
+      s.sub = 2;
+      return true;
+    }
+    case 2: {  // COMPRESS queries.
+      std::vector<std::vector<ChainQuery>> queries(env.nprocs);
+      for (std::size_t lu = 0; lu < s.parent.size(); ++lu) {
+        if (s.status[lu] != kUnresolved) continue;
+        const std::uint64_t u = first + lu;
+        const std::uint64_t p = s.parent[lu];
+        if (p == u) continue;
+        if (coin(u, s.round, seed) != 1 || coin(p, s.round, seed) != 0) {
+          continue;
+        }
+        queries[dist.owner(p)].push_back(ChainQuery{p, u});
+      }
+      env.charge(s.parent.size() + 1);
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!queries[q].empty()) out.send_vector(q, queries[q]);
+      }
+      s.sub = 3;
+      return true;
+    }
+    case 3: {  // COMPRESS replies.
+      std::vector<std::vector<ChainReply>> replies(env.nprocs);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& q : in.vector<ChainQuery>(i)) {
+          const std::uint64_t lp = q.p - first;
+          ChainReply r{};
+          r.u = q.u;
+          r.g_a = s.g_a[lp];
+          r.g_b = s.g_b[lp];
+          r.partial = s.partial[lp];
+          r.grandparent = s.parent[lp];
+          r.op = s.op[lp];
+          r.is_chain = s.status[lp] == kUnresolved && s.pending[lp] == 1 &&
+                               s.has_partial[lp] == 1 &&
+                               s.parent[lp] != q.p  // never splice the root
+                           ? 1
+                           : 0;
+          replies[dist.owner(q.u)].push_back(r);
+        }
+      }
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!replies[q].empty()) out.send_vector(q, replies[q]);
+      }
+      s.sub = 4;
+      return true;
+    }
+    case 4: {  // COMPRESS apply: splice the chain parent out.
+      std::vector<std::vector<SpliceNotice>> notices(env.nprocs);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& r : in.vector<ChainReply>(i)) {
+          if (!r.is_chain) continue;
+          const std::uint64_t lu = r.u - first;
+          const std::uint64_t p = s.parent[lu];
+          const LinFn g_old{s.g_a[lu], s.g_b[lu]};
+          // v_p = h(v_u) with h = (x op partial) after g_old.
+          const LinFn h = LinFn::apply_op(static_cast<ExprOp>(r.op),
+                                          r.partial)
+                              .after(g_old);
+          // New edge function to the grandparent: g_p after h.
+          const LinFn g_new = LinFn{r.g_a, r.g_b}.after(h);
+          s.g_a[lu] = g_new.a;
+          s.g_b[lu] = g_new.b;
+          s.parent[lu] = r.grandparent;
+          notices[dist.owner(p)].push_back(
+              SpliceNotice{p, r.u, h.a, h.b});
+        }
+      }
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!notices[q].empty()) out.send_vector(q, notices[q]);
+      }
+      s.sub = 5;
+      return true;
+    }
+    case 5: {  // Mark spliced parents; count unresolved nodes.
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& m : in.vector<SpliceNotice>(i)) {
+          const std::uint64_t lp = m.p - first;
+          s.status[lp] = kSpliced;
+          s.splice_round[lp] = s.round;
+          s.h_a[lp] = m.h_a;
+          s.h_b[lp] = m.h_b;
+          s.splice_child[lp] = m.child;
+        }
+      }
+      std::uint64_t active = 0;
+      for (auto st : s.status) {
+        if (st == kUnresolved || st == kResolvedUnsent) ++active;
+      }
+      out.send_value<std::uint64_t>(0, active);
+      s.sub = 6;
+      return true;
+    }
+    default: {  // sub 6: processor 0 decides continue vs gather.
+      if (env.pid == 0) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          total += in.value<std::uint64_t>(i);
+        }
+        const std::uint64_t threshold =
+            gather_threshold != 0
+                ? gather_threshold
+                : std::max<std::uint64_t>(2 * dist.chunk(), 64);
+        const std::uint8_t decision = total > threshold ? 1 : 0;
+        for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+          out.send_value(q, decision);
+        }
+      }
+      s.round += 1;
+      s.sub = 0;
+      return true;
+    }
+  }
+}
+
+bool TreeContractionProgram::gather_step(const bsp::ProcEnv& env, State& s,
+                                         const bsp::Inbox& in,
+                                         bsp::Outbox& out) const {
+  BlockDist dist{n, env.nprocs};
+  switch (s.sub) {
+    case 1: {
+      if (env.pid == 0) {
+        std::unordered_map<std::uint64_t, GatherNode> nodes;
+        for (std::size_t i = 0; i < in.count(); ++i) {
+          for (const auto& g : in.vector<GatherNode>(i)) {
+            nodes.emplace(g.id, g);
+          }
+        }
+        // Every gathered node with a parent still owes that parent its
+        // contribution (kResolvedUnsent by definition, kUnresolved once its
+        // own value is known) — collect those pending edges.
+        std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+            children;
+        for (const auto& [id, g] : nodes) {
+          if (g.parent != id) children[g.parent].push_back(id);
+        }
+        // Memoized evaluation over the residual tree.
+        std::unordered_map<std::uint64_t, std::uint64_t> memo;
+        std::function<std::uint64_t(std::uint64_t)> eval =
+            [&](std::uint64_t id) -> std::uint64_t {
+          auto mit = memo.find(id);
+          if (mit != memo.end()) return mit->second;
+          const auto& g = nodes.at(id);
+          std::uint64_t val;
+          if (g.status == kResolvedUnsent) {
+            val = g.value;
+          } else {
+            // Fold the already-delivered partial with the outstanding
+            // children contributions.
+            std::uint64_t acc = 0;
+            bool have = false;
+            if ((g.pending >> 4) & 1) {
+              acc = g.partial;
+              have = true;
+            }
+            auto cit = children.find(id);
+            if (cit != children.end()) {
+              for (const auto c : cit->second) {
+                const auto& gc = nodes.at(c);
+                const std::uint64_t contrib =
+                    LinFn{gc.g_a, gc.g_b}(eval(c));
+                if (have) {
+                  acc = apply_expr_op(static_cast<ExprOp>(g.op), acc,
+                                      contrib);
+                } else {
+                  acc = contrib;
+                  have = true;
+                }
+              }
+            }
+            val = acc;
+          }
+          memo[id] = val;
+          return val;
+        };
+        std::vector<std::vector<ValueMsg>> outgoing(env.nprocs);
+        for (const auto& [id, g] : nodes) {
+          outgoing[dist.owner(id)].push_back(ValueMsg{id, eval(id)});
+        }
+        env.charge(nodes.size() * 4 + 1);
+        for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+          if (!outgoing[q].empty()) out.send_vector(q, outgoing[q]);
+        }
+      }
+      s.sub = 2;
+      return true;
+    }
+    default: {  // sub 2: apply values, enter expansion.
+      const std::uint64_t first = dist.first(env.pid);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& m : in.vector<ValueMsg>(i)) {
+          const std::uint64_t lu = m.id - first;
+          s.value[lu] = m.value;
+          s.status[lu] = kFinal;
+        }
+      }
+      for (auto& st : s.status) {
+        if (st == kResolvedUnsent || st == kResolvedSent) st = kFinal;
+      }
+      if (s.total_rounds == 0) {
+        s.phase = kDone;
+        return false;
+      }
+      s.phase = kExpand;
+      s.expand_round = s.total_rounds - 1;
+      s.sub = 0;
+      return true;
+    }
+  }
+}
+
+bool TreeContractionProgram::expand_step(const bsp::ProcEnv& env, State& s,
+                                         const bsp::Inbox& in,
+                                         bsp::Outbox& out) const {
+  BlockDist dist{n, env.nprocs};
+  const std::uint64_t first = dist.first(env.pid);
+  switch (s.sub) {
+    case 0: {
+      std::vector<std::vector<ChainQuery>> queries(env.nprocs);
+      for (std::size_t lu = 0; lu < s.parent.size(); ++lu) {
+        if (s.status[lu] != kSpliced ||
+            s.splice_round[lu] != s.expand_round) {
+          continue;
+        }
+        queries[dist.owner(s.splice_child[lu])].push_back(
+            ChainQuery{s.splice_child[lu], first + lu});
+      }
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!queries[q].empty()) out.send_vector(q, queries[q]);
+      }
+      s.sub = 1;
+      return true;
+    }
+    case 1: {
+      std::vector<std::vector<ValueMsg>> replies(env.nprocs);
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& q : in.vector<ChainQuery>(i)) {
+          const std::uint64_t lc = q.p - first;
+          if (s.status[lc] != kFinal) {
+            throw std::runtime_error(
+                "cgm_tree_contraction: expansion read a non-final value");
+          }
+          replies[dist.owner(q.u)].push_back(ValueMsg{q.u, s.value[lc]});
+        }
+      }
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!replies[q].empty()) out.send_vector(q, replies[q]);
+      }
+      s.sub = 2;
+      return true;
+    }
+    default: {
+      for (std::size_t i = 0; i < in.count(); ++i) {
+        for (const auto& m : in.vector<ValueMsg>(i)) {
+          const std::uint64_t lu = m.id - first;
+          s.value[lu] = LinFn{s.h_a[lu], s.h_b[lu]}(m.value);
+          s.status[lu] = kFinal;
+        }
+      }
+      if (s.expand_round == 0) {
+        s.phase = kDone;
+        return false;
+      }
+      s.expand_round -= 1;
+      s.sub = 0;
+      return true;
+    }
+  }
+}
+
+std::vector<std::uint64_t> evaluate_expression_tree(
+    const ExpressionTree& tree) {
+  const std::uint64_t n = tree.parent.size();
+  std::vector<std::vector<std::uint64_t>> children(n);
+  std::uint64_t root = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (tree.parent[i] == i) {
+      root = i;
+    } else {
+      children[tree.parent[i]].push_back(i);
+    }
+  }
+  std::vector<std::uint64_t> value(n, 0);
+  // Iterative post-order.
+  std::vector<std::pair<std::uint64_t, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [u, expanded] = stack.back();
+    stack.pop_back();
+    if (tree.is_leaf[u]) {
+      value[u] = tree.leaf_value[u];
+      continue;
+    }
+    if (!expanded) {
+      stack.push_back({u, true});
+      for (auto c : children[u]) stack.push_back({c, false});
+      continue;
+    }
+    if (children[u].size() != 2) {
+      throw std::invalid_argument(
+          "evaluate_expression_tree: internal nodes need two children");
+    }
+    const std::uint64_t a = value[children[u][0]];
+    const std::uint64_t b = value[children[u][1]];
+    value[u] = tree.op[u] == ExprOp::kAdd ? a + b : a * b;
+  }
+  return value;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,261 @@
+// CGM tree contraction / expression tree evaluation (Table 1, Group C).
+//
+// Input: a binary expression tree (internal nodes carry + or *, leaves
+// carry values) over the ring Z_2^64.  Output: the value of *every* node's
+// subtree — the classical parallel tree-contraction problem [11].
+//
+// Rake-and-compress, CGM style (7 supersteps per round):
+//   RAKE    — resolved nodes send their contribution g(v) (g is the
+//             linear function accumulated on their parent edge) up; a
+//             parent folds it into its partial, becoming a *chain node*
+//             when exactly one unresolved child remains (its value is then
+//             a linear function h(x) = g_child(x) op partial of that
+//             child's value), or resolved when none remains.
+//   COMPRESS— chains of chain nodes contract by randomized independent
+//             sets exactly like list ranking: a node u with coin(u)=1 and
+//             coin(parent)=0 splices a chain parent out by composing the
+//             parent's pending function into its own edge function.  The
+//             spliced parent freezes h for the expansion phase.
+//   When few unresolved nodes remain they are gathered at processor 0,
+//   evaluated sequentially, and scattered; spliced nodes then recover
+//   their values in reverse rounds (v_p = h_p(v_child)).
+//
+// All arithmetic is in Z_2^64 (wrapping uint64), so + and * contributions
+// compose into linear functions a*x + b exactly.
+#pragma once
+
+#include <vector>
+
+#include "bsp/program.hpp"
+#include "cgm/runner.hpp"
+
+namespace embsp::cgm {
+
+enum class ExprOp : std::uint8_t { kAdd = 0, kMul = 1 };
+
+/// Linear function x -> a*x + b over Z_2^64.
+struct LinFn {
+  std::uint64_t a = 1;
+  std::uint64_t b = 0;
+
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const {
+    return a * x + b;
+  }
+  /// Composition: (this after g)(x) = this(g(x)).
+  [[nodiscard]] LinFn after(const LinFn& g) const {
+    return LinFn{a * g.a, a * g.b + b};
+  }
+  /// The function x -> (x op k).
+  static LinFn apply_op(ExprOp op, std::uint64_t k) {
+    return op == ExprOp::kAdd ? LinFn{1, k} : LinFn{k, 0};
+  }
+};
+
+struct TreeContractionProgram {
+  std::uint64_t n = 0;
+  std::uint64_t seed = 0xC0117ULL;
+  std::uint64_t gather_threshold = 0;  ///< 0 = max(2*ceil(n/v), 64)
+
+  static std::uint8_t coin(std::uint64_t node, std::uint32_t round,
+                           std::uint64_t seed) {
+    std::uint64_t z = node * 0x9e3779b97f4a7c15ULL + round * 31 + seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint8_t>((z ^ (z >> 31)) & 1);
+  }
+
+  enum Phase : std::uint8_t { kContract = 0, kGather = 1, kExpand = 2,
+                              kDone = 3 };
+  enum Status : std::uint8_t {
+    kUnresolved = 0,      ///< >= 1 unresolved children
+    kResolvedUnsent = 1,  ///< value known, contribution not yet sent up
+    kResolvedSent = 2,
+    kSpliced = 3,  ///< compressed out; value = h(value of splice_child)
+    kFinal = 4,
+  };
+
+  struct Contribution {
+    std::uint64_t parent;
+    std::uint64_t value;  ///< already edge-function-applied
+  };
+  struct ChainQuery {
+    std::uint64_t p;  ///< the parent being probed
+    std::uint64_t u;  ///< the asking child
+  };
+  struct ChainReply {
+    std::uint64_t u;
+    std::uint64_t g_a, g_b;  ///< parent's edge function to *its* parent
+    std::uint64_t partial;
+    std::uint64_t grandparent;
+    std::uint8_t op;
+    std::uint8_t is_chain;
+    std::uint8_t pad[6];
+  };
+  struct SpliceNotice {
+    std::uint64_t p;          ///< spliced node
+    std::uint64_t child;      ///< remaining child it depends on
+    std::uint64_t h_a, h_b;   ///< v_p = h(v_child)
+  };
+  struct GatherNode {
+    std::uint64_t id;
+    std::uint64_t parent;
+    std::uint64_t g_a, g_b;
+    std::uint64_t partial;
+    std::uint64_t value;
+    std::uint8_t op;
+    std::uint8_t pending;
+    std::uint8_t status;
+    std::uint8_t pad[5];
+  };
+  struct ValueMsg {
+    std::uint64_t id;
+    std::uint64_t value;
+  };
+
+  struct State {
+    // Per local node (block distribution over [0, n)).
+    std::vector<std::uint64_t> parent;
+    std::vector<std::uint8_t> op;       ///< ExprOp for internal nodes
+    std::vector<std::uint8_t> pending;  ///< unresolved children (0..2)
+    std::vector<std::uint64_t> partial; ///< folded resolved contribution
+    std::vector<std::uint8_t> has_partial;
+    std::vector<std::uint64_t> g_a, g_b;  ///< edge function to parent
+    std::vector<std::uint64_t> value;
+    std::vector<std::uint8_t> status;
+    std::vector<std::uint32_t> splice_round;
+    std::vector<std::uint64_t> h_a, h_b, splice_child;
+    std::uint8_t phase = kContract;
+    std::uint8_t sub = 0;
+    std::uint32_t round = 0;
+    std::uint32_t total_rounds = 0;
+    std::uint32_t expand_round = 0;
+
+    void serialize(util::Writer& w) const {
+      w.write_vector(parent);
+      w.write_vector(op);
+      w.write_vector(pending);
+      w.write_vector(partial);
+      w.write_vector(has_partial);
+      w.write_vector(g_a);
+      w.write_vector(g_b);
+      w.write_vector(value);
+      w.write_vector(status);
+      w.write_vector(splice_round);
+      w.write_vector(h_a);
+      w.write_vector(h_b);
+      w.write_vector(splice_child);
+      w.write(phase);
+      w.write(sub);
+      w.write(round);
+      w.write(total_rounds);
+      w.write(expand_round);
+    }
+    void deserialize(util::Reader& r) {
+      parent = r.read_vector<std::uint64_t>();
+      op = r.read_vector<std::uint8_t>();
+      pending = r.read_vector<std::uint8_t>();
+      partial = r.read_vector<std::uint64_t>();
+      has_partial = r.read_vector<std::uint8_t>();
+      g_a = r.read_vector<std::uint64_t>();
+      g_b = r.read_vector<std::uint64_t>();
+      value = r.read_vector<std::uint64_t>();
+      status = r.read_vector<std::uint8_t>();
+      splice_round = r.read_vector<std::uint32_t>();
+      h_a = r.read_vector<std::uint64_t>();
+      h_b = r.read_vector<std::uint64_t>();
+      splice_child = r.read_vector<std::uint64_t>();
+      phase = r.read<std::uint8_t>();
+      sub = r.read<std::uint8_t>();
+      round = r.read<std::uint32_t>();
+      total_rounds = r.read<std::uint32_t>();
+      expand_round = r.read<std::uint32_t>();
+    }
+  };
+
+  bool superstep(std::size_t, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const;
+
+ private:
+  bool contract_step(const bsp::ProcEnv& env, State& s, const bsp::Inbox& in,
+                     bsp::Outbox& out) const;
+  bool gather_step(const bsp::ProcEnv& env, State& s, const bsp::Inbox& in,
+                   bsp::Outbox& out) const;
+  bool expand_step(const bsp::ProcEnv& env, State& s, const bsp::Inbox& in,
+                   bsp::Outbox& out) const;
+};
+
+/// A binary expression tree in parent-array form.  Internal nodes have
+/// exactly two children; parent[root] == root.
+struct ExpressionTree {
+  std::vector<std::uint64_t> parent;
+  std::vector<ExprOp> op;               ///< valid for internal nodes
+  std::vector<std::uint64_t> leaf_value;  ///< valid for leaves
+  std::vector<std::uint8_t> is_leaf;
+};
+
+struct TreeContractionOutcome {
+  std::vector<std::uint64_t> value;  ///< per node, subtree value (Z_2^64)
+  ExecResult exec;
+};
+
+/// Evaluates every subtree of the expression tree.
+template <class Exec>
+TreeContractionOutcome cgm_tree_contraction(Exec& exec,
+                                            const ExpressionTree& tree,
+                                            std::uint32_t v,
+                                            std::uint64_t seed = 0xC0117ULL) {
+  const std::uint64_t n = tree.parent.size();
+  TreeContractionProgram prog;
+  prog.n = n;
+  prog.seed = seed;
+  using State = TreeContractionProgram::State;
+  BlockDist dist{n, v};
+  TreeContractionOutcome outcome;
+  outcome.value.assign(n, 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        const auto count = dist.count(pid);
+        s.parent.assign(tree.parent.begin() + first,
+                        tree.parent.begin() + first + count);
+        s.op.resize(count);
+        s.pending.assign(count, 0);
+        s.partial.assign(count, 0);
+        s.has_partial.assign(count, 0);
+        s.g_a.assign(count, 1);
+        s.g_b.assign(count, 0);
+        s.value.assign(count, 0);
+        s.status.resize(count);
+        s.splice_round.assign(count, UINT32_MAX);
+        s.h_a.assign(count, 1);
+        s.h_b.assign(count, 0);
+        s.splice_child.assign(count, 0);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          s.op[i] = static_cast<std::uint8_t>(tree.op[first + i]);
+          if (tree.is_leaf[first + i]) {
+            s.value[i] = tree.leaf_value[first + i];
+            s.status[i] = TreeContractionProgram::kResolvedUnsent;
+          } else {
+            s.pending[i] = 2;
+            s.status[i] = TreeContractionProgram::kUnresolved;
+          }
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto first = dist.first(pid);
+            for (std::uint64_t i = 0; i < s.value.size(); ++i) {
+              outcome.value[first + i] = s.value[i];
+            }
+          }));
+  return outcome;
+}
+
+/// Sequential reference evaluation (for tests).
+std::vector<std::uint64_t> evaluate_expression_tree(
+    const ExpressionTree& tree);
+
+}  // namespace embsp::cgm

@@ -1,0 +1,98 @@
+// CGM permutation routing (Table 1, Group A).
+//
+// Input: n records, each carrying the global index it must move to.  Each
+// processor sends every record directly to the block-distribution owner of
+// its target index; receivers place records into their output slab.
+// lambda = 2 supersteps — the h-relation is a single direct route, which is
+// exactly why the simulated EM algorithm beats the naive one-I/O-per-item
+// EM permutation (Table 1's min(n/D, sort) row).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsp/program.hpp"
+#include "cgm/runner.hpp"
+
+namespace embsp::cgm {
+
+struct PermRecord {
+  std::uint64_t target;  ///< global destination index
+  std::uint64_t value;
+};
+
+struct PermutationProgram {
+  std::uint64_t n = 0;  ///< total records (defines the block distribution)
+
+  struct State {
+    std::vector<PermRecord> data;  ///< in: records to route; out: slab
+    void serialize(util::Writer& w) const { w.write_vector(data); }
+    void deserialize(util::Reader& r) { data = r.read_vector<PermRecord>(); }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    BlockDist dist{n, env.nprocs};
+    if (step == 0) {
+      // Group records by destination owner; one message per destination.
+      std::vector<std::vector<PermRecord>> by_owner(env.nprocs);
+      for (const auto& rec : s.data) {
+        by_owner[dist.owner(rec.target)].push_back(rec);
+      }
+      env.charge(s.data.size() + 1);
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!by_owner[q].empty()) out.send_vector(q, by_owner[q]);
+      }
+      s.data.clear();
+      return true;
+    }
+    // Place received records at their local offsets.
+    s.data.assign(dist.count(env.pid), PermRecord{0, 0});
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      for (const auto& rec : in.vector<PermRecord>(i)) {
+        s.data[rec.target - dist.first(env.pid)] = rec;
+      }
+    }
+    env.charge(s.data.size() + 1);
+    return false;
+  }
+};
+
+struct PermutationOutcome {
+  std::vector<std::uint64_t> values;  ///< values in target order
+  ExecResult exec;
+};
+
+/// Applies `perm` to `values`: output[perm[i]] = values[i].
+template <class Exec>
+PermutationOutcome cgm_permute(Exec& exec,
+                               std::span<const std::uint64_t> values,
+                               std::span<const std::uint64_t> perm,
+                               std::uint32_t v) {
+  const std::uint64_t n = values.size();
+  PermutationProgram prog{n};
+  using State = PermutationProgram::State;
+  BlockDist dist{n, v};
+  PermutationOutcome outcome;
+  outcome.values.assign(n, 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        for (std::uint64_t i = 0; i < dist.count(pid); ++i) {
+          s.data.push_back(PermRecord{perm[first + i], values[first + i]});
+        }
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto first = dist.first(pid);
+            for (std::uint64_t i = 0; i < s.data.size(); ++i) {
+              outcome.values[first + i] = s.data[i].value;
+            }
+          }));
+  return outcome;
+}
+
+}  // namespace embsp::cgm

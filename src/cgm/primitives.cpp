@@ -1,0 +1,3 @@
+#include "cgm/primitives.hpp"
+
+// Header-only engines; this TU anchors the module.

@@ -1,0 +1,123 @@
+// Small communication primitives shared by the CGM algorithm programs.
+//
+// Each is an *engine*: a stateless step function the caller wires into its
+// own superstep numbering (the engine's step t consumes the messages its
+// step t-1 sent).  All follow the gather-at-0 / broadcast pattern that CGM
+// algorithms use for O(1)-round reductions (legal because v values always
+// fit one processor's memory under the CGM assumption n/v >= v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/program.hpp"
+
+namespace embsp::cgm {
+
+/// All-reduce of one trivially copyable value with a caller-supplied
+/// combine function.  Two steps: gather at processor 0, broadcast.
+template <typename T>
+struct AllReduceEngine {
+  static constexpr std::size_t kSteps = 3;
+
+  /// step 0: send local value to 0.
+  /// step 1: proc 0 combines and broadcasts.
+  /// step 2: everyone reads the result from the inbox into `value`.
+  template <typename Combine>
+  static void step(std::size_t local_step, const bsp::ProcEnv& env, T& value,
+                   const bsp::Inbox& in, bsp::Outbox& out, Combine combine) {
+    switch (local_step) {
+      case 0:
+        out.send_value(0, value);
+        break;
+      case 1:
+        if (env.pid == 0) {
+          T acc = in.value<T>(0);
+          for (std::size_t i = 1; i < in.count(); ++i) {
+            acc = combine(acc, in.value<T>(i));
+          }
+          for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+            out.send_value(q, acc);
+          }
+        }
+        break;
+      case 2:
+        value = in.value<T>(0);
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+/// Exclusive prefix sum of one uint64 per processor (e.g. local record
+/// counts -> global slab offsets).  Three steps like AllReduce.
+struct PrefixSumEngine {
+  static constexpr std::size_t kSteps = 3;
+
+  struct OffsetTotal {
+    std::uint64_t offset;
+    std::uint64_t total;
+  };
+
+  /// After step 2, `offset` holds the sum over lower-numbered processors
+  /// and `total` the global sum.
+  static void step(std::size_t local_step, const bsp::ProcEnv& env,
+                   std::uint64_t local, std::uint64_t& offset,
+                   std::uint64_t& total, const bsp::Inbox& in,
+                   bsp::Outbox& out) {
+    switch (local_step) {
+      case 0:
+        out.send_value(0, local);
+        break;
+      case 1:
+        if (env.pid == 0) {
+          // Inbox is sorted by source, so in.value<...>(q) is processor q's
+          // count.
+          std::uint64_t run = 0;
+          std::uint64_t sum = 0;
+          for (std::size_t q = 0; q < in.count(); ++q) {
+            sum += in.value<std::uint64_t>(q);
+          }
+          for (std::size_t q = 0; q < in.count(); ++q) {
+            const std::uint64_t c = in.value<std::uint64_t>(q);
+            out.send_value(static_cast<std::uint32_t>(q),
+                           OffsetTotal{run, sum});
+            run += c;
+          }
+        }
+        break;
+      case 2: {
+        const auto ot = in.value<OffsetTotal>(0);
+        offset = ot.offset;
+        total = ot.total;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+};
+
+/// Fenwick tree over [0, size) with uint64 sums — used by the dominance
+/// counting sweeps.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t size) : tree_(size + 1, 0) {}
+
+  void add(std::size_t i, std::uint64_t w) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) tree_[i] += w;
+  }
+
+  /// Sum of weights at indices < i.
+  [[nodiscard]] std::uint64_t prefix(std::size_t i) const {
+    std::uint64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::uint64_t> tree_;
+};
+
+}  // namespace embsp::cgm

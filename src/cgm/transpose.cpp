@@ -1,0 +1,3 @@
+#include "cgm/transpose.hpp"
+
+// Template drivers live in the header; this TU anchors the module.

@@ -1,0 +1,102 @@
+// CGM matrix transpose (Table 1, Group A).
+//
+// An r x c matrix stored row-major and block-distributed over v processors
+// is transposed by routing element (i, j) to position j*r + i of the output
+// (the c x r row-major layout) — a fixed permutation, so one h-relation and
+// lambda = 2 supersteps.  Unlike cgm_permute, the destination is computed
+// from the matrix shape inside the program (no per-record target storage).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsp/program.hpp"
+#include "cgm/runner.hpp"
+
+namespace embsp::cgm {
+
+struct TransposeProgram {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+
+  struct Elem {
+    std::uint64_t index;  ///< destination index in the transposed layout
+    std::uint64_t value;
+  };
+
+  struct State {
+    std::vector<std::uint64_t> data;  ///< in: row-major slab; out: transposed
+    void serialize(util::Writer& w) const { w.write_vector(data); }
+    void deserialize(util::Reader& r) {
+      data = r.read_vector<std::uint64_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    const std::uint64_t n = rows * cols;
+    BlockDist dist{n, env.nprocs};
+    if (step == 0) {
+      const std::uint64_t first = dist.first(env.pid);
+      std::vector<std::vector<Elem>> by_owner(env.nprocs);
+      for (std::uint64_t off = 0; off < s.data.size(); ++off) {
+        const std::uint64_t g = first + off;
+        const std::uint64_t i = g / cols;
+        const std::uint64_t j = g % cols;
+        const std::uint64_t t = j * rows + i;
+        by_owner[dist.owner(t)].push_back(Elem{t, s.data[off]});
+      }
+      env.charge(s.data.size() + 1);
+      for (std::uint32_t q = 0; q < env.nprocs; ++q) {
+        if (!by_owner[q].empty()) out.send_vector(q, by_owner[q]);
+      }
+      s.data.clear();
+      return true;
+    }
+    s.data.assign(dist.count(env.pid), 0);
+    for (std::size_t m = 0; m < in.count(); ++m) {
+      for (const auto& e : in.vector<Elem>(m)) {
+        s.data[e.index - dist.first(env.pid)] = e.value;
+      }
+    }
+    env.charge(s.data.size() + 1);
+    return false;
+  }
+};
+
+struct TransposeOutcome {
+  std::vector<std::uint64_t> data;  ///< c x r row-major
+  ExecResult exec;
+};
+
+template <class Exec>
+TransposeOutcome cgm_transpose(Exec& exec,
+                               std::span<const std::uint64_t> matrix,
+                               std::uint64_t rows, std::uint64_t cols,
+                               std::uint32_t v) {
+  TransposeProgram prog{rows, cols};
+  using State = TransposeProgram::State;
+  const std::uint64_t n = rows * cols;
+  BlockDist dist{n, v};
+  TransposeOutcome outcome;
+  outcome.data.assign(n, 0);
+  outcome.exec = exec.run(
+      prog, v,
+      std::function<State(std::uint32_t)>([&](std::uint32_t pid) {
+        State s;
+        const auto first = dist.first(pid);
+        s.data.assign(matrix.begin() + first,
+                      matrix.begin() + first + dist.count(pid));
+        return s;
+      }),
+      std::function<void(std::uint32_t, State&)>(
+          [&](std::uint32_t pid, State& s) {
+            const auto first = dist.first(pid);
+            for (std::uint64_t i = 0; i < s.data.size(); ++i) {
+              outcome.data[first + i] = s.data[i];
+            }
+          }));
+  return outcome;
+}
+
+}  // namespace embsp::cgm

@@ -1,0 +1,78 @@
+#include "em/backend.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace embsp::em {
+
+void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
+  const std::uint64_t end = offset + dst.size();
+  // Bytes beyond the high-water mark read as zero (freshly formatted disk).
+  if (offset >= data_.size()) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  const std::uint64_t avail = std::min<std::uint64_t>(end, data_.size()) - offset;
+  std::memcpy(dst.data(), data_.data() + offset, avail);
+  if (avail < dst.size()) {
+    std::memset(dst.data() + avail, 0, dst.size() - avail);
+  }
+}
+
+void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
+  const std::uint64_t end = offset + src.size();
+  if (end > data_.size()) data_.resize(end);
+  std::memcpy(data_.data() + offset, src.data(), src.size());
+}
+
+FileBackend::FileBackend(std::string path, bool keep)
+    : path_(std::move(path)), keep_(keep) {
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) {
+    throw std::runtime_error("FileBackend: cannot open " + path_);
+  }
+}
+
+FileBackend::~FileBackend() {
+  if (file_ != nullptr) std::fclose(file_);
+  if (!keep_) std::remove(path_.c_str());
+}
+
+void FileBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
+  if (offset >= size_) {
+    std::memset(dst.data(), 0, dst.size());
+    return;
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("FileBackend: seek failed on " + path_);
+  }
+  const std::size_t avail = static_cast<std::size_t>(
+      std::min<std::uint64_t>(offset + dst.size(), size_) - offset);
+  const std::size_t got = std::fread(dst.data(), 1, avail, file_);
+  if (got != avail) {
+    throw std::runtime_error("FileBackend: short read on " + path_);
+  }
+  if (avail < dst.size()) {
+    std::memset(dst.data() + avail, 0, dst.size() - avail);
+  }
+}
+
+void FileBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw std::runtime_error("FileBackend: seek failed on " + path_);
+  }
+  if (std::fwrite(src.data(), 1, src.size(), file_) != src.size()) {
+    throw std::runtime_error("FileBackend: short write on " + path_);
+  }
+  size_ = std::max<std::uint64_t>(size_, offset + src.size());
+}
+
+std::unique_ptr<Backend> make_memory_backend() {
+  return std::make_unique<MemoryBackend>();
+}
+
+std::unique_ptr<Backend> make_file_backend(const std::string& path, bool keep) {
+  return std::make_unique<FileBackend>(path, keep);
+}
+
+}  // namespace embsp::em

@@ -1,0 +1,76 @@
+// Storage backends for simulated disk drives.
+//
+// A Disk stores tracks through a Backend.  Two implementations:
+//  * MemoryBackend — a growable byte vector; fast, used by tests/benches.
+//  * FileBackend   — one flat file per disk accessed at byte offsets; this
+//    is the STXXL-style path used when the data genuinely exceeds RAM (see
+//    examples/em_sort_file.cpp).
+// The paper's machine has physical disks; per the substitution rules the
+// backends exercise the same code paths while letting the cost meter (the
+// quantity the paper's theorems are about) stay exact.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace embsp::em {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Read `dst.size()` bytes starting at `offset`.  Reading a region that
+  /// was never written yields zero bytes.
+  virtual void read(std::uint64_t offset, std::span<std::byte> dst) = 0;
+
+  /// Write `src.size()` bytes starting at `offset`, growing as needed.
+  virtual void write(std::uint64_t offset, std::span<const std::byte> src) = 0;
+
+  /// High-water mark of bytes ever touched (for disk-space reporting).
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+};
+
+class MemoryBackend final : public Backend {
+ public:
+  void read(std::uint64_t offset, std::span<std::byte> dst) override;
+  void write(std::uint64_t offset, std::span<const std::byte> src) override;
+  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+/// Flat-file backend.  The file is created on construction and removed on
+/// destruction unless `keep` is set.
+class FileBackend final : public Backend {
+ public:
+  explicit FileBackend(std::string path, bool keep = false);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  void read(std::uint64_t offset, std::span<std::byte> dst) override;
+  void write(std::uint64_t offset, std::span<const std::byte> src) override;
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t size_ = 0;
+  bool keep_ = false;
+};
+
+/// Factory so DiskArray can create one backend per drive.
+using BackendFactory =
+    std::unique_ptr<Backend> (*)(std::size_t disk_index, void* user);
+
+std::unique_ptr<Backend> make_memory_backend();
+std::unique_ptr<Backend> make_file_backend(const std::string& path,
+                                           bool keep = false);
+
+}  // namespace embsp::em

@@ -1,0 +1,46 @@
+#include "em/disk.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace embsp::em {
+
+Disk::Disk(std::size_t block_size, std::unique_ptr<Backend> backend,
+           std::uint64_t capacity_tracks)
+    : block_size_(block_size),
+      backend_(std::move(backend)),
+      capacity_(capacity_tracks) {
+  if (block_size_ == 0) {
+    throw std::invalid_argument("Disk: block size must be > 0");
+  }
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("Disk: backend must not be null");
+  }
+}
+
+void Disk::check(std::uint64_t track, std::size_t len) const {
+  if (len != block_size_) {
+    throw std::invalid_argument(
+        "Disk: transfer must be exactly one block (" +
+        std::to_string(block_size_) + " bytes), got " + std::to_string(len));
+  }
+  if (capacity_ != 0 && track >= capacity_) {
+    throw std::out_of_range("Disk: track " + std::to_string(track) +
+                            " beyond capacity " + std::to_string(capacity_));
+  }
+}
+
+void Disk::read_track(std::uint64_t track, std::span<std::byte> dst) {
+  check(track, dst.size());
+  backend_->read(track * block_size_, dst);
+  ++reads_;
+}
+
+void Disk::write_track(std::uint64_t track, std::span<const std::byte> src) {
+  check(track, src.size());
+  backend_->write(track * block_size_, src);
+  ++writes_;
+  tracks_used_ = std::max(tracks_used_, track + 1);
+}
+
+}  // namespace embsp::em

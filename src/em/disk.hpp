@@ -1,0 +1,46 @@
+// A single simulated disk drive (§3): a sequence of tracks, each storing
+// exactly one block of B bytes, addressed by track number.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "em/backend.hpp"
+
+namespace embsp::em {
+
+class Disk {
+ public:
+  /// `block_size` is B in bytes.  `capacity_tracks` == 0 means unbounded
+  /// (the backend grows on demand); a nonzero capacity makes out-of-range
+  /// accesses throw, which the tests use to pin down space bounds.
+  Disk(std::size_t block_size, std::unique_ptr<Backend> backend,
+       std::uint64_t capacity_tracks = 0);
+
+  void read_track(std::uint64_t track, std::span<std::byte> dst);
+  void write_track(std::uint64_t track, std::span<const std::byte> src);
+
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] std::uint64_t capacity_tracks() const { return capacity_; }
+
+  /// Highest track ever written + 1 — the disk-space usage the space bounds
+  /// of Lemma 1 / Theorem 1 talk about.
+  [[nodiscard]] std::uint64_t tracks_used() const { return tracks_used_; }
+
+  /// Per-drive transfer counters (used to verify even load across drives).
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  void check(std::uint64_t track, std::size_t len) const;
+
+  std::size_t block_size_;
+  std::unique_ptr<Backend> backend_;
+  std::uint64_t capacity_;
+  std::uint64_t tracks_used_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace embsp::em

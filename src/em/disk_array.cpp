@@ -1,0 +1,81 @@
+#include "em/disk_array.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace embsp::em {
+
+DiskArray::DiskArray(
+    std::size_t num_disks, std::size_t block_size,
+    std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
+    std::uint64_t capacity_tracks_per_disk)
+    : block_size_(block_size), seen_(num_disks, 0) {
+  if (num_disks == 0) {
+    throw std::invalid_argument("DiskArray: need at least one disk");
+  }
+  disks_.reserve(num_disks);
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    auto backend =
+        make_backend ? make_backend(d) : make_memory_backend();
+    disks_.push_back(std::make_unique<Disk>(block_size, std::move(backend),
+                                            capacity_tracks_per_disk));
+  }
+}
+
+void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
+  if (disks.empty()) {
+    throw std::invalid_argument("DiskArray: empty parallel I/O operation");
+  }
+  if (disks.size() > disks_.size()) {
+    throw std::invalid_argument(
+        "DiskArray: more ops than disks in one parallel I/O");
+  }
+  for (auto d : disks) {
+    if (d >= disks_.size()) {
+      throw std::out_of_range("DiskArray: disk index " + std::to_string(d));
+    }
+    if (seen_[d] != 0) {
+      // Clean up before throwing so the array stays usable.
+      for (auto e : disks) seen_[e] = 0;
+      throw std::invalid_argument(
+          "DiskArray: disk " + std::to_string(d) +
+          " accessed twice in one parallel I/O (model violation)");
+    }
+    seen_[d] = 1;
+  }
+  for (auto d : disks) seen_[d] = 0;
+}
+
+void DiskArray::parallel_read(std::span<const ReadOp> ops) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(ops.size());
+  for (const auto& op : ops) ids.push_back(op.disk);
+  check_distinct(ids);
+  for (const auto& op : ops) {
+    disks_[op.disk]->read_track(op.track, op.dst);
+    stats_.bytes_read += op.dst.size();
+  }
+  stats_.parallel_ios += 1;
+  stats_.blocks_read += ops.size();
+}
+
+void DiskArray::parallel_write(std::span<const WriteOp> ops) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(ops.size());
+  for (const auto& op : ops) ids.push_back(op.disk);
+  check_distinct(ids);
+  for (const auto& op : ops) {
+    disks_[op.disk]->write_track(op.track, op.src);
+    stats_.bytes_written += op.src.size();
+  }
+  stats_.parallel_ios += 1;
+  stats_.blocks_written += ops.size();
+}
+
+std::uint64_t DiskArray::max_tracks_used() const {
+  std::uint64_t used = 0;
+  for (const auto& d : disks_) used = std::max(used, d->tracks_used());
+  return used;
+}
+
+}  // namespace embsp::em

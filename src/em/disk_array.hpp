@@ -1,0 +1,74 @@
+// The D-disk array of one EM-BSP processor, with the parallel-I/O discipline
+// of §3 enforced by construction:
+//
+//   "Each processor can use all of its D disk drives concurrently, and
+//    transfer D x B items ... in a single I/O operation and at cost G.  In
+//    such an operation, we permit only one track per disk to be accessed."
+//
+// Every read/write goes through parallel_read()/parallel_write(), each call
+// counting as exactly one parallel I/O operation.  A call that names the
+// same disk twice throws — higher layers cannot accidentally serialize disk
+// accesses without it showing up in the operation count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "em/disk.hpp"
+#include "em/io_stats.hpp"
+
+namespace embsp::em {
+
+struct ReadOp {
+  std::uint32_t disk;
+  std::uint64_t track;
+  std::span<std::byte> dst;  ///< exactly block_size bytes
+};
+
+struct WriteOp {
+  std::uint32_t disk;
+  std::uint64_t track;
+  std::span<const std::byte> src;  ///< exactly block_size bytes
+};
+
+class DiskArray {
+ public:
+  /// Creates `num_disks` drives with the given block size.  `make_backend`
+  /// is invoked once per drive; pass nullptr for in-memory backends.
+  DiskArray(std::size_t num_disks, std::size_t block_size,
+            std::function<std::unique_ptr<Backend>(std::size_t)> make_backend =
+                nullptr,
+            std::uint64_t capacity_tracks_per_disk = 0);
+
+  /// One parallel I/O operation reading up to one track per disk.
+  /// Empty op lists are rejected (they would be free I/O).
+  void parallel_read(std::span<const ReadOp> ops);
+
+  /// One parallel I/O operation writing up to one track per disk.
+  void parallel_write(std::span<const WriteOp> ops);
+
+  [[nodiscard]] std::size_t num_disks() const { return disks_.size(); }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+
+  [[nodiscard]] Disk& disk(std::size_t i) { return *disks_[i]; }
+  [[nodiscard]] const Disk& disk(std::size_t i) const { return *disks_[i]; }
+
+  [[nodiscard]] const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = IoStats{}; }
+
+  /// Max tracks used over all drives — the per-disk space bound of Lemma 1.
+  [[nodiscard]] std::uint64_t max_tracks_used() const;
+
+ private:
+  void check_distinct(std::span<const std::uint32_t> disks) const;
+
+  std::size_t block_size_;
+  std::vector<std::unique_ptr<Disk>> disks_;
+  IoStats stats_;
+  mutable std::vector<std::uint8_t> seen_;  // scratch for distinctness check
+};
+
+}  // namespace embsp::em

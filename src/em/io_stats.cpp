@@ -1,0 +1,3 @@
+#include "em/io_stats.hpp"
+
+// Header-only; see io_stats.hpp.

@@ -1,0 +1,59 @@
+// I/O cost accounting for the EM-BSP model (§3 of the paper).
+//
+// The model charges G time units per *parallel I/O operation*: one operation
+// moves at most one track (= one block of B bytes) per disk, touching up to
+// D disks at once.  The simulation theorems (Theorem 1, Corollary 1) are
+// statements about the number of such operations, so the substrate counts
+// them exactly; wall-clock time plays no role in the accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace embsp::em {
+
+struct IoStats {
+  std::uint64_t parallel_ios = 0;   ///< number of parallel I/O operations
+  std::uint64_t blocks_read = 0;    ///< total blocks moved disk -> memory
+  std::uint64_t blocks_written = 0; ///< total blocks moved memory -> disk
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  /// Model I/O time: t_IO = G * (#parallel I/O operations).
+  [[nodiscard]] double io_time(double cost_g) const {
+    return cost_g * static_cast<double>(parallel_ios);
+  }
+
+  /// Fraction of disk slots actually used: 1.0 means every parallel I/O
+  /// moved a block on every disk (the "full parallel disk I/O" the paper is
+  /// after); 1/D means disks were used one at a time.
+  [[nodiscard]] double utilization(std::size_t num_disks) const {
+    if (parallel_ios == 0 || num_disks == 0) return 0.0;
+    return static_cast<double>(blocks_read + blocks_written) /
+           (static_cast<double>(parallel_ios) *
+            static_cast<double>(num_disks));
+  }
+
+  IoStats& operator+=(const IoStats& o) {
+    parallel_ios += o.parallel_ios;
+    blocks_read += o.blocks_read;
+    blocks_written += o.blocks_written;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+
+  /// Stats accumulated since `before` was captured — used for per-phase
+  /// breakdowns (fetch / compute / write / reorganize).
+  [[nodiscard]] IoStats since(const IoStats& before) const {
+    IoStats d;
+    d.parallel_ios = parallel_ios - before.parallel_ios;
+    d.blocks_read = blocks_read - before.blocks_read;
+    d.blocks_written = blocks_written - before.blocks_written;
+    d.bytes_read = bytes_read - before.bytes_read;
+    d.bytes_written = bytes_written - before.bytes_written;
+    return d;
+  }
+};
+
+}  // namespace embsp::em

@@ -1,0 +1,129 @@
+#include "em/linked_buckets.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace embsp::em {
+
+LinkedBuckets::LinkedBuckets(DiskArray& disks, TrackAllocators& alloc,
+                             std::size_t num_buckets)
+    : disks_(&disks), alloc_(&alloc), num_buckets_(num_buckets) {
+  if (num_buckets == 0) {
+    throw std::invalid_argument("LinkedBuckets: need at least one bucket");
+  }
+  chains_.resize(disks.num_disks());
+  for (auto& per_disk : chains_) per_disk.resize(num_buckets);
+}
+
+void LinkedBuckets::write_cycle(std::span<const OutBlock> blocks,
+                                util::Rng& rng) {
+  const std::size_t d = disks_->num_disks();
+  if (blocks.empty()) return;
+  if (blocks.size() > d) {
+    throw std::invalid_argument(
+        "LinkedBuckets: at most one block per disk per write cycle");
+  }
+  std::vector<std::uint32_t> perm;
+  rng.permutation(d, perm);
+
+  std::vector<WriteOp> ops;
+  ops.reserve(blocks.size());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> placements;
+  placements.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].bucket >= num_buckets_) {
+      throw std::out_of_range("LinkedBuckets: bucket " +
+                              std::to_string(blocks[i].bucket));
+    }
+    const std::uint32_t disk = perm[i];
+    const std::uint64_t track = (*alloc_)[disk].alloc_track();
+    ops.push_back({disk, track, blocks[i].data});
+    placements.emplace_back(disk, track);
+  }
+  disks_->parallel_write(ops);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto [disk, track] = placements[i];
+    chains_[disk][blocks[i].bucket].push_back(track);
+  }
+}
+
+void LinkedBuckets::write_cycle_assigned(
+    std::span<const OutBlock> blocks, std::span<const std::uint32_t> disks) {
+  if (blocks.empty()) return;
+  if (blocks.size() != disks.size() || blocks.size() > disks_->num_disks()) {
+    throw std::invalid_argument(
+        "LinkedBuckets: bad assigned write cycle shape");
+  }
+  std::vector<WriteOp> ops;
+  ops.reserve(blocks.size());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> placements;
+  placements.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].bucket >= num_buckets_) {
+      throw std::out_of_range("LinkedBuckets: bucket " +
+                              std::to_string(blocks[i].bucket));
+    }
+    const std::uint32_t disk = disks[i];
+    const std::uint64_t track = (*alloc_)[disk].alloc_track();
+    ops.push_back({disk, track, blocks[i].data});
+    placements.emplace_back(disk, track);
+  }
+  disks_->parallel_write(ops);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto [disk, track] = placements[i];
+    chains_[disk][blocks[i].bucket].push_back(track);
+  }
+}
+
+std::optional<std::uint64_t> LinkedBuckets::pop_track(std::size_t bucket,
+                                                      std::size_t disk) {
+  auto& chain = chains_[disk][bucket];
+  if (chain.empty()) return std::nullopt;
+  const std::uint64_t t = chain.back();
+  chain.pop_back();
+  return t;
+}
+
+void LinkedBuckets::release_track(std::size_t disk, std::uint64_t track) {
+  (*alloc_)[disk].release_track(track);
+}
+
+std::size_t LinkedBuckets::blocks_on_disk(std::size_t bucket,
+                                          std::size_t disk) const {
+  return chains_[disk][bucket].size();
+}
+
+std::size_t LinkedBuckets::bucket_size(std::size_t bucket) const {
+  std::size_t total = 0;
+  for (const auto& per_disk : chains_) total += per_disk[bucket].size();
+  return total;
+}
+
+void LinkedBuckets::drain_bucket(
+    std::size_t bucket,
+    const std::function<void(std::span<const std::byte>)>& consume) {
+  const std::size_t d = disks_->num_disks();
+  const std::size_t bs = disks_->block_size();
+  std::vector<std::byte> buf(d * bs);
+  std::vector<ReadOp> ops;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> popped;
+  for (;;) {
+    ops.clear();
+    popped.clear();
+    for (std::size_t disk = 0; disk < d; ++disk) {
+      if (auto track = pop_track(bucket, disk)) {
+        ops.push_back({static_cast<std::uint32_t>(disk), *track,
+                       std::span<std::byte>(buf).subspan(ops.size() * bs, bs)});
+        popped.emplace_back(static_cast<std::uint32_t>(disk), *track);
+      }
+    }
+    if (ops.empty()) break;
+    disks_->parallel_read(ops);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      consume(std::span<const std::byte>(buf).subspan(i * bs, bs));
+      release_track(popped[i].first, popped[i].second);
+    }
+  }
+}
+
+}  // namespace embsp::em

@@ -1,0 +1,91 @@
+// Standard linked format (§5.1, step 1(d) of Algorithm 1).
+//
+// Generated message blocks are partitioned into buckets by destination and
+// appended to per-disk linked lists:
+//
+//   "The blocks are partitioned into D buckets on the disks ... the
+//    simulation uses a table of D pointers on each disk.  The i-th entry in
+//    the table on a disk points to the head of a list of blocks of bucket i
+//    that have been written to that disk.  Whenever we write a block of
+//    bucket i to disk Dj, we allocate a free track on Dj and concatenate it
+//    to the list for bucket i."
+//
+// Blocks are written in *write cycles*: up to D blocks per cycle, one per
+// disk, with the disk chosen by a fresh random permutation — precisely the
+// randomized placement that Lemma 2 analyzes.  The per-disk chain lengths
+// are exposed so tests and benches can measure the balance the lemma
+// promises.
+//
+// The chain metadata (track lists) is kept in memory; it stands in for the
+// on-disk pointer table + intra-track links of the paper and is O(1) words
+// per block.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/track_allocator.hpp"
+#include "util/rng.hpp"
+
+namespace embsp::em {
+
+class LinkedBuckets {
+ public:
+  LinkedBuckets(DiskArray& disks, TrackAllocators& alloc,
+                std::size_t num_buckets);
+
+  struct OutBlock {
+    std::uint32_t bucket;
+    std::span<const std::byte> data;  ///< exactly block_size bytes
+  };
+
+  /// One write cycle: writes `blocks` (at most D of them) in a single
+  /// parallel I/O.  Block i goes to disk pi(i) for a random permutation pi
+  /// drawn from `rng` — Algorithm 1 step 1(d).
+  void write_cycle(std::span<const OutBlock> blocks, util::Rng& rng);
+
+  /// Deterministic variant: block i goes to `disks[i]` (all distinct) —
+  /// used by RoutingMode::deterministic, where the caller derives the
+  /// placement from per-bucket round-robin cursors.
+  void write_cycle_assigned(std::span<const OutBlock> blocks,
+                            std::span<const std::uint32_t> disks);
+
+  /// Pop the next track of `bucket` stored on `disk` (LIFO — list head).
+  /// The caller is expected to read the track and then release_track() it.
+  std::optional<std::uint64_t> pop_track(std::size_t bucket,
+                                         std::size_t disk);
+
+  /// Return a drained track to the free pool.
+  void release_track(std::size_t disk, std::uint64_t track);
+
+  /// Chain length: blocks of `bucket` currently stored on `disk` — the
+  /// random variable X_{j,k} of Lemma 2.
+  [[nodiscard]] std::size_t blocks_on_disk(std::size_t bucket,
+                                           std::size_t disk) const;
+
+  [[nodiscard]] std::size_t bucket_size(std::size_t bucket) const;
+
+  [[nodiscard]] std::size_t num_buckets() const { return num_buckets_; }
+
+  /// Read and remove every block of `bucket`, calling `consume` once per
+  /// block.  Uses maximal disk parallelism: each parallel I/O reads one
+  /// block from every drive that still holds part of the bucket, so the
+  /// number of I/Os equals the *longest chain* — the quantity Lemma 2
+  /// bounds by ~R/D w.h.p.
+  void drain_bucket(std::size_t bucket,
+                    const std::function<void(std::span<const std::byte>)>&
+                        consume);
+
+ private:
+  DiskArray* disks_;
+  TrackAllocators* alloc_;
+  std::size_t num_buckets_;
+  // chains_[disk][bucket] = tracks holding blocks of that bucket.
+  std::vector<std::vector<std::vector<std::uint64_t>>> chains_;
+};
+
+}  // namespace embsp::em

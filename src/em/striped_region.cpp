@@ -1,0 +1,89 @@
+#include "em/striped_region.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace embsp::em {
+
+StripedRegion::StripedRegion(DiskArray& disks,
+                             std::vector<std::uint64_t> start_tracks,
+                             std::uint64_t num_blocks)
+    : disks_(&disks),
+      start_tracks_(std::move(start_tracks)),
+      num_blocks_(num_blocks) {
+  if (start_tracks_.size() != disks.num_disks()) {
+    throw std::invalid_argument(
+        "StripedRegion: need one start track per disk");
+  }
+}
+
+StripedRegion StripedRegion::reserve(DiskArray& disks, TrackAllocators& alloc,
+                                     std::uint64_t num_blocks) {
+  const std::uint64_t d = disks.num_disks();
+  const std::uint64_t per_disk = (num_blocks + d - 1) / d;
+  return StripedRegion(disks, alloc.reserve_striped(per_disk), num_blocks);
+}
+
+std::pair<std::uint32_t, std::uint64_t> StripedRegion::location(
+    std::uint64_t g) const {
+  const std::uint64_t d = disks_->num_disks();
+  const auto disk = static_cast<std::uint32_t>(g % d);
+  return {disk, start_tracks_[disk] + g / d};
+}
+
+void StripedRegion::check_range(std::uint64_t first, std::uint64_t count,
+                                std::size_t bytes) const {
+  if (first + count > num_blocks_) {
+    throw std::out_of_range("StripedRegion: blocks [" + std::to_string(first) +
+                            ", " + std::to_string(first + count) +
+                            ") out of range (size " +
+                            std::to_string(num_blocks_) + ")");
+  }
+  if (bytes != count * disks_->block_size()) {
+    throw std::invalid_argument("StripedRegion: buffer size mismatch");
+  }
+}
+
+void StripedRegion::read_blocks(std::uint64_t first, std::uint64_t count,
+                                std::span<std::byte> dst) const {
+  check_range(first, count, dst.size());
+  const std::uint64_t d = disks_->num_disks();
+  const std::size_t bs = disks_->block_size();
+  std::vector<ReadOp> ops;
+  ops.reserve(d);
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t batch = std::min<std::uint64_t>(d, count - done);
+    ops.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const std::uint64_t g = first + done + i;
+      const auto [disk, track] = location(g);
+      ops.push_back({disk, track, dst.subspan((done + i) * bs, bs)});
+    }
+    disks_->parallel_read(ops);
+    done += batch;
+  }
+}
+
+void StripedRegion::write_blocks(std::uint64_t first, std::uint64_t count,
+                                 std::span<const std::byte> src) {
+  check_range(first, count, src.size());
+  const std::uint64_t d = disks_->num_disks();
+  const std::size_t bs = disks_->block_size();
+  std::vector<WriteOp> ops;
+  ops.reserve(d);
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t batch = std::min<std::uint64_t>(d, count - done);
+    ops.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const std::uint64_t g = first + done + i;
+      const auto [disk, track] = location(g);
+      ops.push_back({disk, track, src.subspan((done + i) * bs, bs)});
+    }
+    disks_->parallel_write(ops);
+    done += batch;
+  }
+}
+
+}  // namespace embsp::em

@@ -1,0 +1,57 @@
+// Standard consecutive format (Definition 2).
+//
+// A StripedRegion is a logical array of blocks spread round-robin across the
+// D drives: block g lives on disk (g mod D) at track start[g mod D] + g/D.
+// Reading or writing a run of consecutive blocks therefore proceeds in
+// batches of up to D blocks, each batch touching D *distinct* drives — one
+// fully parallel I/O per batch.  This is the layout used for virtual
+// processor contexts (Algorithm 1 steps 1(a)/1(e)) and for reorganized
+// message groups (output of Algorithm 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/track_allocator.hpp"
+
+namespace embsp::em {
+
+class StripedRegion {
+ public:
+  /// Use pre-reserved per-disk start tracks (one entry per drive).
+  StripedRegion(DiskArray& disks, std::vector<std::uint64_t> start_tracks,
+                std::uint64_t num_blocks);
+
+  /// Reserve space for `num_blocks` blocks via the allocators and build the
+  /// region.  Reserves ceil(num_blocks / D) tracks on every disk, matching
+  /// the "number of blocks on each disk differs by at most one" clause.
+  static StripedRegion reserve(DiskArray& disks, TrackAllocators& alloc,
+                               std::uint64_t num_blocks);
+
+  /// Read blocks [first, first+count) into dst (count * B bytes).
+  void read_blocks(std::uint64_t first, std::uint64_t count,
+                   std::span<std::byte> dst) const;
+
+  /// Write blocks [first, first+count) from src (count * B bytes).
+  void write_blocks(std::uint64_t first, std::uint64_t count,
+                    std::span<const std::byte> src);
+
+  [[nodiscard]] std::uint64_t num_blocks() const { return num_blocks_; }
+  [[nodiscard]] std::size_t block_size() const { return disks_->block_size(); }
+
+  /// Physical placement of logical block g (useful for tests).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint64_t> location(
+      std::uint64_t g) const;
+
+ private:
+  void check_range(std::uint64_t first, std::uint64_t count,
+                   std::size_t bytes) const;
+
+  DiskArray* disks_;
+  std::vector<std::uint64_t> start_tracks_;
+  std::uint64_t num_blocks_;
+};
+
+}  // namespace embsp::em

@@ -1,0 +1,33 @@
+#include "em/track_allocator.hpp"
+
+namespace embsp::em {
+
+std::uint64_t TrackAllocator::reserve_region(std::uint64_t n) {
+  const std::uint64_t start = next_;
+  next_ += n;
+  return start;
+}
+
+std::uint64_t TrackAllocator::alloc_track() {
+  if (!free_.empty()) {
+    const std::uint64_t t = free_.back();
+    free_.pop_back();
+    return t;
+  }
+  return next_++;
+}
+
+void TrackAllocator::release_track(std::uint64_t track) {
+  free_.push_back(track);
+}
+
+std::vector<std::uint64_t> TrackAllocators::reserve_striped(
+    std::uint64_t tracks_per_disk) {
+  std::vector<std::uint64_t> starts(per_disk_.size());
+  for (std::size_t d = 0; d < per_disk_.size(); ++d) {
+    starts[d] = per_disk_[d].reserve_region(tracks_per_disk);
+  }
+  return starts;
+}
+
+}  // namespace embsp::em

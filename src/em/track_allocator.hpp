@@ -1,0 +1,59 @@
+// Track allocation for one disk drive.
+//
+// Two allocation disciplines coexist in the simulation:
+//  * contiguous regions — reserved once at setup for the context store and
+//    the reorganized message areas ("standard consecutive format"); and
+//  * single tracks — allocated and recycled while message buckets are being
+//    written in "standard linked format" ("whenever we write a block of
+//    bucket i to disk Dj, we allocate a free track on Dj").
+// Contiguous reservations come from a bump pointer; single tracks prefer
+// the free list so space is reused across compound supersteps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace embsp::em {
+
+class TrackAllocator {
+ public:
+  TrackAllocator() = default;
+
+  /// Reserve `n` consecutive tracks; returns the first track number.
+  std::uint64_t reserve_region(std::uint64_t n);
+
+  /// Allocate a single track (recycled if possible).
+  std::uint64_t alloc_track();
+
+  /// Return a single track to the free list.
+  void release_track(std::uint64_t track);
+
+  /// Tracks handed out and never released (high-water mark of the bump
+  /// pointer; released tracks still count — they remain reserved space).
+  [[nodiscard]] std::uint64_t high_water() const { return next_; }
+
+  [[nodiscard]] std::size_t free_tracks() const { return free_.size(); }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::vector<std::uint64_t> free_;
+};
+
+/// One allocator per drive of a disk array.
+class TrackAllocators {
+ public:
+  explicit TrackAllocators(std::size_t num_disks) : per_disk_(num_disks) {}
+
+  TrackAllocator& operator[](std::size_t d) { return per_disk_[d]; }
+  const TrackAllocator& operator[](std::size_t d) const { return per_disk_[d]; }
+  [[nodiscard]] std::size_t size() const { return per_disk_.size(); }
+
+  /// Reserve the same number of consecutive tracks on every disk; returns
+  /// the per-disk start tracks (used for striped regions).
+  std::vector<std::uint64_t> reserve_striped(std::uint64_t tracks_per_disk);
+
+ private:
+  std::vector<TrackAllocator> per_disk_;
+};
+
+}  // namespace embsp::em

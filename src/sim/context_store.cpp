@@ -1,0 +1,156 @@
+#include "sim/context_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace embsp::sim {
+
+namespace {
+constexpr std::size_t kLenPrefix = sizeof(std::uint32_t);
+}
+
+ContextStore::ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
+                           std::uint32_t num_contexts,
+                           std::size_t max_context_bytes)
+    : disks_(&disks),
+      num_contexts_(num_contexts),
+      max_context_bytes_(max_context_bytes),
+      block_size_(disks.block_size()),
+      blocks_((max_context_bytes + kLenPrefix + block_size_ - 1) /
+              block_size_),
+      band_((blocks_ + disks.num_disks() - 1) / disks.num_disks()),
+      lengths_(num_contexts, 0) {
+  if (num_contexts == 0) {
+    throw std::invalid_argument("ContextStore: need at least one context");
+  }
+  if (max_context_bytes == 0) {
+    throw std::invalid_argument("ContextStore: mu must be > 0");
+  }
+  // Context j occupies its own band of `band_` tracks on every disk; its
+  // i-th block lives on disk (j + i) mod D — the rotation keeps partial
+  // (length-limited) accesses of consecutive contexts spread over all
+  // drives, preserving the fully parallel group I/O of §5.1.
+  start_tracks_ = alloc.reserve_striped(static_cast<std::uint64_t>(band_) *
+                                        num_contexts);
+}
+
+std::pair<std::uint32_t, std::uint64_t> ContextStore::location(
+    std::uint32_t ctx, std::uint64_t block) const {
+  const std::uint64_t d = disks_->num_disks();
+  const auto disk = static_cast<std::uint32_t>((ctx + block) % d);
+  return {disk, start_tracks_[disk] +
+                    static_cast<std::uint64_t>(ctx) * band_ + block / d};
+}
+
+void ContextStore::write(std::uint32_t first,
+                         std::span<const std::vector<std::byte>> payloads) {
+  const auto count = static_cast<std::uint32_t>(payloads.size());
+  if (first + count > num_contexts_) {
+    throw std::out_of_range("ContextStore::write: context range");
+  }
+  const std::uint64_t d = disks_->num_disks();
+  // Stage all used blocks, then drain per-disk queues one op per disk per
+  // parallel I/O — the rotated layout keeps the queues balanced.
+  scratch_.clear();
+  struct Op {
+    std::uint32_t disk;
+    std::uint64_t track;
+    std::size_t offset;
+  };
+  std::vector<std::vector<Op>> queues(d);
+  std::size_t staged = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto& p = payloads[i];
+    if (p.size() > max_context_bytes_) {
+      throw std::runtime_error(
+          "ContextStore: context of processor " + std::to_string(first + i) +
+          " is " + std::to_string(p.size()) +
+          " bytes, exceeding the declared mu = " +
+          std::to_string(max_context_bytes_));
+    }
+    const std::uint64_t used = blocks_for(p.size());
+    scratch_.resize(staged + used * block_size_, std::byte{0});
+    const auto len = static_cast<std::uint32_t>(p.size());
+    std::memcpy(scratch_.data() + staged, &len, kLenPrefix);
+    std::memcpy(scratch_.data() + staged + kLenPrefix, p.data(), p.size());
+    for (std::uint64_t b = 0; b < used; ++b) {
+      const auto [disk, track] = location(first + i, b);
+      queues[disk].push_back(Op{disk, track, staged + b * block_size_});
+    }
+    staged += used * block_size_;
+    lengths_[first + i] = len;
+  }
+  std::vector<std::size_t> heads(d, 0);
+  std::vector<em::WriteOp> ops;
+  for (;;) {
+    ops.clear();
+    for (std::uint64_t disk = 0; disk < d; ++disk) {
+      if (heads[disk] < queues[disk].size()) {
+        const Op& op = queues[disk][heads[disk]++];
+        ops.push_back({op.disk, op.track,
+                       std::span<const std::byte>(scratch_)
+                           .subspan(op.offset, block_size_)});
+      }
+    }
+    if (ops.empty()) break;
+    disks_->parallel_write(ops);
+  }
+}
+
+std::vector<std::vector<std::byte>> ContextStore::read(std::uint32_t first,
+                                                       std::uint32_t count) {
+  if (first + count > num_contexts_) {
+    throw std::out_of_range("ContextStore::read: context range");
+  }
+  const std::uint64_t d = disks_->num_disks();
+  struct Op {
+    std::uint32_t disk;
+    std::uint64_t track;
+    std::size_t offset;
+  };
+  std::vector<std::vector<Op>> queues(d);
+  std::vector<std::size_t> ctx_offset(count);
+  std::size_t staged = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t used = blocks_for(lengths_[first + i]);
+    ctx_offset[i] = staged;
+    for (std::uint64_t b = 0; b < used; ++b) {
+      const auto [disk, track] = location(first + i, b);
+      queues[disk].push_back(Op{disk, track, staged + b * block_size_});
+    }
+    staged += used * block_size_;
+  }
+  scratch_.resize(staged);
+  std::vector<std::size_t> heads(d, 0);
+  std::vector<em::ReadOp> ops;
+  for (;;) {
+    ops.clear();
+    for (std::uint64_t disk = 0; disk < d; ++disk) {
+      if (heads[disk] < queues[disk].size()) {
+        const Op& op = queues[disk][heads[disk]++];
+        ops.push_back({op.disk, op.track,
+                       std::span<std::byte>(scratch_).subspan(op.offset,
+                                                              block_size_)});
+      }
+    }
+    if (ops.empty()) break;
+    disks_->parallel_read(ops);
+  }
+
+  std::vector<std::vector<std::byte>> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, scratch_.data() + ctx_offset[i], kLenPrefix);
+    if (len != lengths_[first + i] || len > max_context_bytes_) {
+      throw std::runtime_error(
+          "ContextStore: corrupted context slot for processor " +
+          std::to_string(first + i));
+    }
+    const auto* src = scratch_.data() + ctx_offset[i] + kLenPrefix;
+    out[i].assign(src, src + len);
+  }
+  return out;
+}
+
+}  // namespace embsp::sim

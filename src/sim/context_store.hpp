@@ -1,0 +1,77 @@
+// On-disk storage of virtual processor contexts (Algorithm 1, steps 1(a)
+// and 1(e)).
+//
+//   "We reserve an area of total size v*mu on the disks, v*mu/DB blocks on
+//    each disk, where we store the contexts.  We split the context V_j of
+//    virtual processor j into blocks of size B and store the i-th block of
+//    V_j on disk (i + j*(mu/B)) mod D using track floor((i + j*(mu/B))/D)."
+//
+// We realize the same idea with a per-context rotation: context j's i-th
+// block lives on disk (j + i) mod D inside context j's private track band,
+// so reading/writing a group of consecutive contexts drives all D disks in
+// parallel even when only each context's *used* blocks are transferred.
+//
+// Each context slot stores [u32 length][serialized bytes][zero padding].
+//
+// As an engineering optimization the store keeps each context's current
+// length in memory (O(v) words — the same class of metadata as the linked
+// buckets' pointer tables) and transfers only the blocks a context
+// actually occupies.  The layout (and hence full disk parallelism) is
+// unchanged; supersteps in which contexts are small cost proportionally
+// less I/O.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "em/striped_region.hpp"
+
+namespace embsp::sim {
+
+class ContextStore {
+ public:
+  /// `max_context_bytes` is the paper's mu (serialized size bound).
+  ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
+               std::uint32_t num_contexts, std::size_t max_context_bytes);
+
+  /// Blocks per context after padding (mu/B, rounded up, incl. the length
+  /// prefix).
+  [[nodiscard]] std::uint64_t blocks_per_context() const { return blocks_; }
+  [[nodiscard]] std::size_t slot_bytes() const {
+    return static_cast<std::size_t>(blocks_) * block_size_;
+  }
+
+  /// Physical placement of context `ctx`'s block `block` (for tests).
+  [[nodiscard]] std::pair<std::uint32_t, std::uint64_t> location(
+      std::uint32_t ctx, std::uint64_t block) const;
+
+  /// Write contexts [first, first+count); `payloads[i]` is the serialized
+  /// context of processor first+i and must fit in mu bytes.
+  void write(std::uint32_t first,
+             std::span<const std::vector<std::byte>> payloads);
+
+  /// Read contexts [first, first+count); returns one byte vector per
+  /// context (exactly the bytes previously written).
+  [[nodiscard]] std::vector<std::vector<std::byte>> read(std::uint32_t first,
+                                                         std::uint32_t count);
+
+  [[nodiscard]] std::uint32_t num_contexts() const { return num_contexts_; }
+
+ private:
+  [[nodiscard]] std::uint64_t blocks_for(std::size_t bytes) const {
+    return (bytes + sizeof(std::uint32_t) + block_size_ - 1) / block_size_;
+  }
+
+  em::DiskArray* disks_;
+  std::uint32_t num_contexts_;
+  std::size_t max_context_bytes_;
+  std::size_t block_size_;
+  std::uint64_t blocks_;
+  std::uint64_t band_;  ///< tracks per context per disk
+  std::vector<std::uint64_t> start_tracks_;
+  std::vector<std::uint32_t> lengths_;  ///< in-memory length table
+  std::vector<std::byte> scratch_;
+};
+
+}  // namespace embsp::sim

@@ -1,0 +1,346 @@
+#include "sim/message_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace embsp::sim {
+
+MessageStore::MessageStore(em::DiskArray& disks, em::TrackAllocators& alloc,
+                           MessageStoreConfig cfg)
+    : disks_(&disks),
+      alloc_(&alloc),
+      cfg_(cfg),
+      block_size_(disks.block_size()),
+      num_disks_(static_cast<std::uint32_t>(disks.num_disks())),
+      gpb_((cfg.num_groups + num_disks_ - 1) / num_disks_),
+      bucket_cap_(static_cast<std::uint64_t>(gpb_) *
+                  cfg.group_capacity_blocks),
+      cap_rows_((bucket_cap_ + num_disks_ - 1) / num_disks_),
+      buckets_(disks, alloc, num_disks_),
+      rr_next_(num_disks_, 0),
+      staged_count_(cfg.num_groups, 0),
+      staged_real_(cfg.num_groups, 0),
+      ready_count_(cfg.num_groups, 0),
+      ready_real_(cfg.num_groups, 0),
+      ready_base_(cfg.num_groups, 0) {
+  if (cfg.num_groups == 0) {
+    throw std::invalid_argument("MessageStore: need at least one group");
+  }
+  if (block_size_ < kMinBlockSize) {
+    throw std::invalid_argument("MessageStore: block size below minimum (" +
+                                std::to_string(kMinBlockSize) + " bytes)");
+  }
+  // Consolidation region: bucket d gathers on disk d (step 1 of Alg. 2).
+  consolidation_start_.resize(num_disks_);
+  for (std::uint32_t d = 0; d < num_disks_; ++d) {
+    consolidation_start_[d] = (*alloc_)[d].reserve_region(bucket_cap_);
+  }
+  // Arena: one slab of cap_rows tracks per bucket on every disk.
+  const std::uint64_t arena_tracks =
+      static_cast<std::uint64_t>(num_disks_) * cap_rows_;
+  arena_start_.resize(num_disks_);
+  for (std::uint32_t d = 0; d < num_disks_; ++d) {
+    arena_start_[d] = (*alloc_)[d].reserve_region(arena_tracks);
+  }
+}
+
+std::uint32_t MessageStore::bucket_of_group(std::uint32_t g) const {
+  return g / gpb_;
+}
+
+std::pair<std::uint32_t, std::uint64_t> MessageStore::arena_location(
+    std::uint32_t bucket, std::uint64_t t) const {
+  const auto disk = static_cast<std::uint32_t>((bucket + t) % num_disks_);
+  const std::uint64_t track = arena_start_[disk] +
+                              static_cast<std::uint64_t>(bucket) * cap_rows_ +
+                              t / num_disks_;
+  return {disk, track};
+}
+
+void MessageStore::stage(std::uint32_t group, std::span<const std::byte> block,
+                         util::Rng& rng) {
+  if (group >= cfg_.num_groups) {
+    throw std::out_of_range("MessageStore: destination group " +
+                            std::to_string(group));
+  }
+  if (staged_count_[group] >= cfg_.group_capacity_blocks) {
+    throw std::runtime_error(
+        "MessageStore: group " + std::to_string(group) +
+        " exceeded its receive capacity of " +
+        std::to_string(cfg_.group_capacity_blocks) +
+        " blocks — the program communicates more than the declared gamma");
+  }
+  ++staged_count_[group];
+  if (!is_dummy_block(block)) ++staged_real_[group];
+  pending_.push_back(
+      {bucket_of_group(group),
+       std::vector<std::byte>(block.begin(), block.end())});
+  if (pending_.size() == num_disks_) flush(rng);
+}
+
+void MessageStore::write_messages(
+    std::span<const bsp::Message> messages,
+    const std::function<std::uint32_t(std::uint32_t)>& group_of,
+    util::Rng& rng) {
+  // Partition messages by destination group, then pack each group's
+  // messages into blocks ("each block inherits the destination address").
+  std::vector<std::vector<const bsp::Message*>> per_group;
+  for (const auto& m : messages) {
+    const std::uint32_t g = group_of(m.dst);
+    if (g >= cfg_.num_groups) {
+      throw std::out_of_range("MessageStore: message to unknown group " +
+                              std::to_string(g));
+    }
+    if (per_group.size() <= g) per_group.resize(g + 1);
+    per_group[g].push_back(&m);
+  }
+  for (std::uint32_t g = 0; g < per_group.size(); ++g) {
+    if (per_group[g].empty()) continue;
+    pack_blocks(per_group[g], g, block_size_,
+                [&](std::span<const std::byte> block) {
+                  stage(g, block, rng);
+                });
+  }
+}
+
+void MessageStore::write_block(std::span<const std::byte> block,
+                               util::Rng& rng) {
+  const BlockHeader h = parse_header(block);
+  stage(h.dst_group, block, rng);
+}
+
+void MessageStore::flush(util::Rng& rng) {
+  if (pending_.empty()) return;
+  if (cfg_.mode == RoutingMode::deterministic) {
+    // Round-robin per bucket: each bucket's blocks are spread over the
+    // disks exactly evenly, no randomness.  Blocks whose assigned disks
+    // collide within this flush go out in separate parallel I/Os.
+    std::vector<std::pair<std::uint32_t, const PendingBlock*>> assigned;
+    assigned.reserve(pending_.size());
+    for (const auto& p : pending_) {
+      const auto disk =
+          static_cast<std::uint32_t>(rr_next_[p.bucket]++ % num_disks_);
+      assigned.emplace_back(disk, &p);
+    }
+    std::vector<std::uint8_t> done(assigned.size(), 0);
+    std::size_t remaining = assigned.size();
+    while (remaining > 0) {
+      std::vector<em::LinkedBuckets::OutBlock> cycle;
+      std::vector<std::uint32_t> cycle_disks;
+      std::vector<std::size_t> cycle_idx;
+      std::vector<std::uint8_t> disk_used(num_disks_, 0);
+      for (std::size_t i = 0; i < assigned.size(); ++i) {
+        if (done[i] || disk_used[assigned[i].first]) continue;
+        disk_used[assigned[i].first] = 1;
+        cycle.push_back({assigned[i].second->bucket,
+                         assigned[i].second->data});
+        cycle_disks.push_back(assigned[i].first);
+        cycle_idx.push_back(i);
+      }
+      buckets_.write_cycle_assigned(cycle, cycle_disks);
+      for (auto i : cycle_idx) {
+        done[i] = 1;
+        --remaining;
+      }
+    }
+    pending_.clear();
+    return;
+  }
+  std::vector<em::LinkedBuckets::OutBlock> out;
+  out.reserve(pending_.size());
+  for (const auto& p : pending_) {
+    out.push_back({p.bucket, p.data});
+  }
+  buckets_.write_cycle(out, rng);
+  pending_.clear();
+}
+
+RoutingStats MessageStore::reorganize(util::Rng& rng) {
+  RoutingStats stats;
+
+  // Padded mode realizes the paper's "introduce dummy blocks" device: every
+  // group is filled to capacity so each superstep's routing cost is the
+  // fixed worst case that Lemma 3 analyzes.
+  if (cfg_.mode == RoutingMode::padded) {
+    std::vector<std::byte> dummy;
+    for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+      while (staged_count_[g] < cfg_.group_capacity_blocks) {
+        make_dummy_block(g, block_size_, dummy);
+        stats.dummy_blocks += 1;
+        stage(g, dummy, rng);
+      }
+    }
+  }
+  flush(rng);
+
+  for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+    stats.blocks_total += staged_count_[g];
+  }
+  for (std::uint32_t d = 0; d < num_disks_; ++d) {
+    for (std::uint32_t q = 0; q < num_disks_; ++q) {
+      stats.max_chain = std::max<std::uint64_t>(
+          stats.max_chain, buckets_.blocks_on_disk(q, d));
+    }
+  }
+
+  // Consolidated placement: within its bucket, group g's blocks occupy
+  // t in [base[g], base[g] + staged[g]); base is the running prefix sum of
+  // group sizes inside the bucket (fixed offsets in padded mode, where all
+  // sizes equal the capacity).
+  std::vector<std::uint64_t> base(cfg_.num_groups, 0);
+  {
+    std::uint64_t run = 0;
+    std::uint32_t cur_bucket = 0;
+    for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+      if (bucket_of_group(g) != cur_bucket) {
+        cur_bucket = bucket_of_group(g);
+        run = 0;
+      }
+      base[g] = run;
+      run += staged_count_[g];
+      if (run > bucket_cap_) {
+        throw std::runtime_error("MessageStore: bucket overflow (gamma bound "
+                                 "violated)");
+      }
+    }
+  }
+
+  // ---- Step 1: copy bucket d onto disk d, staggered reads --------------
+  //   "Read block b_d belonging to bucket d from disk ((d+j) mod D).
+  //    Write block b_d to disk d on the next available track."
+  std::vector<std::uint64_t> next_in_group = base;  // next consolidated slot
+  std::vector<std::byte> buf(static_cast<std::size_t>(num_disks_) *
+                             block_size_);
+  std::vector<em::ReadOp> reads;
+  std::vector<em::WriteOp> writes;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> popped;
+  for (std::uint64_t j = 0;; ++j) {
+    reads.clear();
+    popped.clear();
+    std::vector<std::uint32_t> read_buckets;
+    for (std::uint32_t d = 0; d < num_disks_; ++d) {
+      const auto src_disk =
+          static_cast<std::uint32_t>((d + j) % num_disks_);
+      if (auto track = buckets_.pop_track(d, src_disk)) {
+        reads.push_back({src_disk, *track,
+                         std::span<std::byte>(buf).subspan(
+                             reads.size() * block_size_, block_size_)});
+        popped.emplace_back(src_disk, *track);
+        read_buckets.push_back(d);
+      }
+    }
+    if (reads.empty()) {
+      // All chains a full stagger cycle can see are empty only when every
+      // chain is empty; confirm before stopping.
+      bool empty = true;
+      for (std::uint32_t q = 0; q < num_disks_ && empty; ++q) {
+        for (std::uint32_t d = 0; d < num_disks_ && empty; ++d) {
+          if (buckets_.blocks_on_disk(q, d) != 0) empty = false;
+        }
+      }
+      if (empty) break;
+      continue;  // this stagger offset found nothing; advance j
+    }
+    disks_->parallel_read(reads);
+    stats.step1_cycles += 1;
+    writes.clear();
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      const std::uint32_t d = read_buckets[i];
+      auto block = std::span<const std::byte>(buf).subspan(i * block_size_,
+                                                           block_size_);
+      const BlockHeader h = parse_header(block);
+      const std::uint64_t t = next_in_group[h.dst_group]++;
+      writes.push_back({d, consolidation_start_[d] + t, block});
+      buckets_.release_track(popped[i].first, popped[i].second);
+    }
+    disks_->parallel_write(writes);
+  }
+
+  // ---- Step 2: re-stripe each bucket across the disks -------------------
+  //   "read the j-th block from disk d and write it to disk (d+j) mod D on
+  //    track d*ceil(cap/D) + floor(j/D)."
+  std::vector<std::uint64_t> bucket_total(num_disks_, 0);
+  for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+    bucket_total[bucket_of_group(g)] += staged_count_[g];
+  }
+  const std::uint64_t max_t =
+      *std::max_element(bucket_total.begin(), bucket_total.end());
+  for (std::uint64_t j = 0; j < max_t; ++j) {
+    reads.clear();
+    std::vector<std::uint32_t> read_buckets;
+    for (std::uint32_t d = 0; d < num_disks_; ++d) {
+      if (j >= bucket_total[d]) continue;
+      reads.push_back({d, consolidation_start_[d] + j,
+                       std::span<std::byte>(buf).subspan(
+                           reads.size() * block_size_, block_size_)});
+      read_buckets.push_back(d);
+    }
+    if (reads.empty()) break;
+    disks_->parallel_read(reads);
+    writes.clear();
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      const std::uint32_t d = read_buckets[i];
+      const auto [disk, track] = arena_location(d, j);
+      writes.push_back({disk, track,
+                        std::span<const std::byte>(buf).subspan(
+                            i * block_size_, block_size_)});
+    }
+    disks_->parallel_write(writes);
+    stats.step2_cycles += 1;
+  }
+
+  // Hand the reorganized layout to the fetch side and reset staging.
+  ready_count_ = staged_count_;
+  ready_real_ = staged_real_;
+  ready_base_ = base;
+  std::fill(staged_count_.begin(), staged_count_.end(), 0);
+  std::fill(staged_real_.begin(), staged_real_.end(), 0);
+  return stats;
+}
+
+std::uint64_t MessageStore::group_blocks(std::uint32_t g) const {
+  return ready_count_[g];
+}
+
+std::uint64_t MessageStore::group_real_blocks(std::uint32_t g) const {
+  return ready_real_[g];
+}
+
+void MessageStore::fetch_group_blocks(
+    std::uint32_t g,
+    const std::function<void(std::span<const std::byte>)>& consume) {
+  const std::uint32_t bucket = bucket_of_group(g);
+  const std::uint64_t base = ready_base_[g];
+  const std::uint64_t count = ready_count_[g];
+  std::vector<std::byte> buf(static_cast<std::size_t>(num_disks_) *
+                             block_size_);
+  std::vector<em::ReadOp> reads;
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(num_disks_, count - done);
+    reads.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const auto [disk, track] = arena_location(bucket, base + done + i);
+      reads.push_back({disk, track,
+                       std::span<std::byte>(buf).subspan(i * block_size_,
+                                                         block_size_)});
+    }
+    disks_->parallel_read(reads);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      consume(std::span<const std::byte>(buf).subspan(i * block_size_,
+                                                      block_size_));
+    }
+    done += batch;
+  }
+}
+
+std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {
+  Reassembler r;
+  fetch_group_blocks(
+      g, [&](std::span<const std::byte> block) { r.absorb(block, g); });
+  return r.take();
+}
+
+}  // namespace embsp::sim

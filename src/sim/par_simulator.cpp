@@ -1,0 +1,25 @@
+#include "sim/par_simulator.hpp"
+
+namespace embsp::sim {
+
+ParSimulator::ParSimulator(
+    SimConfig cfg,
+    std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
+    : cfg_(cfg) {
+  cfg_.machine.validate();
+  disk_arrays_.reserve(cfg_.machine.p);
+  for (std::uint32_t i = 0; i < cfg_.machine.p; ++i) {
+    // Give each processor's drives distinct backend indices so file-backed
+    // setups do not collide.
+    auto make = backend
+                    ? std::function<std::unique_ptr<em::Backend>(std::size_t)>(
+                          [backend, i, this](std::size_t d) {
+                            return backend(i * cfg_.machine.em.D + d);
+                          })
+                    : nullptr;
+    disk_arrays_.push_back(std::make_unique<em::DiskArray>(
+        cfg_.machine.em.D, cfg_.machine.em.B, std::move(make)));
+  }
+}
+
+}  // namespace embsp::sim

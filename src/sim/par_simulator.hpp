@@ -1,0 +1,449 @@
+// Algorithm 3 — ParCompoundSuperstep: simulation of a v-processor BSP* on a
+// p-processor EM-BSP* machine (§5.2).
+//
+// Real processor i (one thread, owning a private D-disk array) simulates
+// virtual processors [i*v/p, (i+1)*v/p).  A compound superstep runs in
+// v/(p*k) rounds; in round j processor i simulates its j-th group of k
+// virtual processors.  Batch j is the set of messages destined to the
+// virtual processors simulated in round j (across all real processors).
+//
+//   1(a) Fetching: each processor reads its locally stored blocks of batch
+//        j from its disks and forwards each block to the real processor
+//        that simulates the block's destination.
+//   1(b) Computing: the k virtual supersteps run in memory.
+//   1(c) Writing: generated messages are packed into size-B blocks (the
+//        packet granularity; the model requires b >= B) and each block is
+//        sent to a *uniformly random* real processor — the two-phase
+//        randomized routing that balances communication (Lemma 10); the
+//        receiver writes it to its local buckets with random disk
+//        placement.
+//   (2)  Each processor reorganizes its received blocks with
+//        SimulateRouting so every batch lies in standard consecutive
+//        format on its local disks.
+//
+// Inter-processor "communication" is mailbox passing between threads; its
+// volume is metered per superstep (h-relation accounting), which is the
+// quantity Theorem 1 bounds.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "bsp/direct_runtime.hpp"
+#include "bsp/program.hpp"
+#include "em/disk_array.hpp"
+#include "sim/context_store.hpp"
+#include "sim/message_store.hpp"
+#include "sim/seq_simulator.hpp"
+#include "sim/sim_config.hpp"
+
+namespace embsp::sim {
+
+class ParSimulator {
+ public:
+  explicit ParSimulator(
+      SimConfig cfg,
+      std::function<std::unique_ptr<em::Backend>(std::size_t)> backend =
+          nullptr);
+
+  template <bsp::Program P>
+  SimResult run(
+      const P& prog,
+      const std::function<typename P::State(std::uint32_t)>& make_state,
+      const std::function<void(std::uint32_t, typename P::State&)>& collect);
+
+  [[nodiscard]] const em::DiskArray& disks(std::size_t i) const {
+    return *disk_arrays_[i];
+  }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  std::vector<std::unique_ptr<em::DiskArray>> disk_arrays_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <bsp::Program P>
+SimResult ParSimulator::run(
+    const P& prog,
+    const std::function<typename P::State(std::uint32_t)>& make_state,
+    const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+  using State = typename P::State;
+  cfg_.machine.validate();
+  const std::uint32_t p = cfg_.machine.p;
+  const std::uint32_t v = cfg_.machine.bsp.v;
+  const std::uint32_t local_v = v / p;
+
+  SimLayout layout = SimLayout::compute(cfg_, local_v);
+  // Extra receive capacity per batch: random scattering is balanced only in
+  // expectation, and per-(source, destination-owner) tail blocks add
+  // fragmentation.  Overflow is detected at runtime with a clear error.
+  layout.group_capacity = layout.group_capacity * 2 + 4 * p + 4;
+  const auto k = static_cast<std::uint32_t>(layout.k);
+  const std::uint32_t rounds = layout.num_groups;
+
+  struct Proc {
+    std::unique_ptr<em::TrackAllocators> alloc;
+    std::unique_ptr<ContextStore> contexts;
+    std::unique_ptr<MessageStore> messages;
+    util::Rng rng{0};
+    std::uint64_t rr_scatter = 0;  ///< deterministic-mode scatter cursor
+    PhaseIo phase_io;
+    RoutingStats routing;
+    std::uint64_t comm_bytes_this_step = 0;
+    std::uint64_t max_comm_bytes_step = 0;
+    bool want_continue = false;
+  };
+  std::vector<Proc> procs(p);
+  {
+    util::Rng master(cfg_.seed);
+    for (std::uint32_t i = 0; i < p; ++i) {
+      procs[i].alloc =
+          std::make_unique<em::TrackAllocators>(disk_arrays_[i]->num_disks());
+      procs[i].contexts = std::make_unique<ContextStore>(
+          *disk_arrays_[i], *procs[i].alloc, local_v, cfg_.mu);
+      procs[i].messages = std::make_unique<MessageStore>(
+          *disk_arrays_[i], *procs[i].alloc,
+          MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing});
+      procs[i].rng = master.fork(i + 1);
+    }
+  }
+
+  // Mailboxes: cell (src, dst) is written only by thread src between two
+  // barriers and read only by thread dst after the barrier.
+  using BlockVec = std::vector<std::vector<std::byte>>;
+  std::vector<std::vector<BlockVec>> forward_mail(p, std::vector<BlockVec>(p));
+  std::vector<std::vector<BlockVec>> scatter_mail(p, std::vector<BlockVec>(p));
+
+  std::barrier<> bar(static_cast<std::ptrdiff_t>(p));
+  std::mutex cost_mutex;
+  bsp::SuperstepCost step_cost;
+  std::vector<std::uint8_t> continue_flags(p, 0);
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(p);
+  SimResult result;
+  result.group_size = layout.k;
+  std::vector<State> final_states(v);
+
+  const auto owner_of = [local_v](std::uint32_t vp) { return vp / local_v; };
+  // Destination batch of a virtual processor: its round index on its owner.
+  const auto batch_of = [local_v, k](std::uint32_t vp) {
+    return (vp % local_v) / k;
+  };
+
+  // Cooperative abort: a thread that throws records its error, raises
+  // `failed`, and drops from the barrier (which still counts as an arrival
+  // for the current phase, unblocking peers).  Peers observe `failed` after
+  // their next barrier and unwind the same way, so no thread is left
+  // waiting on a barrier that can never complete.
+  struct Aborted {};
+
+  auto worker = [&](std::uint32_t me) {
+    auto sync = [&]() {
+      bar.arrive_and_wait();
+      if (failed.load()) throw Aborted{};
+    };
+    try {
+      auto& self = procs[me];
+      auto& disks = *disk_arrays_[me];
+      auto snapshot = [&]() { return disks.stats(); };
+      auto account = [&](em::IoStats& slot, const em::IoStats& before) {
+        slot += disks.stats().since(before);
+      };
+
+      // Initial contexts (local virtual processors i*local_v .. ).
+      {
+        const auto before = snapshot();
+        std::vector<std::vector<std::byte>> payloads;
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+          const std::uint32_t first = r * k;
+          const std::uint32_t count = std::min(k, local_v - first);
+          payloads.clear();
+          for (std::uint32_t i = 0; i < count; ++i) {
+            util::Writer w;
+            make_state(me * local_v + first + i).serialize(w);
+            payloads.push_back(w.take());
+          }
+          self.contexts->write(first, payloads);
+        }
+        account(self.phase_io.init, before);
+      }
+      sync();
+
+      bsp::WorkMeter meter;
+      for (std::size_t step = 0;; ++step) {
+        if (step >= cfg_.max_supersteps) {
+          throw std::runtime_error("ParSimulator: superstep limit exceeded");
+        }
+        self.want_continue = false;
+        self.comm_bytes_this_step = 0;
+
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+          // --- Fetch: read local blocks of this batch, forward to owners.
+          {
+            const auto before = snapshot();
+            self.messages->fetch_group_blocks(
+                round, [&](std::span<const std::byte> block) {
+                  if (is_dummy_block(block)) return;
+                  // All chunks in a block share one destination virtual
+                  // processor group (they were packed per owner) — peek at
+                  // the first chunk's dst to find the owner.
+                  util::Reader r(block.subspan(kBlockHeaderBytes));
+                  r.read<std::uint32_t>();  // src
+                  const auto dst = r.read<std::uint32_t>();
+                  const auto owner = owner_of(dst);
+                  forward_mail[me][owner].emplace_back(block.begin(),
+                                                       block.end());
+                  if (owner != me) {
+                    self.comm_bytes_this_step += block.size();
+                  }
+                });
+            account(self.phase_io.fetch_msg, before);
+          }
+          sync();
+
+          // --- Compute: reassemble inboxes, run the k virtual supersteps.
+          const std::uint32_t first = round * k;
+          const std::uint32_t count = std::min(k, local_v - first);
+          Reassembler reasm;
+          for (std::uint32_t src = 0; src < p; ++src) {
+            for (auto& block : forward_mail[src][me]) {
+              reasm.absorb(block, round);
+            }
+          }
+          auto incoming = reasm.take();
+          std::vector<std::vector<bsp::Message>> inboxes(count);
+          for (auto& m : incoming) {
+            const std::uint32_t local = m.dst - me * local_v;
+            if (owner_of(m.dst) != me || local < first ||
+                local >= first + count) {
+              throw std::runtime_error(
+                  "ParSimulator: block forwarded to the wrong processor");
+            }
+            inboxes[local - first].push_back(std::move(m));
+          }
+
+          const auto before_ctx = snapshot();
+          auto payloads = self.contexts->read(first, count);
+          account(self.phase_io.fetch_ctx, before_ctx);
+
+          std::vector<State> states(count);
+          std::vector<bsp::Message> outgoing;
+          bsp::SuperstepCost local_cost;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            util::Reader r(payloads[i]);
+            states[i].deserialize(r);
+            bsp::Inbox in(std::move(inboxes[i]));
+            bsp::Outbox out(me * local_v + first + i, v);
+            meter.reset();
+            bsp::ProcEnv env{me * local_v + first + i, v, &meter};
+            const bool cont = prog.superstep(step, env, states[i], in, out);
+            self.want_continue = self.want_continue || cont;
+
+            local_cost.max_work = std::max(local_cost.max_work, meter.total());
+            local_cost.total_work += meter.total();
+            std::uint64_t sent_packets = 0;
+            std::uint64_t sent_wire = 0;
+            for (const auto& m : out.messages()) {
+              sent_packets +=
+                  bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
+              sent_wire += bsp::wire_bytes(m.size_bytes());
+            }
+            if (sent_wire > cfg_.gamma) {
+              throw std::runtime_error(
+                  "ParSimulator: processor exceeded the declared gamma");
+            }
+            local_cost.max_bytes_sent = std::max<std::uint64_t>(
+                local_cost.max_bytes_sent, out.total_bytes());
+            local_cost.max_packets_sent =
+                std::max(local_cost.max_packets_sent, sent_packets);
+            local_cost.max_wire_sent =
+                std::max(local_cost.max_wire_sent, sent_wire);
+            std::uint64_t recv_packets = 0;
+            std::uint64_t recv_bytes = 0;
+            for (const auto& m : in.all()) {
+              recv_packets +=
+                  bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
+              recv_bytes += m.size_bytes();
+            }
+            local_cost.max_bytes_received =
+                std::max(local_cost.max_bytes_received, recv_bytes);
+            local_cost.max_packets_received =
+                std::max(local_cost.max_packets_received, recv_packets);
+            local_cost.total_bytes += out.total_bytes();
+            local_cost.num_messages += out.messages().size();
+
+            for (auto& m : out.take()) outgoing.push_back(std::move(m));
+          }
+          {
+            std::lock_guard<std::mutex> lock(cost_mutex);
+            step_cost.max_work = std::max(step_cost.max_work,
+                                          local_cost.max_work);
+            step_cost.total_work += local_cost.total_work;
+            step_cost.max_bytes_sent =
+                std::max(step_cost.max_bytes_sent, local_cost.max_bytes_sent);
+            step_cost.max_bytes_received = std::max(
+                step_cost.max_bytes_received, local_cost.max_bytes_received);
+            step_cost.max_packets_sent = std::max(
+                step_cost.max_packets_sent, local_cost.max_packets_sent);
+            step_cost.max_packets_received =
+                std::max(step_cost.max_packets_received,
+                         local_cost.max_packets_received);
+            step_cost.total_bytes += local_cost.total_bytes;
+            step_cost.num_messages += local_cost.num_messages;
+          }
+
+          // Write contexts back.
+          {
+            const auto before = snapshot();
+            std::vector<std::vector<std::byte>> out_payloads(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+              util::Writer w;
+              states[i].serialize(w);
+              out_payloads[i] = w.take();
+            }
+            self.contexts->write(first, out_payloads);
+            account(self.phase_io.write_ctx, before);
+          }
+
+          // --- Writing: pack per (owner, batch) and scatter randomly.
+          {
+            std::vector<std::vector<const bsp::Message*>> by_dest;
+            std::vector<std::uint64_t> dest_keys;
+            // Group messages by (owner, batch) pairs; small per round.
+            std::vector<std::pair<std::uint64_t, std::size_t>> index;
+            for (const auto& m : outgoing) {
+              const std::uint64_t key =
+                  (static_cast<std::uint64_t>(owner_of(m.dst)) << 32) |
+                  batch_of(m.dst);
+              std::size_t slot = by_dest.size();
+              for (const auto& [kk, s] : index) {
+                if (kk == key) {
+                  slot = s;
+                  break;
+                }
+              }
+              if (slot == by_dest.size()) {
+                index.emplace_back(key, slot);
+                by_dest.emplace_back();
+                dest_keys.push_back(key);
+              }
+              by_dest[slot].push_back(&m);
+            }
+            for (std::size_t s = 0; s < by_dest.size(); ++s) {
+              const auto batch =
+                  static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
+              pack_blocks(by_dest[s], batch, disks.block_size(),
+                          [&](std::span<const std::byte> block) {
+                            // Random intermediate (Lemma 10) — or round
+                            // robin when the routing is deterministic.
+                            const auto target = static_cast<std::uint32_t>(
+                                cfg_.routing == RoutingMode::deterministic
+                                    ? (me + self.rr_scatter++) % p
+                                    : self.rng.below(p));
+                            scatter_mail[me][target].emplace_back(
+                                block.begin(), block.end());
+                            if (target != me) {
+                              self.comm_bytes_this_step += block.size();
+                            }
+                          });
+            }
+          }
+          sync();
+
+          // --- Receive scattered blocks, write them to local buckets.
+          {
+            const auto before = snapshot();
+            for (std::uint32_t src = 0; src < p; ++src) {
+              for (auto& block : scatter_mail[src][me]) {
+                self.messages->write_block(block, self.rng);
+              }
+              scatter_mail[src][me].clear();
+              forward_mail[src][me].clear();
+            }
+            account(self.phase_io.write_msg, before);
+          }
+          sync();
+        }
+
+        // --- Step 2: local SimulateRouting.
+        {
+          const auto before = snapshot();
+          self.messages->flush(self.rng);
+          self.routing += self.messages->reorganize(self.rng);
+          account(self.phase_io.reorganize, before);
+        }
+        self.max_comm_bytes_step =
+            std::max(self.max_comm_bytes_step, self.comm_bytes_this_step);
+        continue_flags[me] = self.want_continue ? 1 : 0;
+        sync();
+
+        bool any = false;
+        for (std::uint32_t i = 0; i < p; ++i) any = any || continue_flags[i];
+        if (me == 0) {
+          std::lock_guard<std::mutex> lock(cost_mutex);
+          result.costs.supersteps.push_back(step_cost);
+          step_cost = bsp::SuperstepCost{};
+        }
+        sync();
+        if (!any) break;
+      }
+
+      // Collect local results.
+      {
+        const auto before = snapshot();
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+          const std::uint32_t first = r * k;
+          const std::uint32_t count = std::min(k, local_v - first);
+          auto payloads = self.contexts->read(first, count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            util::Reader rd(payloads[i]);
+            final_states[me * local_v + first + i].deserialize(rd);
+          }
+        }
+        account(self.phase_io.collect, before);
+      }
+    } catch (const Aborted&) {
+      bar.arrive_and_drop();
+    } catch (...) {
+      errors[me] = std::current_exception();
+      failed.store(true);
+      bar.arrive_and_drop();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+  for (std::uint32_t i = 0; i < p; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (std::uint32_t vp = 0; vp < v; ++vp) collect(vp, final_states[vp]);
+
+  // Aggregate: total_io is the max over processors (the model's t_IO is a
+  // max), per_proc_io keeps the full picture.
+  for (std::uint32_t i = 0; i < p; ++i) {
+    result.per_proc_io.push_back(disk_arrays_[i]->stats());
+    if (disk_arrays_[i]->stats().parallel_ios >= result.total_io.parallel_ios) {
+      result.total_io = disk_arrays_[i]->stats();
+    }
+    result.routing_stats += procs[i].routing;
+    result.real_comm_bytes =
+        std::max(result.real_comm_bytes, procs[i].max_comm_bytes_step);
+    result.max_tracks_per_disk = std::max(
+        result.max_tracks_per_disk, disk_arrays_[i]->max_tracks_used());
+  }
+  result.phase_io = procs[0].phase_io;
+  return result;
+}
+
+}  // namespace embsp::sim

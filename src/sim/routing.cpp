@@ -1,0 +1,171 @@
+#include "sim/routing.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace embsp::sim {
+
+namespace {
+
+void put_u32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u16(std::byte* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint16_t get_u16(const std::byte* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+}  // namespace
+
+std::size_t pack_blocks(
+    std::span<const bsp::Message* const> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<void(std::span<const std::byte>)>& emit) {
+  if (block_size < kMinBlockSize) {
+    throw std::invalid_argument("pack_blocks: block size below minimum");
+  }
+  std::vector<std::byte> block(block_size);
+  std::size_t pos = kBlockHeaderBytes;
+  std::uint16_t chunks = 0;
+  std::size_t produced = 0;
+
+  auto flush = [&]() {
+    if (chunks == 0) return;
+    std::memset(block.data() + pos, 0, block_size - pos);
+    put_u32(block.data(), dst_group);
+    put_u16(block.data() + 4, chunks);
+    put_u16(block.data() + 6, 0);
+    emit(block);
+    ++produced;
+    pos = kBlockHeaderBytes;
+    chunks = 0;
+  };
+
+  for (const bsp::Message* m : messages) {
+    const auto total = static_cast<std::uint32_t>(m->payload.size());
+    std::uint32_t offset = 0;
+    // Emit at least one chunk even for empty messages.
+    do {
+      std::size_t space = block_size - pos;
+      if (space < kChunkHeaderBytes + (total > offset ? 1u : 0u)) {
+        flush();
+        space = block_size - pos;
+      }
+      const auto chunk_len = static_cast<std::uint16_t>(std::min<std::size_t>(
+          {space - kChunkHeaderBytes, static_cast<std::size_t>(total - offset),
+           std::size_t{0xFFFF}}));
+      std::byte* p = block.data() + pos;
+      put_u32(p, m->src);
+      put_u32(p + 4, m->dst);
+      put_u32(p + 8, m->seq);
+      put_u32(p + 12, total);
+      put_u32(p + 16, offset);
+      put_u16(p + 20, chunk_len);
+      if (chunk_len > 0) {
+        std::memcpy(p + kChunkHeaderBytes, m->payload.data() + offset,
+                    chunk_len);
+      }
+      pos += kChunkHeaderBytes + chunk_len;
+      ++chunks;
+      offset += chunk_len;
+    } while (offset < total);
+  }
+  flush();
+  return produced;
+}
+
+void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
+                      std::vector<std::byte>& out) {
+  out.assign(block_size, std::byte{0});
+  put_u32(out.data(), dst_group);
+  put_u16(out.data() + 4, 0xFFFF);  // n_chunks sentinel marks a dummy
+}
+
+BlockHeader parse_header(std::span<const std::byte> block) {
+  if (block.size() < kBlockHeaderBytes) {
+    throw std::invalid_argument("parse_header: block too small");
+  }
+  BlockHeader h;
+  h.dst_group = get_u32(block.data());
+  h.n_chunks = get_u16(block.data() + 4);
+  return h;
+}
+
+bool is_dummy_block(std::span<const std::byte> block) {
+  return parse_header(block).n_chunks == 0xFFFF;
+}
+
+Reassembler::Partial* Reassembler::find_or_create(std::uint32_t src,
+                                                  std::uint32_t dst,
+                                                  std::uint32_t seq,
+                                                  std::uint32_t total_len) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | seq;
+  auto [it, inserted] = partial_.try_emplace(key);
+  Partial& p = it->second;
+  if (inserted) {
+    p.msg.src = src;
+    p.msg.dst = dst;
+    p.msg.seq = seq;
+    p.msg.payload.resize(total_len);
+  }
+  return &p;
+}
+
+void Reassembler::absorb(std::span<const std::byte> block,
+                         std::uint32_t expected_group) {
+  const BlockHeader h = parse_header(block);
+  if (h.n_chunks == 0xFFFF) return;  // dummy padding block
+  if (expected_group != kDummyGroup && h.dst_group != expected_group) {
+    throw std::runtime_error(
+        "Reassembler: block for group " + std::to_string(h.dst_group) +
+        " delivered to group " + std::to_string(expected_group));
+  }
+  std::size_t pos = kBlockHeaderBytes;
+  for (std::uint16_t c = 0; c < h.n_chunks; ++c) {
+    if (pos + kChunkHeaderBytes > block.size()) {
+      throw std::runtime_error("Reassembler: truncated chunk header");
+    }
+    const std::byte* p = block.data() + pos;
+    const std::uint32_t src = get_u32(p);
+    const std::uint32_t dst = get_u32(p + 4);
+    const std::uint32_t seq = get_u32(p + 8);
+    const std::uint32_t total = get_u32(p + 12);
+    const std::uint32_t offset = get_u32(p + 16);
+    const std::uint16_t len = get_u16(p + 20);
+    pos += kChunkHeaderBytes;
+    if (pos + len > block.size() || offset + len > total) {
+      throw std::runtime_error("Reassembler: corrupt chunk bounds");
+    }
+    Partial* part = find_or_create(src, dst, seq, total);
+    if (len > 0) {
+      std::memcpy(part->msg.payload.data() + offset, block.data() + pos, len);
+    }
+    part->received += len;
+    pos += len;
+  }
+}
+
+std::vector<bsp::Message> Reassembler::take() {
+  std::vector<bsp::Message> out;
+  out.reserve(partial_.size());
+  for (auto& [key, p] : partial_) {
+    if (p.received != p.msg.payload.size()) {
+      throw std::runtime_error(
+          "Reassembler: incomplete message (src " +
+          std::to_string(p.msg.src) + ", seq " + std::to_string(p.msg.seq) +
+          "): got " + std::to_string(p.received) + " of " +
+          std::to_string(p.msg.payload.size()) + " bytes");
+    }
+    out.push_back(std::move(p.msg));
+  }
+  partial_.clear();
+  return out;
+}
+
+}  // namespace embsp::sim

@@ -1,0 +1,120 @@
+// Message block format and routing statistics.
+//
+// §5.1, step 1(d): "The coarse-grained nature of the BSP* algorithm results
+// in large messages ... We cut the messages into blocks of size B.  Each
+// block inherits the destination address from its original message."
+//
+// Because the randomized placement (and the parallel simulator's random
+// scattering) delivers blocks in arbitrary order, each block is
+// self-describing:
+//
+//   block  := [u32 dst_group][u16 n_chunks][u16 pad] chunk*   (zero filled)
+//   chunk  := [u32 src][u32 dst][u32 seq][u32 total_len][u32 offset]
+//             [u16 chunk_len] bytes[chunk_len]
+//
+// A message may be split across blocks; chunks carry (offset, total_len) so
+// the receiver can reassemble in any arrival order.  Dummy blocks (used by
+// RoutingMode::padded to realize the paper's "introduce dummy blocks"
+// device) carry dst_group == kDummyGroup and are skipped on parse.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bsp/message.hpp"
+
+namespace embsp::sim {
+
+/// How SimulateRouting sizes its work and places blocks (see DESIGN.md):
+///  * padded  — every destination group is padded with dummy blocks to its
+///              capacity, exactly the paper's analysis device; every
+///              superstep performs the worst-case (fixed) number of I/Os.
+///  * compact — exact per-group block counts (kept in memory) are used; no
+///              dummy traffic.  An engineering optimization ablated in
+///              bench/fig2_routing.
+///  * deterministic — like compact, but blocks are placed round-robin per
+///              bucket instead of by random permutation: the paper's §4
+///              remark that "for communication of predetermined size, such
+///              as occurs in a CGM, our simulation result can be made
+///              deterministic".  Per-bucket balance is exact by
+///              construction; a write cycle whose blocks collide on a disk
+///              splits into several parallel I/Os.
+enum class RoutingMode { padded, compact, deterministic };
+
+inline constexpr std::uint32_t kDummyGroup = 0xFFFFFFFFu;
+
+struct BlockHeader {
+  std::uint32_t dst_group = 0;
+  std::uint16_t n_chunks = 0;
+};
+
+inline constexpr std::size_t kBlockHeaderBytes = 8;
+inline constexpr std::size_t kChunkHeaderBytes = 22;
+
+/// Minimum supported block size: header + one chunk header + some payload.
+inline constexpr std::size_t kMinBlockSize =
+    kBlockHeaderBytes + kChunkHeaderBytes + 2;
+
+/// Packs messages into size-B blocks, all addressed to one destination
+/// group.  Returns the number of blocks produced via `emit` (each call gets
+/// a span of exactly `block_size` bytes, valid until the next call).
+std::size_t pack_blocks(
+    std::span<const bsp::Message* const> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<void(std::span<const std::byte>)>& emit);
+
+/// Builds one dummy block (for padding) in `out` (resized to block_size).
+void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
+                      std::vector<std::byte>& out);
+
+[[nodiscard]] BlockHeader parse_header(std::span<const std::byte> block);
+
+/// True if the block is a padding block with no message content.
+[[nodiscard]] bool is_dummy_block(std::span<const std::byte> block);
+
+/// Incremental message reassembly from chunks.
+class Reassembler {
+ public:
+  /// Parse one block and absorb its chunks.  `expected_group` validates the
+  /// block's header (pass kDummyGroup to skip validation).
+  void absorb(std::span<const std::byte> block, std::uint32_t expected_group);
+
+  /// All fully reassembled messages; throws if any message is incomplete.
+  [[nodiscard]] std::vector<bsp::Message> take();
+
+  [[nodiscard]] std::size_t pending() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    bsp::Message msg;
+    std::uint64_t received = 0;
+  };
+  // key = (src << 32) | seq — unique within one superstep.
+  std::unordered_map<std::uint64_t, Partial> partial_;
+  Partial* find_or_create(std::uint32_t src, std::uint32_t dst,
+                          std::uint32_t seq, std::uint32_t total_len);
+};
+
+/// Per-invocation statistics of SimulateRouting, used by bench/fig2_routing
+/// and the Lemma 2/3 experiments.
+struct RoutingStats {
+  std::uint64_t blocks_total = 0;      ///< real + dummy blocks routed
+  std::uint64_t dummy_blocks = 0;      ///< padding blocks (padded mode)
+  std::uint64_t step1_cycles = 0;      ///< parallel read+write pairs, step 1
+  std::uint64_t step2_cycles = 0;      ///< parallel read+write pairs, step 2
+  std::uint64_t max_chain = 0;         ///< max blocks of one bucket on one
+                                       ///< disk (Lemma 2's X_{j,k})
+  RoutingStats& operator+=(const RoutingStats& o) {
+    blocks_total += o.blocks_total;
+    dummy_blocks += o.dummy_blocks;
+    step1_cycles += o.step1_cycles;
+    step2_cycles += o.step2_cycles;
+    max_chain = std::max(max_chain, o.max_chain);
+    return *this;
+  }
+};
+
+}  // namespace embsp::sim

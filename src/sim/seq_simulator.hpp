@@ -1,0 +1,284 @@
+// Algorithm 1 — SeqCompoundSuperstep: simulation of a v-processor BSP* on a
+// single-processor EM-BSP* machine with D disks (§5.1).
+//
+// Each compound superstep is simulated in v/k rounds of k virtual
+// processors (one *group*):
+//   1(a) read the k contexts            — ContextStore, striped, parallel
+//   1(b) read the group's messages      — MessageStore arena, parallel
+//   1(c) run the k supersteps in memory
+//   1(d) cut generated messages into blocks, write them to the D buckets
+//        with a random disk permutation per write cycle
+//   1(e) write the k contexts back
+//   (2)  SimulateRouting — reorganize buckets into standard consecutive
+//        format per destination group
+//
+// The simulator validates the model's resource discipline at runtime:
+// contexts must fit the declared mu, per-processor communication must fit
+// the declared gamma, and k*mu must fit the machine's memory M.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "bsp/direct_runtime.hpp"
+#include "bsp/program.hpp"
+#include "em/disk_array.hpp"
+#include "sim/context_store.hpp"
+#include "sim/message_store.hpp"
+#include "sim/sim_config.hpp"
+
+namespace embsp::sim {
+
+/// Layout derived from a SimConfig (shared with the parallel simulator,
+/// which applies it per real processor).
+struct SimLayout {
+  std::size_t k = 1;                  ///< group size
+  std::uint32_t num_groups = 1;       ///< destination groups per processor
+  std::uint64_t group_capacity = 1;   ///< blocks a group may receive
+  std::size_t context_slot_bytes = 0; ///< mu rounded up to blocks
+
+  /// Computes the layout for `local_v` virtual processors on one real
+  /// processor.  Throws if the config violates the model (k*mu > M, B too
+  /// small, ...).
+  static SimLayout compute(const SimConfig& cfg, std::uint32_t local_v);
+};
+
+class SeqSimulator {
+ public:
+  explicit SeqSimulator(
+      SimConfig cfg,
+      std::function<std::unique_ptr<em::Backend>(std::size_t)> backend =
+          nullptr);
+
+  template <bsp::Program P>
+  SimResult run(
+      const P& prog,
+      const std::function<typename P::State(std::uint32_t)>& make_state,
+      const std::function<void(std::uint32_t, typename P::State&)>& collect);
+
+  [[nodiscard]] const em::DiskArray& disks() const { return *disks_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  std::unique_ptr<em::DiskArray> disks_;
+};
+
+/// Convenience: measure mu/gamma with a direct dry run (small v is fine as
+/// long as it has the same per-processor footprint), then simulate.
+template <bsp::Program P>
+SimResult simulate_measured(
+    const P& prog, SimConfig cfg,
+    const std::function<typename P::State(std::uint32_t)>& make_state,
+    const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+  const auto req =
+      bsp::measure_requirements(prog, cfg.machine.bsp.v, make_state);
+  cfg.mu = req.mu + req.mu / 8 + 64;  // headroom: serialized sizes may drift
+  cfg.gamma = req.gamma + 64;         // req.gamma is already in wire bytes
+  SeqSimulator sim(cfg);
+  return sim.run(prog, make_state, collect);
+}
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <bsp::Program P>
+SimResult SeqSimulator::run(
+    const P& prog,
+    const std::function<typename P::State(std::uint32_t)>& make_state,
+    const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+  using State = typename P::State;
+  cfg_.machine.validate();
+  if (cfg_.machine.p != 1) {
+    throw std::invalid_argument(
+        "SeqSimulator: p must be 1 (use ParSimulator for p > 1)");
+  }
+  const std::uint32_t v = cfg_.machine.bsp.v;
+  const SimLayout layout = SimLayout::compute(cfg_, v);
+  const auto k = static_cast<std::uint32_t>(layout.k);
+  const std::uint32_t num_groups = layout.num_groups;
+
+  em::TrackAllocators alloc(disks_->num_disks());
+  ContextStore contexts(*disks_, alloc, v, cfg_.mu);
+  MessageStore messages(
+      *disks_, alloc,
+      MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing});
+  util::Rng rng(cfg_.seed);
+
+  SimResult result;
+  result.group_size = layout.k;
+  auto snapshot = [&]() { return disks_->stats(); };
+  auto account = [&](em::IoStats& slot, const em::IoStats& before) {
+    slot += disks_->stats().since(before);
+  };
+
+  // Write initial contexts, one group at a time (never more than k contexts
+  // in memory — the EM discipline applies to setup too).
+  {
+    const auto before = snapshot();
+    std::vector<std::vector<std::byte>> payloads;
+    for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+      const std::uint32_t first = gidx * k;
+      const std::uint32_t count = std::min(k, v - first);
+      payloads.clear();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        util::Writer w;
+        make_state(first + i).serialize(w);
+        payloads.push_back(w.take());
+      }
+      contexts.write(first, payloads);
+    }
+    account(result.phase_io.init, before);
+  }
+
+  const auto group_of = [k](std::uint32_t dst) { return dst / k; };
+  bsp::WorkMeter meter;
+  std::vector<bool> done(v, false);
+  bool all_done = false;
+
+  for (std::size_t step = 0; !all_done; ++step) {
+    if (step >= cfg_.max_supersteps) {
+      throw std::runtime_error(
+          "SeqSimulator: superstep limit exceeded (runaway program?)");
+    }
+    const auto superstep_before = snapshot();
+    bsp::SuperstepCost cost;
+    bool any_continue = false;
+
+    for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+      const std::uint32_t first = gidx * k;
+      const std::uint32_t count = std::min(k, v - first);
+
+      // --- Fetching Phase: steps 1(a) and 1(b) ---
+      auto before = snapshot();
+      auto payloads = contexts.read(first, count);
+      account(result.phase_io.fetch_ctx, before);
+
+      before = snapshot();
+      auto incoming = messages.fetch_group(gidx);
+      account(result.phase_io.fetch_msg, before);
+
+      std::vector<std::vector<bsp::Message>> inboxes(count);
+      for (auto& m : incoming) {
+        if (m.dst < first || m.dst >= first + count) {
+          throw std::runtime_error(
+              "SeqSimulator: message routed to the wrong group");
+        }
+        inboxes[m.dst - first].push_back(std::move(m));
+      }
+
+      // --- Computation Phase: step 1(c) ---
+      std::vector<State> states(count);
+      std::vector<bsp::Message> outgoing;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        util::Reader r(payloads[i]);
+        states[i].deserialize(r);
+
+        bsp::Inbox in(std::move(inboxes[i]));
+        bsp::Outbox out(first + i, v);
+        meter.reset();
+        bsp::ProcEnv env{first + i, v, &meter};
+        const bool cont = prog.superstep(step, env, states[i], in, out);
+        any_continue = any_continue || cont;
+
+        // Cost accounting identical to DirectRuntime.
+        cost.max_work = std::max(cost.max_work, meter.total());
+        cost.total_work += meter.total();
+        std::uint64_t sent_packets = 0;
+        std::uint64_t sent_wire = 0;
+        for (const auto& m : out.messages()) {
+          sent_packets += bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
+          sent_wire += bsp::wire_bytes(m.size_bytes());
+        }
+        if (sent_wire > cfg_.gamma) {
+          throw std::runtime_error(
+              "SeqSimulator: processor " + std::to_string(first + i) +
+              " sent " + std::to_string(sent_wire) +
+              " bytes in one superstep, exceeding the declared gamma = " +
+              std::to_string(cfg_.gamma));
+        }
+        cost.max_bytes_sent =
+            std::max<std::uint64_t>(cost.max_bytes_sent, out.total_bytes());
+        cost.max_packets_sent = std::max(cost.max_packets_sent, sent_packets);
+        cost.max_wire_sent = std::max(cost.max_wire_sent, sent_wire);
+        std::uint64_t recv_packets = 0;
+        std::uint64_t recv_bytes = 0;
+        for (const auto& m : in.all()) {
+          recv_packets += bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
+          recv_bytes += m.size_bytes();
+        }
+        cost.max_bytes_received =
+            std::max(cost.max_bytes_received, recv_bytes);
+        cost.max_packets_received =
+            std::max(cost.max_packets_received, recv_packets);
+        cost.total_bytes += out.total_bytes();
+        cost.num_messages += out.messages().size();
+
+        for (auto& m : out.take()) outgoing.push_back(std::move(m));
+      }
+
+      // --- Writing Phase: steps 1(d) and 1(e) ---
+      before = snapshot();
+      messages.write_messages(outgoing, group_of, rng);
+      account(result.phase_io.write_msg, before);
+
+      before = snapshot();
+      std::vector<std::vector<std::byte>> out_payloads(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        util::Writer w;
+        states[i].serialize(w);
+        out_payloads[i] = w.take();
+      }
+      contexts.write(first, out_payloads);
+      account(result.phase_io.write_ctx, before);
+    }
+
+    // --- Step 2: SimulateRouting ---
+    {
+      const auto before = snapshot();
+      result.routing_stats += messages.reorganize(rng);
+      account(result.phase_io.reorganize, before);
+    }
+
+    result.costs.supersteps.push_back(cost);
+    result.per_superstep_io.push_back(
+        disks_->stats().since(superstep_before));
+    if (!any_continue) {
+      // Messages sent in the final superstep have no receiver.
+      for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+        if (messages.group_real_blocks(gidx) != 0) {
+          throw std::runtime_error(
+              "SeqSimulator: messages sent in the final superstep were "
+              "never received");
+        }
+      }
+      all_done = true;
+    }
+  }
+
+  // Collect results, group by group.
+  {
+    const auto before = snapshot();
+    for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+      const std::uint32_t first = gidx * k;
+      const std::uint32_t count = std::min(k, v - first);
+      auto payloads = contexts.read(first, count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        State s;
+        util::Reader r(payloads[i]);
+        s.deserialize(r);
+        collect(first + i, s);
+      }
+    }
+    account(result.phase_io.collect, before);
+  }
+
+  result.total_io = disks_->stats();
+  result.max_tracks_per_disk = disks_->max_tracks_used();
+  return result;
+}
+
+}  // namespace embsp::sim

@@ -1,0 +1,67 @@
+// Shared configuration and result types for the EM-BSP* simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/cost_model.hpp"
+#include "bsp/params.hpp"
+#include "em/io_stats.hpp"
+#include "sim/routing.hpp"
+
+namespace embsp::sim {
+
+/// Per-message wire overhead charged against gamma: one chunk header plus
+/// slack for splitting (see routing.hpp).  Programs' declared gamma must
+/// bound sum(payload + kMessageOverhead) per virtual processor per
+/// superstep, sent and received.  Aliases the bsp-level constant so the
+/// direct runtime's measured gamma() is directly usable as SimConfig.gamma.
+inline constexpr std::size_t kMessageOverhead =
+    static_cast<std::size_t>(bsp::kWireOverheadPerMessage);
+
+struct SimConfig {
+  bsp::MachineParams machine;  ///< target machine (p, BSP* params, EM params)
+  std::size_t mu = 0;          ///< declared max serialized context bytes
+  std::size_t gamma = 0;       ///< declared max comm bytes per vproc/superstep
+  std::size_t k = 0;           ///< group size; 0 = auto floor(M / context slot)
+  RoutingMode routing = RoutingMode::compact;
+  std::uint64_t seed = 0x5EEDULL;
+  std::size_t max_supersteps = 1'000'000;
+};
+
+/// Per-phase I/O breakdown of one simulation run (maps onto the phases of
+/// Algorithm 1: fetch = steps 1(a)+1(b), write = steps 1(d)+1(e),
+/// reorganize = step 2).
+struct PhaseIo {
+  em::IoStats init;        ///< writing the initial contexts
+  em::IoStats fetch_ctx;   ///< step 1(a)
+  em::IoStats fetch_msg;   ///< step 1(b)
+  em::IoStats write_msg;   ///< step 1(d)
+  em::IoStats write_ctx;   ///< step 1(e)
+  em::IoStats reorganize;  ///< step 2 (SimulateRouting)
+  em::IoStats collect;     ///< reading final contexts out
+};
+
+struct SimResult {
+  bsp::RunCosts costs;        ///< per-superstep BSP-level cost records
+  em::IoStats total_io;       ///< all parallel I/O (max over processors in
+                              ///< the parallel simulator)
+  std::vector<em::IoStats> per_proc_io;  ///< one entry per real processor
+  /// Per-superstep I/O deltas (sequential simulator only; used by the CSV
+  /// trace writer in sim/trace.hpp).
+  std::vector<em::IoStats> per_superstep_io;
+  PhaseIo phase_io;           ///< phase breakdown (processor 0 in parallel)
+  RoutingStats routing_stats; ///< accumulated SimulateRouting statistics
+  std::size_t group_size = 0; ///< k actually used
+  std::uint64_t max_tracks_per_disk = 0;  ///< disk space (Lemma 1 bound)
+  /// Real-processor communication per superstep (parallel simulator only):
+  /// max bytes sent/received by one real processor.
+  std::uint64_t real_comm_bytes = 0;
+
+  [[nodiscard]] std::size_t lambda() const { return costs.num_supersteps(); }
+  [[nodiscard]] double io_time(double cost_g) const {
+    return total_io.io_time(cost_g);
+  }
+};
+
+}  // namespace embsp::sim

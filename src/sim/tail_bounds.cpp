@@ -1,0 +1,33 @@
+#include "sim/tail_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace embsp::sim {
+
+namespace {
+double clamp_prob(double p) { return std::clamp(p, 0.0, 1.0); }
+}  // namespace
+
+double lemma2_tail(double l, double R, double D) {
+  if (l <= 1.0 || R <= 0.0 || D <= 0.0) return 1.0;
+  // From the proof: exp((R*(e^r - 1) - r*l*R)/D) with r = ln l
+  //               = exp(-(R/D) * (l*ln l - l + 1)).
+  const double exponent = -(R / D) * (l * std::log(l) - l + 1.0);
+  return clamp_prob(std::exp(exponent));
+}
+
+double lemma10_tail(double l, double x, double y) {
+  if (l <= 1.0 || x <= 0.0 || y <= 0.0) return 1.0;
+  const double r = x / y;
+  const double exponent =
+      l * r - l * std::log(l) * r - std::log(l) + 2.0 * std::log(y);
+  return clamp_prob(std::exp(exponent));
+}
+
+double lemma9_tail(double u, double m, double k) {
+  if (m <= 0.0 || k <= 0.0) return 1.0;
+  return clamp_prob(std::exp(-u * m / k));
+}
+
+}  // namespace embsp::sim

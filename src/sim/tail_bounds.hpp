@@ -1,0 +1,28 @@
+// Analytic tail bounds from the paper's probabilistic analysis
+// (Lemma 2, Lemma 9, Lemma 10 / Appendix A.1), evaluated numerically so the
+// benches can plot measured frequencies against the theory curves.
+#pragma once
+
+#include <cstdint>
+
+namespace embsp::sim {
+
+/// Lemma 2: Pr[X_{j,k} >= l * R/D] <= exp(-(R/D) * (l*ln(l) - l + 1)),
+/// the explicit constant obtained in the paper's proof by substituting
+/// r = ln l.  `R` is the number of blocks in the bucket, `D` the number of
+/// disks, and `l >= 1` the overload factor.  Returns a probability in
+/// [0, 1].
+double lemma2_tail(double l, double R, double D);
+
+/// Lemma 10 (balls into bins): with x balls thrown independently into y
+/// bins, Pr[some bin receives more than l*x/y balls]
+///   <= exp(l*(x/y) - l*ln(l)*(x/y) - ln(l) + 2*ln(y)),
+/// the explicit expression derived in the proof.  Returns a probability in
+/// [0, 1]; meaningful for l > e.
+double lemma10_tail(double l, double x, double y);
+
+/// Hoeffding bound of Lemma 9: Pr[sum >= u*m] <= exp(-u*m/k) for u >= e^2,
+/// independent X_i in [0, k] with mean-sum m.
+double lemma9_tail(double u, double m, double k);
+
+}  // namespace embsp::sim

@@ -1,0 +1,36 @@
+#include "sim/trace.hpp"
+
+namespace embsp::sim {
+
+void write_cost_csv(std::ostream& out, const bsp::RunCosts& costs,
+                    const std::vector<em::IoStats>* per_superstep_io) {
+  out << "superstep,max_work,total_work,max_bytes_sent,max_bytes_received,"
+         "max_packets_sent,max_packets_received,total_bytes,num_messages";
+  if (per_superstep_io != nullptr) {
+    out << ",parallel_ios,blocks_read,blocks_written";
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < costs.supersteps.size(); ++i) {
+    const auto& s = costs.supersteps[i];
+    out << i << ',' << s.max_work << ',' << s.total_work << ','
+        << s.max_bytes_sent << ',' << s.max_bytes_received << ','
+        << s.max_packets_sent << ',' << s.max_packets_received << ','
+        << s.total_bytes << ',' << s.num_messages;
+    if (per_superstep_io != nullptr && i < per_superstep_io->size()) {
+      const auto& io = (*per_superstep_io)[i];
+      out << ',' << io.parallel_ios << ',' << io.blocks_read << ','
+          << io.blocks_written;
+    } else if (per_superstep_io != nullptr) {
+      out << ",,,";
+    }
+    out << '\n';
+  }
+}
+
+void write_cost_csv(std::ostream& out, const SimResult& result) {
+  write_cost_csv(out, result.costs,
+                 result.per_superstep_io.empty() ? nullptr
+                                                 : &result.per_superstep_io);
+}
+
+}  // namespace embsp::sim

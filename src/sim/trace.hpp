@@ -1,0 +1,25 @@
+// Superstep-level cost traces.
+//
+// Every executor produces a RunCosts with one record per superstep; the
+// sequential simulator additionally tracks per-superstep parallel-I/O
+// counts.  write_cost_csv renders them as CSV for plotting — the raw data
+// behind the EXPERIMENTS.md tables.
+#pragma once
+
+#include <ostream>
+
+#include "sim/sim_config.hpp"
+
+namespace embsp::sim {
+
+/// One CSV row per superstep: index, work (max/total), bytes and packets
+/// (max per processor), messages, and — when per-superstep I/O counts are
+/// available (sequential simulator) — parallel I/Os and blocks moved.
+void write_cost_csv(std::ostream& out, const bsp::RunCosts& costs,
+                    const std::vector<em::IoStats>* per_superstep_io =
+                        nullptr);
+
+/// Convenience: the trace of a whole simulation result.
+void write_cost_csv(std::ostream& out, const SimResult& result);
+
+}  // namespace embsp::sim

@@ -1,0 +1,3 @@
+#include "util/rng.hpp"
+
+// Header-only; see rng.hpp.

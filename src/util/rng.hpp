@@ -1,0 +1,58 @@
+// Deterministic random number generation for the simulators.
+//
+// Every randomized decision in the paper (random disk permutations in
+// Algorithm 1 step 1(d), random intermediate processors in Algorithm 3 step
+// 1(c)) must be reproducible for testing, so all randomness flows through an
+// explicitly seeded engine owned by the caller.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace embsp::util {
+
+/// SplitMix64: tiny, fast, and good enough for load-balancing decisions.
+/// Chosen over std::mt19937_64 on the simulator hot path because a random
+/// permutation of D disks is drawn for *every* write cycle.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  Uses Lemire's multiply-shift reduction; the
+  /// slight modulo bias of the plain approach is irrelevant here but this is
+  /// just as cheap.
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Fisher–Yates shuffle of [0, n) written into `out` (resized).
+  void permutation(std::size_t n, std::vector<std::uint32_t>& out) {
+    out.resize(n);
+    std::iota(out.begin(), out.end(), 0u);
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(below(i));
+      std::swap(out[i - 1], out[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-processor engines in the
+  /// parallel simulator).
+  Rng fork(std::uint64_t salt) { return Rng(next() ^ (salt * 0xd1342543de82ef95ULL)); }
+
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace embsp::util

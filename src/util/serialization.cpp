@@ -1,0 +1,4 @@
+#include "util/serialization.hpp"
+
+// All of Writer/Reader is header-only; this TU exists so the module has a
+// home for future out-of-line helpers and to keep the build graph uniform.

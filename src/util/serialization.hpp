@@ -1,0 +1,146 @@
+// Byte-level serialization for virtual-processor contexts and messages.
+//
+// The EM simulators (src/sim/) persist the *context* of every virtual
+// processor to disk between compound supersteps, and ship messages around as
+// raw bytes.  All user-visible state therefore has to round-trip through a
+// small, explicit byte format.  We deliberately avoid any reflection or
+// third-party serializers: a Writer appends to a byte buffer, a Reader
+// consumes a span, and both are cheap enough to sit on the simulator's hot
+// path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace embsp::util {
+
+/// Appends primitive values / trivially-copyable records to a growable byte
+/// buffer.  The buffer can be inspected or moved out after writing.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Reserve capacity up front when the final size is known (avoids
+  /// reallocation during context save).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    if (!v.empty()) {
+      const auto* p = reinterpret_cast<const std::byte*>(v.data());
+      buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Consumes a byte span produced by Writer.  Throws std::out_of_range on
+/// under-run — a corrupted context read from disk must fail loudly, not
+/// silently produce garbage state.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    require(sizeof(T));
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> read_bytes(std::size_t n) {
+    require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    std::vector<T> v(n);
+    if (n != 0) {
+      require(n * sizeof(T));
+      std::memcpy(v.data(), data_.data() + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    }
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("Reader: truncated buffer (need " +
+                              std::to_string(n) + " bytes, have " +
+                              std::to_string(data_.size() - pos_) + ")");
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Concept satisfied by virtual-processor context types: they must know how
+/// to save themselves to a Writer and restore from a Reader.
+template <typename T>
+concept Serializable = requires(const T& ct, T& t, Writer& w, Reader& r) {
+  { ct.serialize(w) } -> std::same_as<void>;
+  { t.deserialize(r) } -> std::same_as<void>;
+};
+
+/// Serialized size of a context, by actually serializing it.  Used by the
+/// simulators to validate the declared context bound µ.
+template <Serializable T>
+std::size_t serialized_size(const T& value) {
+  Writer w;
+  value.serialize(w);
+  return w.size();
+}
+
+}  // namespace embsp::util

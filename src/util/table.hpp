@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary prints rows in the style of the paper's Table 1:
+// problem, parameters, measured cost, predicted cost, ratio.  A tiny
+// column-aligned renderer keeps that output readable without pulling in a
+// formatting library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace embsp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment, a header underline, and 2-space gutters.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the benches.
+std::string fmt_count(std::uint64_t n);     // 1234567 -> "1,234,567"
+std::string fmt_double(double v, int prec); // fixed precision
+std::string fmt_ratio(double v);            // "x12.3" style
+std::string fmt_bytes(std::uint64_t n);     // "4.0 MiB"
+
+}  // namespace embsp::util

@@ -1,0 +1,174 @@
+#include "util/workloads.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace embsp::util {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+std::vector<std::uint64_t> random_permutation(std::size_t n,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<Point2D> random_points_2d(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> pts(n);
+  for (auto& p : pts) p = {rng.uniform01(), rng.uniform01()};
+  return pts;
+}
+
+std::vector<Point3D> random_points_3d(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point3D> pts(n);
+  for (auto& p : pts) p = {rng.uniform01(), rng.uniform01(), rng.uniform01()};
+  return pts;
+}
+
+std::vector<Segment2D> random_disjoint_segments(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment2D> segs(n);
+  // One horizontal band per segment guarantees non-intersection; the band
+  // order is shuffled so y is uncorrelated with the index.
+  std::vector<std::uint32_t> bands;
+  rng.permutation(n, bands);
+  const double band_h = 1.0 / static_cast<double>(n == 0 ? 1 : n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y0 = bands[i] * band_h;
+    double xa = rng.uniform01();
+    double xb = rng.uniform01();
+    if (xa > xb) std::swap(xa, xb);
+    if (xb - xa < 1e-9) xb = xa + 1e-9;  // avoid degenerate verticals
+    const double ya = y0 + 0.1 * band_h + 0.3 * band_h * rng.uniform01();
+    const double yb = y0 + 0.1 * band_h + 0.3 * band_h * rng.uniform01();
+    segs[i] = {xa, ya, xb, yb};
+  }
+  return segs;
+}
+
+std::vector<Segment2D> random_segments(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment2D> segs(n);
+  for (auto& s : segs) {
+    double xa = rng.uniform01(), xb = rng.uniform01();
+    if (xa > xb) std::swap(xa, xb);
+    if (xb - xa < 1e-6) xb = xa + 1e-6;
+    s = {xa, rng.uniform01(), xb, rng.uniform01()};
+  }
+  return segs;
+}
+
+std::pair<std::vector<std::uint64_t>, std::uint64_t> random_list(
+    std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("random_list: n must be > 0");
+  auto order = random_permutation(n, seed);
+  std::vector<std::uint64_t> succ(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) succ[order[i]] = order[i + 1];
+  succ[order[n - 1]] = order[n - 1];  // tail self-loop
+  return {std::move(succ), order[0]};
+}
+
+std::vector<std::uint64_t> random_tree(std::size_t n, std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("random_tree: n must be > 0");
+  Rng rng(seed);
+  // Build on a random labeling so node 0 is not structurally special.
+  auto label = random_permutation(n, seed ^ 0xabcdef12345ULL);
+  std::vector<std::uint64_t> parent(n);
+  parent[label[0]] = label[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    parent[label[i]] = label[j];
+  }
+  return parent;
+}
+
+std::vector<Edge> random_graph(std::size_t n, std::size_t m,
+                               std::uint64_t seed) {
+  if (n < 2 && m > 0) throw std::invalid_argument("random_graph: n too small");
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    auto u = rng.below(n);
+    auto v = rng.below(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = u * n + v;
+    if (used.insert(key).second) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+std::pair<std::vector<Edge>, std::vector<std::uint64_t>>
+random_components_graph(std::size_t n, std::size_t k, std::size_t extra_edges,
+                        std::uint64_t seed) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("random_components_graph: need 0 < k <= n");
+  }
+  Rng rng(seed);
+  // Assign each vertex a component (every component gets at least one
+  // vertex: the first k vertices of a random permutation seed them).
+  auto order = random_permutation(n, seed ^ 0x5eedULL);
+  std::vector<std::uint64_t> comp(n);
+  std::vector<std::vector<std::uint64_t>> members(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t c = (i < k) ? i : rng.below(k);
+    comp[order[i]] = c;
+    members[c].push_back(order[i]);
+  }
+  std::vector<Edge> edges;
+  // Spanning tree inside each component.
+  for (const auto& vs : members) {
+    for (std::size_t i = 1; i < vs.size(); ++i) {
+      const auto j = static_cast<std::size_t>(rng.below(i));
+      edges.push_back({vs[j], vs[i]});
+    }
+  }
+  // Extra intra-component edges.
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < extra_edges && attempts < extra_edges * 20 + 100) {
+    ++attempts;
+    const auto c = static_cast<std::size_t>(rng.below(k));
+    const auto& vs = members[c];
+    if (vs.size() < 2) continue;
+    const auto a = vs[rng.below(vs.size())];
+    const auto b = vs[rng.below(vs.size())];
+    if (a == b) continue;
+    edges.push_back({a, b});
+    ++added;
+  }
+  return {std::move(edges), std::move(comp)};
+}
+
+std::vector<Rect> random_rects(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects(n);
+  for (auto& r : rects) {
+    double xa = rng.uniform01(), xb = rng.uniform01();
+    double ya = rng.uniform01(), yb = rng.uniform01();
+    if (xa > xb) std::swap(xa, xb);
+    if (ya > yb) std::swap(ya, yb);
+    r = {xa, ya, xb + 1e-9, yb + 1e-9};
+  }
+  return rects;
+}
+
+}  // namespace embsp::util

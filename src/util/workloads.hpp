@@ -1,0 +1,85 @@
+// Workload generators shared by the tests, benches, and examples.
+//
+// Table 1's three application groups need: key sequences (sorting,
+// permutation), matrices (transpose), point/segment sets (geometry), and
+// lists / trees / graphs (graph algorithms).  Everything is generated from an
+// explicit seed so experiments are repeatable.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace embsp::util {
+
+/// n uniformly random 64-bit keys.
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed);
+
+/// A uniformly random permutation of [0, n).
+std::vector<std::uint64_t> random_permutation(std::size_t n,
+                                              std::uint64_t seed);
+
+struct Point2D {
+  double x;
+  double y;
+};
+
+struct Point3D {
+  double x;
+  double y;
+  double z;
+};
+
+/// Non-vertical segment with x1 < x2; generators below guarantee pairwise
+/// non-intersection (required by the lower-envelope algorithm).
+struct Segment2D {
+  double x1, y1, x2, y2;
+};
+
+std::vector<Point2D> random_points_2d(std::size_t n, std::uint64_t seed);
+std::vector<Point3D> random_points_3d(std::size_t n, std::uint64_t seed);
+
+/// n pairwise non-intersecting segments, built by stacking each segment in
+/// its own horizontal band (random x-extents, distinct y bands).
+std::vector<Segment2D> random_disjoint_segments(std::size_t n,
+                                                std::uint64_t seed);
+
+/// n segments with random endpoints in the unit square — crossings are
+/// abundant (workload for the generalized lower envelope).
+std::vector<Segment2D> random_segments(std::size_t n, std::uint64_t seed);
+
+/// Successor representation of a random singly linked list over nodes
+/// [0, n): succ[i] is the next node; the tail points to itself.
+/// Returns {succ, head}.
+std::pair<std::vector<std::uint64_t>, std::uint64_t> random_list(
+    std::size_t n, std::uint64_t seed);
+
+/// Random tree on n nodes as a parent array; parent[root] == root.
+/// Attachment is uniform over earlier nodes after a random relabeling, so
+/// both depth and fanout vary.
+std::vector<std::uint64_t> random_tree(std::size_t n, std::uint64_t seed);
+
+struct Edge {
+  std::uint64_t u;
+  std::uint64_t v;
+};
+
+/// Random undirected graph: n vertices, m distinct edges (no self loops).
+std::vector<Edge> random_graph(std::size_t n, std::size_t m,
+                               std::uint64_t seed);
+
+/// A graph that is a union of `k` disjoint random trees plus extra random
+/// intra-component edges — used to test connected components with a known
+/// component structure.  Returns {edges, component_of}.
+std::pair<std::vector<Edge>, std::vector<std::uint64_t>> random_components_graph(
+    std::size_t n, std::size_t k, std::size_t extra_edges, std::uint64_t seed);
+
+struct Rect {
+  double x1, y1, x2, y2;
+};
+
+std::vector<Rect> random_rects(std::size_t n, std::uint64_t seed);
+
+}  // namespace embsp::util

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "baseline/em_list_ranking.hpp"
+#include "baseline/em_mergesort.hpp"
+#include "baseline/em_permutation.hpp"
+#include "baseline/em_transpose.hpp"
+#include "baseline/naive_sim.hpp"
+#include "bsp/direct_runtime.hpp"
+#include "test_programs.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::baseline {
+namespace {
+
+TEST(EmMergesort, SortsRandomKeys) {
+  em::DiskArray disks(4, 128);
+  auto keys = util::random_keys(5000, 1);
+  EmSortStats st;
+  auto sorted = em_mergesort(disks, keys, 4096, &st);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sorted, want);
+  EXPECT_GT(st.initial_runs, 1u);
+  EXPECT_GE(st.merge_passes, 1u);
+}
+
+TEST(EmMergesort, SingleRunNoMergePass) {
+  em::DiskArray disks(2, 128);
+  auto keys = util::random_keys(100, 2);
+  EmSortStats st;
+  auto sorted = em_mergesort(disks, keys, 1 << 16, &st);
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sorted, want);
+  EXPECT_EQ(st.initial_runs, 1u);
+  EXPECT_EQ(st.merge_passes, 0u);
+}
+
+TEST(EmMergesort, EdgeCases) {
+  em::DiskArray disks(2, 128);
+  EXPECT_TRUE(em_mergesort(disks, {}, 4096).empty());
+  std::vector<std::uint64_t> one{42};
+  EXPECT_EQ(em_mergesort(disks, one, 4096), one);
+  std::vector<std::uint64_t> dup(777, 9);
+  EXPECT_EQ(em_mergesort(disks, dup, 4096), dup);
+}
+
+TEST(EmMergesort, MultiplePassesWhenMemoryTiny) {
+  em::DiskArray disks(1, 64);
+  auto keys = util::random_keys(4000, 3);
+  EmSortStats st;
+  auto sorted = em_mergesort(disks, keys, 512, &st);  // 8 items/block, 64 item memory
+  auto want = keys;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sorted, want);
+  EXPECT_GT(st.merge_passes, 1u);
+}
+
+TEST(EmMergesort, DiskParallelismExploited) {
+  // With D=8 the forecasting merge should use most disk slots per I/O.
+  em::DiskArray disks(8, 128);
+  auto keys = util::random_keys(20000, 4);
+  EmSortStats st;
+  em_mergesort(disks, keys, 1 << 14, &st);
+  const auto io = st.algorithm_io();
+  EXPECT_GT(io.utilization(8), 0.5);
+}
+
+TEST(EmMergesort, IoMatchesPrediction) {
+  em::DiskArray disks(4, 128);
+  auto keys = util::random_keys(30000, 5);
+  EmSortStats st;
+  em_mergesort(disks, keys, 1 << 13, &st);
+  const double predicted = em_sort_predicted_ios(30000, 1 << 13, 4, 128);
+  const double measured = static_cast<double>(st.algorithm_io().parallel_ios);
+  EXPECT_GT(measured, 0.3 * predicted);
+  EXPECT_LT(measured, 3.0 * predicted);
+}
+
+TEST(EmPermutation, NaiveCorrect) {
+  em::DiskArray disks(2, 128);
+  const std::size_t n = 500;
+  auto values = util::random_keys(n, 6);
+  auto perm = util::random_permutation(n, 7);
+  auto out = em_permute_naive(disks, values, perm, 4096);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[perm[i]], values[i]);
+}
+
+TEST(EmPermutation, SortBasedCorrect) {
+  em::DiskArray disks(4, 128);
+  const std::size_t n = 3000;
+  auto values = util::random_keys(n, 8);
+  auto perm = util::random_permutation(n, 9);
+  auto out = em_permute_sort(disks, values, perm, 8192);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[perm[i]], values[i]);
+}
+
+TEST(EmPermutation, NaiveCostsFarMoreThanSort) {
+  // The Table 1 min(n/D, sort) tradeoff: for large n relative to B, the
+  // naive per-record strategy performs ~2 I/Os per record while the sort
+  // does ~2 passes over n/B blocks.
+  const std::size_t n = 4000;
+  auto values = util::random_keys(n, 10);
+  auto perm = util::random_permutation(n, 11);
+  em::DiskArray d1(2, 256), d2(2, 256);
+  EmPermStats naive_st, sort_st;
+  em_permute_naive(d1, values, perm, 8192, &naive_st);
+  em_permute_sort(d2, values, perm, 8192, &sort_st);
+  EXPECT_GT(naive_st.algorithm.parallel_ios,
+            5 * sort_st.algorithm.parallel_ios);
+}
+
+TEST(EmTranspose, CorrectAndBlocked) {
+  em::DiskArray disks(2, 128);  // 16 items per block
+  const std::uint64_t r = 64, c = 48;
+  auto m = util::random_keys(r * c, 12);
+  EmTransposeStats st;
+  auto out = em_transpose(disks, m, r, c, 1 << 14, &st);
+  for (std::uint64_t i = 0; i < r; ++i) {
+    for (std::uint64_t j = 0; j < c; ++j) {
+      EXPECT_EQ(out[j * r + i], m[i * c + j]);
+    }
+  }
+  EXPECT_GE(st.tile, 16u);
+}
+
+TEST(EmTranspose, RejectsUnalignedShapes) {
+  em::DiskArray disks(2, 128);
+  std::vector<std::uint64_t> m(30);
+  EXPECT_THROW(em_transpose(disks, m, 5, 6, 4096), std::invalid_argument);
+}
+
+TEST(EmListRanking, RanksRandomList) {
+  em::DiskArray disks(2, 128);
+  const std::size_t n = 500;
+  auto [succ, head] = util::random_list(n, 13);
+  EmListRankStats st;
+  auto rank = em_list_ranking(disks, succ, 8192, &st);
+  // Reference: walk the list.
+  std::vector<std::uint64_t> want(n);
+  std::uint64_t cur = head;
+  for (std::size_t d = 0; d < n; ++d) {
+    want[cur] = n - 1 - d;
+    cur = succ[cur];
+  }
+  EXPECT_EQ(rank, want);
+  EXPECT_EQ(st.rounds, 9u);  // ceil(log2 500)
+  EXPECT_GT(st.total.parallel_ios, 0u);
+}
+
+TEST(EmListRanking, TinyLists) {
+  em::DiskArray disks(1, 64);
+  std::vector<std::uint64_t> self{0};
+  EXPECT_EQ(em_list_ranking(disks, self, 2048),
+            std::vector<std::uint64_t>{0});
+  std::vector<std::uint64_t> two{1, 1};
+  auto r = em_list_ranking(disks, two, 2048);
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[1], 0u);
+}
+
+TEST(NaiveSim, MatchesDirectRuntime) {
+  using embsp::testing::PrefixSumProgram;
+  PrefixSumProgram prog;
+  constexpr std::uint32_t v = 8;
+  auto make = [](std::uint32_t pid) {
+    PrefixSumProgram::State s;
+    s.value = pid * 2 + 1;
+    return s;
+  };
+  std::vector<std::uint64_t> direct(v), naive(v);
+  bsp::DirectRuntime rt;
+  rt.run<PrefixSumProgram>(prog, v, make,
+                           [&](std::uint32_t pid, PrefixSumProgram::State& s) {
+                             direct[pid] = s.prefix;
+                           });
+  NaiveSimConfig cfg;
+  cfg.v = v;
+  cfg.D = 2;
+  cfg.B = 64;
+  cfg.mu = 64;
+  cfg.cell_bytes = 256;
+  NaiveSimulator sim(cfg);
+  auto result = sim.run<PrefixSumProgram>(
+      prog, make, [&](std::uint32_t pid, PrefixSumProgram::State& s) {
+        naive[pid] = s.prefix;
+      });
+  EXPECT_EQ(naive, direct);
+  EXPECT_EQ(result.lambda, 2u);
+}
+
+TEST(NaiveSim, NeverUsesDiskParallelism) {
+  using embsp::testing::IrregularProgram;
+  IrregularProgram prog;
+  NaiveSimConfig cfg;
+  cfg.v = 6;
+  cfg.D = 4;
+  cfg.B = 64;
+  cfg.mu = 64;
+  cfg.cell_bytes = 2048;
+  NaiveSimulator sim(cfg);
+  sim.run<IrregularProgram>(
+      prog, [](std::uint32_t) { return IrregularProgram::State{}; },
+      [](std::uint32_t, IrregularProgram::State&) {});
+  // Every I/O touches exactly one of the 4 disks.
+  EXPECT_DOUBLE_EQ(sim.disks().stats().utilization(4), 0.25);
+}
+
+TEST(NaiveSim, DenseCellMatrixDominatesIo) {
+  // Even a program with almost no traffic pays v^2 cell reads per
+  // superstep — the overhead the paper's technique removes.
+  using embsp::testing::EmptyMessageProgram;
+  EmptyMessageProgram prog;
+  NaiveSimConfig cfg;
+  cfg.v = 16;
+  cfg.D = 1;
+  cfg.B = 64;
+  cfg.mu = 64;
+  cfg.cell_bytes = 64;
+  NaiveSimulator sim(cfg);
+  auto result = sim.run<EmptyMessageProgram>(
+      prog, [](std::uint32_t) { return EmptyMessageProgram::State{}; },
+      [](std::uint32_t, EmptyMessageProgram::State&) {});
+  // 2 supersteps x 16 processors x 16 cell reads = 512 reads minimum.
+  EXPECT_GE(result.total_io.blocks_read, 512u);
+}
+
+TEST(NaiveSim, CellOverflowDiagnosed) {
+  using embsp::testing::BigMessageProgram;
+  BigMessageProgram prog;
+  prog.words = 4096;  // 32 KB message vs 256-byte cells
+  NaiveSimConfig cfg;
+  cfg.v = 4;
+  cfg.D = 1;
+  cfg.B = 64;
+  cfg.mu = 64;
+  cfg.cell_bytes = 256;
+  NaiveSimulator sim(cfg);
+  EXPECT_THROW(sim.run<BigMessageProgram>(
+                   prog,
+                   [](std::uint32_t) { return BigMessageProgram::State{}; },
+                   [](std::uint32_t, BigMessageProgram::State&) {}),
+               std::runtime_error);
+}
+
+TEST(EmMergesortKv, SortsPairsByKeyThenValue) {
+  em::DiskArray disks(2, 128);
+  std::vector<KeyValue> input;
+  util::Rng rng(91);
+  for (int i = 0; i < 3000; ++i) {
+    input.push_back(KeyValue{rng.below(100), rng.next()});
+  }
+  auto sorted = em_mergesort_kv(disks, input, 4096);
+  ASSERT_EQ(sorted.size(), input.size());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const bool ordered =
+        sorted[i - 1].key < sorted[i].key ||
+        (sorted[i - 1].key == sorted[i].key &&
+         sorted[i - 1].value <= sorted[i].value);
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+}
+
+TEST(EmMergesortKv, EmptyAndSingleton) {
+  em::DiskArray disks(1, 128);
+  EXPECT_TRUE(em_mergesort_kv(disks, {}, 4096).empty());
+  std::vector<KeyValue> one{KeyValue{5, 9}};
+  auto sorted = em_mergesort_kv(disks, one, 4096);
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].key, 5u);
+  EXPECT_EQ(sorted[0].value, 9u);
+}
+
+}  // namespace
+}  // namespace embsp::baseline

@@ -1,0 +1,147 @@
+// Biconnected components (Table 1, Group C).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cgm/graph_biconnectivity.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+namespace {
+
+/// Both labelings must induce the same partition of the edge set.
+void expect_same_partition(std::span<const std::uint64_t> got,
+                           std::span<const std::uint64_t> want) {
+  ASSERT_EQ(got.size(), want.size());
+  std::map<std::uint64_t, std::uint64_t> fwd, bwd;
+  for (std::size_t e = 0; e < got.size(); ++e) {
+    auto [f, fi] = fwd.emplace(got[e], want[e]);
+    EXPECT_EQ(f->second, want[e]) << "edge " << e;
+    auto [b, bi] = bwd.emplace(want[e], got[e]);
+    EXPECT_EQ(b->second, got[e]) << "edge " << e;
+  }
+}
+
+/// A connected random graph: random tree + extra random edges.
+std::vector<util::Edge> connected_graph(std::uint64_t n, std::uint64_t extra,
+                                        std::uint64_t seed) {
+  auto parent = util::random_tree(n, seed);
+  std::vector<util::Edge> edges;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    if (parent[x] != x) edges.push_back({parent[x], x});
+  }
+  util::Rng rng(seed ^ 0xb1c0);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (const auto& e : edges) seen.insert(std::minmax(e.u, e.v));
+  while (extra > 0) {
+    auto a = rng.below(n);
+    auto b = rng.below(n);
+    if (a == b) continue;
+    auto key = std::minmax(a, b);
+    if (!seen.insert(key).second) continue;
+    edges.push_back({a, b});
+    --extra;
+  }
+  return edges;
+}
+
+TEST(Biconnectivity, BruteForceSanity) {
+  // Two triangles sharing vertex 0: two blocks.
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {0, 2},
+                                {0, 3}, {3, 4}, {0, 4}};
+  auto block = biconnected_bruteforce(5, edges);
+  EXPECT_EQ(block[0], block[1]);
+  EXPECT_EQ(block[1], block[2]);
+  EXPECT_EQ(block[3], block[4]);
+  EXPECT_EQ(block[4], block[5]);
+  EXPECT_NE(block[0], block[3]);
+}
+
+TEST(Biconnectivity, TwoTrianglesSharedVertex) {
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {0, 2},
+                                {0, 3}, {3, 4}, {0, 4}};
+  DirectExec exec;
+  auto out = cgm_biconnected_components(exec, 5, edges, 2);
+  expect_same_partition(out.edge_block, biconnected_bruteforce(5, edges));
+  EXPECT_EQ(out.num_blocks, 2u);
+}
+
+TEST(Biconnectivity, PathIsAllBridges) {
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  DirectExec exec;
+  auto out = cgm_biconnected_components(exec, 5, edges, 2);
+  EXPECT_EQ(out.num_blocks, 4u);  // every edge its own block
+}
+
+TEST(Biconnectivity, CycleIsOneBlock) {
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  DirectExec exec;
+  auto out = cgm_biconnected_components(exec, 5, edges, 2);
+  EXPECT_EQ(out.num_blocks, 1u);
+}
+
+TEST(Biconnectivity, BarbellGraph) {
+  // Two cycles joined by a bridge path: 3 blocks.
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {2, 0},   // cycle A
+                                {2, 3}, {3, 4},           // bridge path
+                                {4, 5}, {5, 6}, {6, 4}};  // cycle B
+  DirectExec exec;
+  auto out = cgm_biconnected_components(exec, 7, edges, 4);
+  expect_same_partition(out.edge_block, biconnected_bruteforce(7, edges));
+  EXPECT_EQ(out.num_blocks, 4u);  // A, two bridges, B
+}
+
+class BiconnectivitySweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>> {};
+
+TEST_P(BiconnectivitySweep, MatchesBruteForce) {
+  const auto [n, extra, v] = GetParam();
+  auto edges = connected_graph(n, extra, 97 * n + extra + v);
+  DirectExec exec;
+  auto out = cgm_biconnected_components(exec, n, edges, v);
+  expect_same_partition(out.edge_block, biconnected_bruteforce(n, edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BiconnectivitySweep,
+    ::testing::Values(
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{8, 0, 2},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{30, 5, 4},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{100, 40, 8},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{300, 10, 8},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{300, 300,
+                                                                16}),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "v" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(Biconnectivity, OnEmMachines) {
+  auto edges = connected_graph(150, 60, 1234);
+  auto want = biconnected_bruteforce(150, edges);
+  sim::SimConfig cfg;
+  cfg.machine.p = 1;
+  cfg.machine.em = {1 << 22, 4, 256, 1.0};
+  SeqEmExec seq(cfg);
+  expect_same_partition(
+      cgm_biconnected_components(seq, 150, edges, 8).edge_block, want);
+  sim::SimConfig pcfg;
+  pcfg.machine.p = 2;
+  pcfg.machine.em = {1 << 22, 2, 256, 1.0};
+  ParEmExec par(pcfg);
+  expect_same_partition(
+      cgm_biconnected_components(par, 150, edges, 8).edge_block, want);
+}
+
+TEST(Biconnectivity, DisconnectedGraphRejected) {
+  std::vector<util::Edge> edges{{0, 1}, {2, 3}};
+  DirectExec exec;
+  EXPECT_THROW(cgm_biconnected_components(exec, 4, edges, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace embsp::cgm

@@ -1,0 +1,166 @@
+// Ear decomposition (Table 1, Group C) — verified by checking the ear
+// decomposition properties directly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cgm/graph_ears.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+namespace {
+
+/// 2-edge-connected random graph: a Hamiltonian-ish cycle + extra chords.
+std::vector<util::Edge> two_edge_connected_graph(std::uint64_t n,
+                                                 std::uint64_t chords,
+                                                 std::uint64_t seed) {
+  auto perm = util::random_permutation(n, seed);
+  std::vector<util::Edge> edges;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto key = std::minmax(perm[i], perm[(i + 1) % n]);
+    if (seen.insert(key).second) edges.push_back({perm[i], perm[(i + 1) % n]});
+  }
+  util::Rng rng(seed ^ 0xea55);
+  while (chords > 0) {
+    auto a = rng.below(n), b = rng.below(n);
+    if (a == b) continue;
+    auto key = std::minmax(a, b);
+    if (!seen.insert(key).second) continue;
+    edges.push_back({a, b});
+    --chords;
+  }
+  return edges;
+}
+
+/// Validates the ear decomposition properties:
+///   * the number of ears is m - n + 1;
+///   * ear 0's edges form a simple cycle;
+///   * every later ear's edges form a simple path whose two endpoints lie
+///     on earlier ears and whose internal vertices are new.
+void check_ears(std::uint64_t n, std::span<const util::Edge> edges,
+                const EarDecompositionOutcome& out) {
+  ASSERT_EQ(out.num_ears, edges.size() - (n - 1));
+  std::map<std::uint64_t, std::vector<std::size_t>> by_ear;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    ASSERT_NE(out.ear[e], UINT64_MAX) << "edge " << e << " unassigned";
+    by_ear[out.ear[e]].push_back(e);
+  }
+  ASSERT_EQ(by_ear.size(), out.num_ears);
+
+  std::vector<std::uint8_t> on_earlier(n, 0);
+  for (std::uint64_t k = 0; k < out.num_ears; ++k) {
+    const auto& members = by_ear.at(k);
+    // Degree count within the ear.
+    std::map<std::uint64_t, int> deg;
+    for (auto e : members) {
+      deg[edges[e].u] += 1;
+      deg[edges[e].v] += 1;
+    }
+    std::vector<std::uint64_t> endpoints;
+    for (const auto& [vertex, d] : deg) {
+      ASSERT_LE(d, 2) << "ear " << k << " is not a path/cycle";
+      if (d == 1) endpoints.push_back(vertex);
+    }
+    // Connectivity of the ear's edge set (walk from one endpoint/any).
+    {
+      std::map<std::uint64_t, std::vector<std::uint64_t>> eadj;
+      for (auto e : members) {
+        eadj[edges[e].u].push_back(edges[e].v);
+        eadj[edges[e].v].push_back(edges[e].u);
+      }
+      std::set<std::uint64_t> visited;
+      std::vector<std::uint64_t> stack{deg.begin()->first};
+      while (!stack.empty()) {
+        const auto u = stack.back();
+        stack.pop_back();
+        if (!visited.insert(u).second) continue;
+        for (auto w : eadj[u]) stack.push_back(w);
+      }
+      ASSERT_EQ(visited.size(), deg.size()) << "ear " << k << " disconnected";
+    }
+    if (k == 0) {
+      EXPECT_TRUE(endpoints.empty()) << "ear 0 must be a cycle";
+    } else {
+      ASSERT_EQ(endpoints.size(), 2u) << "ear " << k << " must be a path";
+      for (auto v : endpoints) {
+        EXPECT_TRUE(on_earlier[v])
+            << "ear " << k << " endpoint " << v << " not on earlier ears";
+      }
+      for (const auto& [vertex, d] : deg) {
+        if (d == 2) {
+          EXPECT_FALSE(on_earlier[vertex])
+              << "ear " << k << " internal vertex " << vertex
+              << " already used (ear not open)";
+        }
+      }
+    }
+    for (const auto& [vertex, d] : deg) on_earlier[vertex] = 1;
+  }
+}
+
+TEST(EarDecomposition, SingleCycle) {
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  DirectExec exec;
+  auto out = cgm_ear_decomposition(exec, 4, edges, 2);
+  EXPECT_EQ(out.num_ears, 1u);
+  check_ears(4, edges, out);
+}
+
+TEST(EarDecomposition, ThetaGraph) {
+  // Two vertices joined by three disjoint paths: 2 ears.
+  std::vector<util::Edge> edges{{0, 2}, {2, 1},   // path A
+                                {0, 3}, {3, 1},   // path B
+                                {0, 4}, {4, 1}};  // path C
+  DirectExec exec;
+  auto out = cgm_ear_decomposition(exec, 5, edges, 2);
+  EXPECT_EQ(out.num_ears, 2u);
+  check_ears(5, edges, out);
+}
+
+class EarSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>> {};
+
+TEST_P(EarSweep, PropertiesHold) {
+  const auto [n, chords, v] = GetParam();
+  auto edges = two_edge_connected_graph(n, chords, 53 * n + chords + v);
+  DirectExec exec;
+  auto out = cgm_ear_decomposition(exec, n, edges, v);
+  check_ears(n, edges, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EarSweep,
+    ::testing::Values(
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{6, 2, 2},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{40, 15, 4},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{120, 80, 8},
+        std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>{300, 40,
+                                                                16}),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "c" +
+             std::to_string(std::get<1>(info.param)) + "v" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(EarDecomposition, BridgeRejected) {
+  std::vector<util::Edge> edges{{0, 1}, {1, 2}, {2, 0}, {2, 3}};  // bridge 2-3
+  DirectExec exec;
+  EXPECT_THROW(cgm_ear_decomposition(exec, 4, edges, 2),
+               std::invalid_argument);
+}
+
+TEST(EarDecomposition, OnEmMachine) {
+  auto edges = two_edge_connected_graph(100, 50, 777);
+  sim::SimConfig cfg;
+  cfg.machine.p = 2;
+  cfg.machine.em = {1 << 22, 2, 256, 1.0};
+  ParEmExec exec(cfg);
+  auto out = cgm_ear_decomposition(exec, 100, edges, 8);
+  check_ears(100, edges, out);
+}
+
+}  // namespace
+}  // namespace embsp::cgm

@@ -1,0 +1,443 @@
+// Group B geometry algorithms across executors, validated against brute
+// force references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cgm/geometry_closest_pair.hpp"
+#include "cgm/geometry_dominance.hpp"
+#include "cgm/geometry_envelope.hpp"
+#include "cgm/geometry_hull.hpp"
+#include "cgm/geometry_maxima.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::cgm {
+namespace {
+
+sim::SimConfig em_config(std::uint32_t p, std::size_t D, std::size_t B) {
+  sim::SimConfig cfg;
+  cfg.machine.p = p;
+  cfg.machine.em.D = D;
+  cfg.machine.em.B = B;
+  cfg.machine.em.M = 1 << 22;
+  return cfg;
+}
+
+// --- staircase helpers ------------------------------------------------------
+
+TEST(Staircase, MergeKeepsOnlyMaxima) {
+  std::vector<StairPoint> stairs;
+  std::vector<StairPoint> pts{{1, 5}, {2, 4}, {3, 3}, {1.5, 4.5}, {2, 2}};
+  merge_staircase(stairs, pts);
+  // (2,2) dominated by (2,4)/(3,3); (1.5,4.5) dominated by (2,4)? no:
+  // 2>1.5, 4<4.5 — kept.
+  for (std::size_t i = 1; i < stairs.size(); ++i) {
+    EXPECT_GT(stairs[i].y, stairs[i - 1].y);
+    EXPECT_LT(stairs[i].z, stairs[i - 1].z);
+  }
+  EXPECT_TRUE(staircase_dominates(stairs, 0.5, 0.5));
+  EXPECT_FALSE(staircase_dominates(stairs, 3.0, 3.0));  // strictness
+  EXPECT_FALSE(staircase_dominates(stairs, 10.0, 0.0));
+}
+
+TEST(Staircase, DominationIsStrict) {
+  std::vector<StairPoint> stairs;
+  std::vector<StairPoint> pts{{2, 2}};
+  merge_staircase(stairs, pts);
+  EXPECT_TRUE(staircase_dominates(stairs, 1, 1));
+  EXPECT_FALSE(staircase_dominates(stairs, 2, 1));  // equal y
+  EXPECT_FALSE(staircase_dominates(stairs, 1, 2));  // equal z
+}
+
+// --- 3D maxima ---------------------------------------------------------------
+
+class MaximaSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(MaximaSweep, MatchesBruteForceDirect) {
+  const auto [n, v] = GetParam();
+  auto pts = util::random_points_3d(n, 17 * n + v);
+  DirectExec exec;
+  auto out = cgm_3d_maxima(exec, pts, v);
+  EXPECT_EQ(out.maximal, maxima3d_bruteforce(pts));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MaximaSweep,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{1, 1},
+                      std::pair<std::size_t, std::uint32_t>{10, 4},
+                      std::pair<std::size_t, std::uint32_t>{200, 8},
+                      std::pair<std::size_t, std::uint32_t>{500, 16},
+                      std::pair<std::size_t, std::uint32_t>{500, 3}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Maxima, OnEmMachines) {
+  auto pts = util::random_points_3d(400, 99);
+  auto want = maxima3d_bruteforce(pts);
+  SeqEmExec seq(em_config(1, 4, 256));
+  EXPECT_EQ(cgm_3d_maxima(seq, pts, 8).maximal, want);
+  ParEmExec par(em_config(4, 2, 256));
+  EXPECT_EQ(cgm_3d_maxima(par, pts, 8).maximal, want);
+}
+
+TEST(Maxima, LambdaIsLogarithmic) {
+  auto pts = util::random_points_3d(256, 5);
+  DirectExec exec;
+  auto out = cgm_3d_maxima(exec, pts, 16);
+  // 4 sort steps + log2(16) doubling rounds + final sweep.
+  EXPECT_EQ(out.exec.lambda, 4u + 4u + 1u);
+}
+
+// --- dominance counting ------------------------------------------------------
+
+TEST(Dominance, MatchesBruteForceDirect) {
+  const std::size_t n = 300;
+  auto pts = util::random_points_2d(n, 7);
+  auto weights = util::random_keys(n, 8);
+  for (auto& w : weights) w %= 1000;
+  DirectExec exec;
+  auto out = cgm_dominance_counts(exec, pts, weights, 8);
+  EXPECT_EQ(out.counts, dominance_bruteforce(pts, weights));
+  EXPECT_EQ(out.exec.lambda, 15u);  // O(1) supersteps
+}
+
+TEST(Dominance, UnitWeightsSmall) {
+  std::vector<util::Point2D> pts{{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.15},
+                                 {0.05, 0.4}};
+  std::vector<std::uint64_t> w(4, 1);
+  DirectExec exec;
+  auto out = cgm_dominance_counts(exec, pts, w, 2);
+  EXPECT_EQ(out.counts, (std::vector<std::uint64_t>{0, 1, 1, 0}));
+}
+
+TEST(Dominance, OnEmMachines) {
+  const std::size_t n = 500;
+  auto pts = util::random_points_2d(n, 9);
+  std::vector<std::uint64_t> weights(n, 1);
+  auto want = dominance_bruteforce(pts, weights);
+  SeqEmExec seq(em_config(1, 4, 256));
+  EXPECT_EQ(cgm_dominance_counts(seq, pts, weights, 8).counts, want);
+  ParEmExec par(em_config(2, 2, 256));
+  EXPECT_EQ(cgm_dominance_counts(par, pts, weights, 8).counts, want);
+}
+
+TEST(Dominance, SingleProcessor) {
+  auto pts = util::random_points_2d(100, 10);
+  std::vector<std::uint64_t> weights(100, 2);
+  DirectExec exec;
+  EXPECT_EQ(cgm_dominance_counts(exec, pts, weights, 1).counts,
+            dominance_bruteforce(pts, weights));
+}
+
+// --- closest pair -------------------------------------------------------------
+
+double brute_closest2(std::span<const util::Point2D> pts) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      const double dx = pts[i].x - pts[j].x;
+      const double dy = pts[i].y - pts[j].y;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+  }
+  return best;
+}
+
+class ClosestPairSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(ClosestPairSweep, MatchesBruteForce) {
+  const auto [n, v] = GetParam();
+  auto pts = util::random_points_2d(n, 31 * n + v);
+  DirectExec exec;
+  auto out = cgm_closest_pair(exec, pts, v);
+  EXPECT_DOUBLE_EQ(out.best.dist2, brute_closest2(pts));
+  // The reported pair must actually realize the distance.
+  const auto& a = pts[out.best.tag_a];
+  const auto& b = pts[out.best.tag_b];
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  EXPECT_DOUBLE_EQ(dx * dx + dy * dy, out.best.dist2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ClosestPairSweep,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{2, 1},
+                      std::pair<std::size_t, std::uint32_t>{10, 4},
+                      std::pair<std::size_t, std::uint32_t>{100, 8},
+                      std::pair<std::size_t, std::uint32_t>{600, 16}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(ClosestPair, ClusteredPoints) {
+  // Two tight clusters far apart; the answer lives inside one cluster and
+  // must survive the strip exchange.
+  std::vector<util::Point2D> pts;
+  util::Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({0.1 + rng.uniform01() * 1e-3, rng.uniform01()});
+  }
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({0.9 + rng.uniform01() * 1e-3, rng.uniform01()});
+  }
+  DirectExec exec;
+  auto out = cgm_closest_pair(exec, pts, 8);
+  EXPECT_DOUBLE_EQ(out.best.dist2, brute_closest2(pts));
+}
+
+TEST(ClosestPair, OnEmMachines) {
+  auto pts = util::random_points_2d(400, 12);
+  const double want = brute_closest2(pts);
+  SeqEmExec seq(em_config(1, 2, 256));
+  EXPECT_DOUBLE_EQ(cgm_closest_pair(seq, pts, 8).best.dist2, want);
+  ParEmExec par(em_config(4, 2, 256));
+  EXPECT_DOUBLE_EQ(cgm_closest_pair(par, pts, 8).best.dist2, want);
+}
+
+// --- convex hull ---------------------------------------------------------------
+
+bool point_in_hull(const std::vector<util::Point2D>& hull, double px,
+                   double py) {
+  // CCW hull: point is inside iff it is left of (or on) every edge.
+  const std::size_t h = hull.size();
+  for (std::size_t i = 0; i < h; ++i) {
+    const auto& a = hull[i];
+    const auto& b = hull[(i + 1) % h];
+    const double cr = (b.x - a.x) * (py - a.y) - (b.y - a.y) * (px - a.x);
+    if (cr < -1e-12) return false;
+  }
+  return true;
+}
+
+TEST(ConvexHull, ContainsAllPointsAndIsConvex) {
+  auto pts = util::random_points_2d(500, 13);
+  DirectExec exec;
+  auto out = cgm_convex_hull(exec, pts, 8);
+  ASSERT_GE(out.hull.size(), 3u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(point_in_hull(out.hull, p.x, p.y));
+  }
+  // Hull vertices are input points.
+  for (std::size_t i = 0; i < out.hull.size(); ++i) {
+    const auto& orig = pts[out.hull_tags[i]];
+    EXPECT_DOUBLE_EQ(out.hull[i].x, orig.x);
+    EXPECT_DOUBLE_EQ(out.hull[i].y, orig.y);
+  }
+}
+
+TEST(ConvexHull, MatchesSequentialMonotoneChain) {
+  auto pts = util::random_points_2d(300, 14);
+  std::vector<HullPoint> hp;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    hp.push_back({pts[i].x, pts[i].y, i});
+  }
+  std::sort(hp.begin(), hp.end(), HullPointLess{});
+  auto want = monotone_chain(hp);
+  std::vector<std::uint64_t> want_tags;
+  for (const auto& h : want) want_tags.push_back(h.tag);
+  std::sort(want_tags.begin(), want_tags.end());
+
+  DirectExec exec;
+  auto out = cgm_convex_hull(exec, pts, 8);
+  auto got_tags = out.hull_tags;
+  std::sort(got_tags.begin(), got_tags.end());
+  EXPECT_EQ(got_tags, want_tags);
+}
+
+TEST(ConvexHull, SmallInputs) {
+  DirectExec exec;
+  std::vector<util::Point2D> tri{{0, 0}, {1, 0}, {0.5, 1}};
+  auto out = cgm_convex_hull(exec, tri, 4);
+  EXPECT_EQ(out.hull.size(), 3u);
+  std::vector<util::Point2D> two{{0, 0}, {1, 1}};
+  EXPECT_EQ(cgm_convex_hull(exec, two, 2).hull.size(), 2u);
+}
+
+TEST(ConvexHull, OnEmMachines) {
+  auto pts = util::random_points_2d(400, 15);
+  DirectExec dexec;
+  auto want = cgm_convex_hull(dexec, pts, 8).hull_tags;
+  SeqEmExec seq(em_config(1, 4, 256));
+  EXPECT_EQ(cgm_convex_hull(seq, pts, 8).hull_tags, want);
+  ParEmExec par(em_config(2, 2, 256));
+  EXPECT_EQ(cgm_convex_hull(par, pts, 8).hull_tags, want);
+}
+
+// --- lower envelope -------------------------------------------------------------
+
+TEST(Envelope, MergePicksLowerFunction) {
+  // Two disjoint flat segments at different heights over the same span.
+  std::vector<EnvPiece> low{{0, 1, 10, 1, 0}};
+  std::vector<EnvPiece> high{{2, 5, 8, 5, 1}};
+  auto merged = merge_envelopes(low, high);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].seg, 0u);
+}
+
+TEST(Envelope, PartialOverlap) {
+  std::vector<EnvPiece> a{{0, 2, 4, 2, 0}};   // flat y=2 on [0,4]
+  std::vector<EnvPiece> b{{2, 1, 6, 1, 1}};   // flat y=1 on [2,6]
+  auto merged = merge_envelopes(a, b);
+  EXPECT_DOUBLE_EQ(envelope_eval(merged, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(envelope_eval(merged, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(envelope_eval(merged, 5.0), 1.0);
+  EXPECT_TRUE(std::isinf(envelope_eval(merged, 7.0)));
+}
+
+double brute_envelope(std::span<const util::Segment2D> segs, double x) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : segs) {
+    if (x < s.x1 || x > s.x2) continue;
+    const double t = (x - s.x1) / (s.x2 - s.x1);
+    best = std::min(best, s.y1 + t * (s.y2 - s.y1));
+  }
+  return best;
+}
+
+class EnvelopeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(EnvelopeSweep, MatchesBruteForceSampling) {
+  const auto [n, v] = GetParam();
+  auto segs = util::random_disjoint_segments(n, 41 * n + v);
+  DirectExec exec;
+  auto out = cgm_lower_envelope(exec, segs, v);
+  for (int i = 0; i <= 200; ++i) {
+    const double x = i / 200.0;
+    const double want = brute_envelope(segs, x);
+    const double got = envelope_eval(out.envelope, x);
+    if (std::isinf(want)) {
+      EXPECT_TRUE(std::isinf(got)) << "x=" << x;
+    } else {
+      EXPECT_NEAR(got, want, 1e-9) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EnvelopeSweep,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{1, 1},
+                      std::pair<std::size_t, std::uint32_t>{20, 4},
+                      std::pair<std::size_t, std::uint32_t>{100, 8},
+                      std::pair<std::size_t, std::uint32_t>{300, 16}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(EnvelopeGeneral, CrossingSegmentsSplitPieces) {
+  // Two segments forming an X: the envelope takes each on one side.
+  std::vector<util::Segment2D> segs{{0, 0, 2, 2}, {0, 2, 2, 0}};
+  auto env = build_envelope(segs, 0);
+  EXPECT_NEAR(envelope_eval(env, 0.25), 0.25, 1e-12);  // rising segment low
+  EXPECT_NEAR(envelope_eval(env, 1.75), 0.25, 1e-12);  // falling segment low
+  EXPECT_NEAR(envelope_eval(env, 1.0), 1.0, 1e-12);    // crossing point
+}
+
+class EnvelopeGeneralSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(EnvelopeGeneralSweep, MatchesBruteForceSampling) {
+  const auto [n, v] = GetParam();
+  auto segs = util::random_segments(n, 71 * n + v);
+  DirectExec exec;
+  auto out = cgm_lower_envelope_general(exec, segs, v);
+  for (int i = 0; i <= 300; ++i) {
+    const double x = i / 300.0;
+    const double want = brute_envelope(segs, x);
+    const double got = envelope_eval(out.envelope, x);
+    if (std::isinf(want)) {
+      EXPECT_TRUE(std::isinf(got)) << "x=" << x;
+    } else {
+      EXPECT_NEAR(got, want, 1e-9) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, EnvelopeGeneralSweep,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{2, 1},
+                      std::pair<std::size_t, std::uint32_t>{25, 4},
+                      std::pair<std::size_t, std::uint32_t>{120, 8}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.first) + "v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(EnvelopeGeneral, OnEmMachine) {
+  auto segs = util::random_segments(100, 72);
+  SeqEmExec exec(em_config(1, 2, 256));
+  auto out = cgm_lower_envelope_general(exec, segs, 8);
+  for (int i = 0; i <= 60; ++i) {
+    const double x = i / 60.0;
+    const double want = brute_envelope(segs, x);
+    if (!std::isinf(want)) {
+      EXPECT_NEAR(envelope_eval(out.envelope, x), want, 1e-9);
+    }
+  }
+}
+
+TEST(EnvelopeLocate, AnswersMatchSequentialEval) {
+  auto segs = util::random_disjoint_segments(120, 61);
+  DirectExec exec;
+  auto env = cgm_lower_envelope(exec, segs, 8);
+  std::vector<double> queries;
+  for (int i = 0; i <= 150; ++i) queries.push_back(i / 150.0);
+  queries.push_back(-0.5);  // before the envelope
+  queries.push_back(1.5);   // after the envelope
+  auto out = cgm_envelope_locate(exec, env.envelope, queries, 8);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double want = envelope_eval(env.envelope, queries[i]);
+    if (std::isinf(want)) {
+      EXPECT_EQ(out.answers[i].has, 0) << "x=" << queries[i];
+    } else {
+      ASSERT_EQ(out.answers[i].has, 1) << "x=" << queries[i];
+      EXPECT_NEAR(out.answers[i].y, want, 1e-9);
+      // The reported segment must actually attain that height.
+      const auto& seg = segs[out.answers[i].seg];
+      const double t = (queries[i] - seg.x1) / (seg.x2 - seg.x1);
+      EXPECT_NEAR(seg.y1 + t * (seg.y2 - seg.y1), want, 1e-9);
+    }
+  }
+  EXPECT_EQ(out.exec.lambda, 4u);
+}
+
+TEST(EnvelopeLocate, OnEmMachine) {
+  auto segs = util::random_disjoint_segments(80, 62);
+  SeqEmExec exec(em_config(1, 2, 256));
+  auto env = cgm_lower_envelope(exec, segs, 8);
+  std::vector<double> queries{0.1, 0.33, 0.5, 0.77, 0.99};
+  auto out = cgm_envelope_locate(exec, env.envelope, queries, 8);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const double want = envelope_eval(env.envelope, queries[i]);
+    if (!std::isinf(want)) {
+      ASSERT_EQ(out.answers[i].has, 1);
+      EXPECT_NEAR(out.answers[i].y, want, 1e-9);
+    }
+  }
+}
+
+TEST(Envelope, OnEmMachines) {
+  auto segs = util::random_disjoint_segments(150, 16);
+  SeqEmExec seq(em_config(1, 2, 256));
+  auto out = cgm_lower_envelope(seq, segs, 8);
+  for (int i = 0; i <= 50; ++i) {
+    const double x = i / 50.0;
+    const double want = brute_envelope(segs, x);
+    if (!std::isinf(want)) {
+      EXPECT_NEAR(envelope_eval(out.envelope, x), want, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace embsp::cgm

@@ -1,0 +1,149 @@
+// Tree contraction / expression tree evaluation (Table 1, Group C).
+#include <gtest/gtest.h>
+
+#include "cgm/graph_tree_contraction.hpp"
+#include "util/rng.hpp"
+
+namespace embsp::cgm {
+namespace {
+
+/// Random full binary expression tree with `internal` internal nodes
+/// (2*internal + 1 nodes total): repeatedly split a random leaf.
+ExpressionTree random_expression_tree(std::uint64_t internal,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  ExpressionTree t;
+  t.parent = {0};
+  t.op = {ExprOp::kAdd};
+  t.leaf_value = {rng.next() % 1000};
+  t.is_leaf = {1};
+  std::vector<std::uint64_t> leaves{0};
+  for (std::uint64_t s = 0; s < internal; ++s) {
+    const auto pick = static_cast<std::size_t>(rng.below(leaves.size()));
+    const std::uint64_t u = leaves[pick];
+    leaves[pick] = leaves.back();
+    leaves.pop_back();
+    t.is_leaf[u] = 0;
+    t.op[u] = (rng.next() & 1) ? ExprOp::kMul : ExprOp::kAdd;
+    for (int c = 0; c < 2; ++c) {
+      const std::uint64_t id = t.parent.size();
+      t.parent.push_back(u);
+      t.op.push_back(ExprOp::kAdd);
+      t.leaf_value.push_back(rng.next() % 1000);
+      t.is_leaf.push_back(1);
+      leaves.push_back(id);
+    }
+  }
+  return t;
+}
+
+TEST(TreeContraction, LinFnAlgebra) {
+  const LinFn f{3, 5};     // 3x + 5
+  const LinFn g{2, 7};     // 2x + 7
+  EXPECT_EQ(f(10), 35u);
+  const LinFn fg = f.after(g);  // 3(2x+7)+5 = 6x + 26
+  EXPECT_EQ(fg.a, 6u);
+  EXPECT_EQ(fg.b, 26u);
+  EXPECT_EQ(LinFn::apply_op(ExprOp::kAdd, 9)(4), 13u);
+  EXPECT_EQ(LinFn::apply_op(ExprOp::kMul, 9)(4), 36u);
+}
+
+TEST(TreeContraction, TinyTreeByHand) {
+  // (2 + 3) * 4
+  ExpressionTree t;
+  t.parent = {0, 0, 0, 1, 1};
+  t.op = {ExprOp::kMul, ExprOp::kAdd, ExprOp::kAdd, ExprOp::kAdd,
+          ExprOp::kAdd};
+  t.leaf_value = {0, 0, 4, 2, 3};
+  t.is_leaf = {0, 0, 1, 1, 1};
+  auto want = evaluate_expression_tree(t);
+  EXPECT_EQ(want[0], 20u);
+  EXPECT_EQ(want[1], 5u);
+
+  DirectExec exec;
+  auto out = cgm_tree_contraction(exec, t, 2);
+  EXPECT_EQ(out.value, want);
+}
+
+class TreeContractionSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(TreeContractionSweep, AllSubtreeValuesCorrect) {
+  const auto [internal, v] = GetParam();
+  auto t = random_expression_tree(internal, 37 * internal + v);
+  auto want = evaluate_expression_tree(t);
+  DirectExec exec;
+  auto out = cgm_tree_contraction(exec, t, v);
+  EXPECT_EQ(out.value, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TreeContractionSweep,
+    ::testing::Values(std::pair<std::size_t, std::uint32_t>{1, 1},
+                      std::pair<std::size_t, std::uint32_t>{5, 2},
+                      std::pair<std::size_t, std::uint32_t>{100, 4},
+                      std::pair<std::size_t, std::uint32_t>{500, 8},
+                      std::pair<std::size_t, std::uint32_t>{2000, 16}),
+    [](const auto& info) {
+      return "i" + std::to_string(info.param.first) + "v" +
+             std::to_string(info.param.second);
+    });
+
+TEST(TreeContraction, DeepChainTree) {
+  // A maximally unbalanced tree: every internal node has one leaf child —
+  // the pure COMPRESS stress case.
+  ExpressionTree t;
+  const std::uint64_t depth = 300;
+  util::Rng rng(9);
+  // Node 0 is the root; build down a left spine.
+  t.parent = {0};
+  t.op = {ExprOp::kAdd};
+  t.leaf_value = {0};
+  t.is_leaf = {0};
+  std::uint64_t spine = 0;
+  for (std::uint64_t d = 0; d < depth; ++d) {
+    t.parent.push_back(spine);
+    t.op.push_back(ExprOp::kAdd);
+    t.leaf_value.push_back(rng.next() % 100);
+    t.is_leaf.push_back(1);
+    const std::uint64_t next = t.parent.size();
+    t.parent.push_back(spine);
+    t.op.push_back((rng.next() & 1) ? ExprOp::kMul : ExprOp::kAdd);
+    t.leaf_value.push_back(0);
+    t.is_leaf.push_back(d + 1 == depth ? 1 : 0);
+    if (d + 1 == depth) t.leaf_value.back() = rng.next() % 100;
+    spine = next;
+  }
+  auto want = evaluate_expression_tree(t);
+  DirectExec exec;
+  auto out = cgm_tree_contraction(exec, t, 8);
+  EXPECT_EQ(out.value, want);
+}
+
+TEST(TreeContraction, OnEmMachines) {
+  auto t = random_expression_tree(400, 41);
+  auto want = evaluate_expression_tree(t);
+  sim::SimConfig cfg;
+  cfg.machine.p = 1;
+  cfg.machine.em = {1 << 22, 4, 256, 1.0};
+  SeqEmExec seq(cfg);
+  EXPECT_EQ(cgm_tree_contraction(seq, t, 8).value, want);
+  sim::SimConfig pcfg;
+  pcfg.machine.p = 4;
+  pcfg.machine.em = {1 << 22, 2, 256, 1.0};
+  ParEmExec par(pcfg);
+  EXPECT_EQ(cgm_tree_contraction(par, t, 8).value, want);
+}
+
+TEST(TreeContraction, LambdaLogarithmic) {
+  auto t = random_expression_tree(4000, 43);
+  DirectExec exec;
+  auto out = cgm_tree_contraction(exec, t, 16);
+  // 7 supersteps per contraction round, O(log) rounds, + gather + expand.
+  EXPECT_LT(out.exec.lambda, 500u);
+  EXPECT_EQ(out.value, evaluate_expression_tree(t));
+}
+
+}  // namespace
+}  // namespace embsp::cgm

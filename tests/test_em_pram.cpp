@@ -1,0 +1,206 @@
+// The PRAM-to-EM simulation framework ([14] style) and two classic PRAM
+// algorithms running on it.
+#include <gtest/gtest.h>
+
+#include "baseline/em_pram.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp::baseline {
+namespace {
+
+/// Hillis–Steele inclusive prefix sums: step r, processor i >= 2^r reads
+/// x[i - 2^r] and adds it to x[i].
+class PrefixSumPram : public PramProgram {
+ public:
+  explicit PrefixSumPram(std::uint64_t n) : n_(n) {}
+
+  void plan_reads(std::uint64_t step, std::uint64_t pid,
+                  const PramContext&,
+                  std::vector<std::uint64_t>& addrs) const override {
+    const std::uint64_t stride = 1ull << step;
+    if (pid >= stride) {
+      addrs.push_back(pid - stride);  // x[i - 2^r]
+      addrs.push_back(pid);           // x[i]
+    }
+  }
+
+  bool compute(std::uint64_t step, std::uint64_t pid, PramContext&,
+               std::span<const std::uint64_t> values,
+               std::vector<PramWrite>& writes) const override {
+    const std::uint64_t stride = 1ull << step;
+    if (pid >= stride) {
+      writes.push_back(PramWrite{pid, values[0] + values[1]});
+    }
+    return (stride << 1) < n_;
+  }
+
+ private:
+  std::uint64_t n_;
+};
+
+/// Pointer jumping list ranking: memory = [succ[0..n) | rank[0..n)].
+/// Each jump round takes two PRAM steps (the second read depends on the
+/// first): even steps load succ[i], odd steps fetch succ/rank of the
+/// successor and update.
+class ListRankPram : public PramProgram {
+ public:
+  explicit ListRankPram(std::uint64_t n) : n_(n) {}
+
+  void plan_reads(std::uint64_t step, std::uint64_t pid,
+                  const PramContext& ctx,
+                  std::vector<std::uint64_t>& addrs) const override {
+    if (step % 2 == 0) {
+      addrs.push_back(pid);       // succ[i]
+      addrs.push_back(n_ + pid);  // rank[i]
+    } else {
+      const std::uint64_t s = ctx.reg[0];
+      addrs.push_back(s);       // succ[s]
+      addrs.push_back(n_ + s);  // rank[s]
+    }
+  }
+
+  bool compute(std::uint64_t step, std::uint64_t pid, PramContext& ctx,
+               std::span<const std::uint64_t> values,
+               std::vector<PramWrite>& writes) const override {
+    if (step % 2 == 0) {
+      ctx.reg[0] = values[0];  // succ[i]
+      ctx.reg[1] = values[1];  // rank[i]
+      return true;
+    }
+    const std::uint64_t succ_s = values[0];
+    const std::uint64_t rank_s = values[1];
+    if (ctx.reg[0] != pid) {  // not yet at the tail
+      writes.push_back(PramWrite{pid, succ_s});
+      writes.push_back(PramWrite{n_ + pid, ctx.reg[1] + rank_s});
+    }
+    // ceil(log2 n) jump rounds complete every chain.
+    const std::uint64_t round = step / 2;
+    return (1ull << (round + 1)) < n_;
+  }
+
+ private:
+  std::uint64_t n_;
+};
+
+TEST(EmPram, PrefixSums) {
+  const std::uint64_t n = 300;
+  auto values = util::random_keys(n, 1);
+  for (auto& v : values) v %= 1000;
+  em::DiskArray disks(2, 128);
+  PramConfig cfg;
+  cfg.num_procs = n;
+  cfg.memory_cells = n;
+  EmPramStats st;
+  auto mem = em_pram_run(disks, PrefixSumPram(n), cfg, values, 8192, &st);
+  std::uint64_t run = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    run += values[i];
+    EXPECT_EQ(mem[i], run) << "index " << i;
+  }
+  EXPECT_EQ(st.steps, 9u);  // ceil(log2 300)
+  EXPECT_GT(st.total.parallel_ios, 0u);
+}
+
+TEST(EmPram, ListRankingMatchesReference) {
+  const std::uint64_t n = 200;
+  auto [succ, head] = util::random_list(n, 2);
+  std::vector<std::uint64_t> memory(2 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    memory[i] = succ[i];
+    memory[n + i] = succ[i] == i ? 0 : 1;
+  }
+  em::DiskArray disks(4, 128);
+  PramConfig cfg;
+  cfg.num_procs = n;
+  cfg.memory_cells = 2 * n;
+  EmPramStats st;
+  auto mem = em_pram_run(disks, ListRankPram(n), cfg, memory, 8192, &st);
+  std::uint64_t cur = head;
+  for (std::uint64_t d = 0; d < n; ++d) {
+    EXPECT_EQ(mem[n + cur], n - 1 - d) << "node " << cur;
+    cur = succ[cur];
+  }
+}
+
+TEST(EmPram, PriorityCrcwSemantics) {
+  // All processors write the same cell; the highest pid must win.
+  class AllWrite : public PramProgram {
+   public:
+    void plan_reads(std::uint64_t, std::uint64_t, const PramContext&,
+                    std::vector<std::uint64_t>&) const override {}
+    bool compute(std::uint64_t, std::uint64_t pid, PramContext&,
+                 std::span<const std::uint64_t>,
+                 std::vector<PramWrite>& writes) const override {
+      writes.push_back(PramWrite{0, 1000 + pid});
+      return false;
+    }
+  };
+  em::DiskArray disks(2, 128);
+  PramConfig cfg;
+  cfg.num_procs = 17;
+  cfg.memory_cells = 4;
+  std::vector<std::uint64_t> memory(4, 0);
+  auto mem = em_pram_run(disks, AllWrite{}, cfg, memory, 8192);
+  EXPECT_EQ(mem[0], 1000u + 16u);
+}
+
+TEST(EmPram, IoScalesWithSortPerStep) {
+  // Doubling n roughly doubles the per-step cost (one sort per step).
+  auto run_ios = [](std::uint64_t n) {
+    auto values = util::random_keys(n, 3);
+    em::DiskArray disks(2, 256);
+    PramConfig cfg;
+    cfg.num_procs = n;
+    cfg.memory_cells = n;
+    EmPramStats st;
+    em_pram_run(disks, PrefixSumPram(n), cfg, values, 1 << 14, &st);
+    return std::pair<std::uint64_t, std::size_t>{st.total.parallel_ios,
+                                                 st.steps};
+  };
+  auto [io1, steps1] = run_ios(1024);
+  auto [io2, steps2] = run_ios(4096);
+  EXPECT_EQ(steps1 + 2, steps2);  // log2(4096) - log2(1024)
+  const double per_step1 = static_cast<double>(io1) / steps1;
+  const double per_step2 = static_cast<double>(io2) / steps2;
+  EXPECT_GT(per_step2, 2.5 * per_step1);
+  EXPECT_LT(per_step2, 6.0 * per_step1);
+}
+
+TEST(EmPram, ValidatesLimits) {
+  class Nop : public PramProgram {
+   public:
+    void plan_reads(std::uint64_t, std::uint64_t, const PramContext&,
+                    std::vector<std::uint64_t>&) const override {}
+    bool compute(std::uint64_t, std::uint64_t, PramContext&,
+                 std::span<const std::uint64_t>,
+                 std::vector<PramWrite>&) const override {
+      return false;
+    }
+  };
+  em::DiskArray disks(1, 128);
+  PramConfig cfg;
+  cfg.num_procs = 4;
+  cfg.memory_cells = 2;
+  std::vector<std::uint64_t> wrong_size(3, 0);
+  EXPECT_THROW(em_pram_run(disks, Nop{}, cfg, wrong_size, 4096),
+               std::invalid_argument);
+
+  class BadRead : public PramProgram {
+   public:
+    void plan_reads(std::uint64_t, std::uint64_t, const PramContext&,
+                    std::vector<std::uint64_t>& addrs) const override {
+      addrs.push_back(99);  // out of range
+    }
+    bool compute(std::uint64_t, std::uint64_t, PramContext&,
+                 std::span<const std::uint64_t>,
+                 std::vector<PramWrite>&) const override {
+      return false;
+    }
+  };
+  std::vector<std::uint64_t> memory(2, 0);
+  EXPECT_THROW(em_pram_run(disks, BadRead{}, cfg, memory, 4096),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace embsp::baseline

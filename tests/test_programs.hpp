@@ -1,0 +1,166 @@
+// Small BSP* programs shared by the executor tests.  Each exercises a
+// different communication shape so the simulators' transport (block
+// cutting, bucket placement, routing, reassembly) is stressed broadly.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bsp/program.hpp"
+
+namespace embsp::testing {
+
+/// All-to-all prefix sum: superstep 0 every processor sends its value to
+/// every higher-numbered processor, superstep 1 sums the received values.
+/// Result: state.prefix == sum of values of processors < pid.
+struct PrefixSumProgram {
+  struct State {
+    std::uint64_t value = 0;
+    std::uint64_t prefix = 0;
+    void serialize(util::Writer& w) const {
+      w.write(value);
+      w.write(prefix);
+    }
+    void deserialize(util::Reader& r) {
+      value = r.read<std::uint64_t>();
+      prefix = r.read<std::uint64_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    if (step == 0) {
+      for (std::uint32_t q = env.pid + 1; q < env.nprocs; ++q) {
+        out.send_value(q, s.value);
+      }
+      env.charge(env.nprocs - env.pid);
+      return true;
+    }
+    s.prefix = 0;
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      s.prefix += in.value<std::uint64_t>(i);
+    }
+    env.charge(in.count());
+    return false;
+  }
+};
+
+/// Ring rotation for `rounds` supersteps: each processor passes a growing
+/// payload vector to its right neighbour.  Exercises multi-superstep
+/// context persistence and messages larger than one block.
+struct RingProgram {
+  std::size_t rounds = 4;
+  std::size_t payload_words = 64;
+
+  struct State {
+    std::vector<std::uint64_t> data;
+    void serialize(util::Writer& w) const { w.write_vector(data); }
+    void deserialize(util::Reader& r) {
+      data = r.read_vector<std::uint64_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    if (step > 0) {
+      s.data = in.vector<std::uint64_t>(0);
+      s.data.push_back(env.pid);
+    }
+    if (step < rounds) {
+      out.send_vector((env.pid + 1) % env.nprocs, s.data);
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Random-looking irregular traffic: processor i sends (i*7+s) % v messages
+/// of varying size each superstep; receivers checksum everything.  The
+/// final checksum is order-independent, so it validates exactly-once
+/// delivery under randomized transports.
+struct IrregularProgram {
+  std::size_t rounds = 3;
+
+  struct State {
+    std::uint64_t checksum = 0;
+    void serialize(util::Writer& w) const { w.write(checksum); }
+    void deserialize(util::Reader& r) { checksum = r.read<std::uint64_t>(); }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      const auto& m = in.all()[i];
+      std::uint64_t h = 1469598103934665603ULL;
+      for (auto b : m.payload) {
+        h = (h ^ static_cast<std::uint64_t>(b)) * 1099511628211ULL;
+      }
+      s.checksum += h + m.src;
+    }
+    if (step < rounds) {
+      const std::size_t fanout = (env.pid * 7 + step) % env.nprocs;
+      for (std::size_t j = 0; j < fanout; ++j) {
+        const auto dst =
+            static_cast<std::uint32_t>((env.pid + j * j + 1) % env.nprocs);
+        std::vector<std::uint8_t> bytes((env.pid + j) % 97 + 1);
+        for (std::size_t x = 0; x < bytes.size(); ++x) {
+          bytes[x] = static_cast<std::uint8_t>(env.pid + j + x);
+        }
+        out.send(dst, std::as_bytes(std::span<const std::uint8_t>(bytes)));
+      }
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Sends zero-length messages — a degenerate case for the block format.
+struct EmptyMessageProgram {
+  struct State {
+    std::uint64_t received = 0;
+    void serialize(util::Writer& w) const { w.write(received); }
+    void deserialize(util::Reader& r) { received = r.read<std::uint64_t>(); }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    if (step == 0) {
+      out.send(static_cast<std::uint32_t>((env.pid + 1) % env.nprocs), {});
+      out.send(static_cast<std::uint32_t>((env.pid + 2) % env.nprocs), {});
+      return true;
+    }
+    s.received = in.count();
+    return false;
+  }
+};
+
+/// One huge message (many blocks) from processor 0 to the last processor.
+struct BigMessageProgram {
+  std::size_t words = 4096;
+
+  struct State {
+    std::uint64_t sum = 0;
+    void serialize(util::Writer& w) const { w.write(sum); }
+    void deserialize(util::Reader& r) { sum = r.read<std::uint64_t>(); }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    if (step == 0) {
+      if (env.pid == 0) {
+        std::vector<std::uint64_t> data(words);
+        std::iota(data.begin(), data.end(), std::uint64_t{1});
+        out.send_vector(env.nprocs - 1, data);
+      }
+      return true;
+    }
+    if (env.pid == env.nprocs - 1) {
+      const auto data = in.vector<std::uint64_t>(0);
+      for (auto x : data) s.sum += x;
+    }
+    return false;
+  }
+};
+
+}  // namespace embsp::testing

@@ -1,0 +1,99 @@
+// The tutorial's GlobalMax program, verified verbatim so docs/TUTORIAL.md
+// never drifts from reality.
+#include <gtest/gtest.h>
+
+#include "embsp/embsp.hpp"
+#include "util/workloads.hpp"
+
+namespace embsp {
+namespace {
+
+struct GlobalMax {
+  struct State {
+    std::vector<std::uint64_t> numbers;
+    std::uint64_t best = 0;
+    std::uint8_t active = 1;
+
+    void serialize(util::Writer& w) const {
+      w.write_vector(numbers);
+      w.write(best);
+      w.write(active);
+    }
+    void deserialize(util::Reader& r) {
+      numbers = r.read_vector<std::uint64_t>();
+      best = r.read<std::uint64_t>();
+      active = r.read<std::uint8_t>();
+    }
+  };
+
+  bool superstep(std::size_t step, const bsp::ProcEnv& env, State& s,
+                 const bsp::Inbox& in, bsp::Outbox& out) const {
+    if (step == 0) {
+      env.charge(s.numbers.size());
+      for (auto x : s.numbers) s.best = std::max(s.best, x);
+      s.numbers.clear();
+    }
+    for (std::size_t i = 0; i < in.count(); ++i) {
+      s.best = std::max(s.best, in.value<std::uint64_t>(i));
+    }
+    const std::uint32_t stride = 1u << step;
+    if (stride >= env.nprocs) return false;
+    if (s.active && (env.pid & stride) != 0) {
+      out.send_value(env.pid - stride, s.best);
+      s.active = 0;
+    }
+    return true;
+  }
+};
+
+TEST(Tutorial, GlobalMaxOnAllExecutors) {
+  constexpr std::uint32_t kV = 64;
+  const std::size_t n = 5000;
+  auto numbers = util::random_keys(n, 2028);
+  const std::uint64_t want = *std::max_element(numbers.begin(), numbers.end());
+
+  GlobalMax prog;
+  cgm::BlockDist dist{n, kV};
+  auto make_state = [&](std::uint32_t pid) {
+    GlobalMax::State s;
+    s.numbers.assign(numbers.begin() + dist.first(pid),
+                     numbers.begin() + dist.first(pid) + dist.count(pid));
+    return s;
+  };
+
+  // Direct.
+  std::uint64_t got = 0;
+  bsp::DirectRuntime direct;
+  direct.run<GlobalMax>(prog, kV, make_state,
+                        [&](std::uint32_t pid, GlobalMax::State& s) {
+                          if (pid == 0) got = s.best;
+                        });
+  EXPECT_EQ(got, want);
+
+  // Sequential EM with measured requirements.
+  sim::SimConfig cfg;
+  cfg.machine.p = 1;
+  cfg.machine.bsp.v = kV;
+  cfg.machine.em = {1 << 20, 4, 4096, 1.0};
+  got = 0;
+  auto r1 = sim::simulate_measured<GlobalMax>(
+      prog, cfg, make_state, [&](std::uint32_t pid, GlobalMax::State& s) {
+        if (pid == 0) got = s.best;
+      });
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(r1.lambda(), 7u);  // log2(64) + 1 supersteps
+
+  // Parallel EM via the executor adapter.
+  cfg.machine.p = 4;
+  cgm::ParEmExec exec(cfg);
+  got = 0;
+  exec.run(prog, kV, std::function<GlobalMax::State(std::uint32_t)>(make_state),
+           std::function<void(std::uint32_t, GlobalMax::State&)>(
+               [&](std::uint32_t pid, GlobalMax::State& s) {
+                 if (pid == 0) got = s.best;
+               }));
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace embsp

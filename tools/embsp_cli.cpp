@@ -1,0 +1,276 @@
+// embsp — command-line driver for the EM-BSP workloads.
+//
+// Runs any Table 1 workload on a configurable simulated EM machine and
+// prints the cost summary (optionally a per-superstep CSV trace), so
+// machine-shape questions ("what does doubling D buy me on list ranking?")
+// can be answered without writing code.
+//
+//   embsp <workload> [options]
+//
+//   workloads: sort permute transpose maxima dominance closest hull
+//              envelope listrank euler cc lca
+//   options:
+//     --n <count>      problem size                  (default 65536)
+//     --v <count>      virtual BSP* processors       (default 64)
+//     --p <count>      real processors               (default 1)
+//     --D <count>      disks per processor           (default 4)
+//     --B <bytes>      block size                    (default 512)
+//     --M <bytes>      memory per processor          (default 4194304)
+//     --k <count>      group size (0 = auto)         (default 0)
+//     --mode <m>       compact | padded | deterministic
+//     --seed <u64>     workload + placement seed     (default 42)
+//     --csv <path>     write the per-superstep cost trace (p=1 only)
+#include <cstring>
+#include <set>
+#include <fstream>
+#include <iostream>
+
+#include "embsp/embsp.hpp"
+
+namespace {
+
+using namespace embsp;
+
+struct Options {
+  std::string workload;
+  std::uint64_t n = 65536;
+  std::uint32_t v = 64;
+  std::uint32_t p = 1;
+  std::size_t D = 4;
+  std::size_t B = 512;
+  std::size_t M = 4u << 20;
+  std::size_t k = 0;
+  sim::RoutingMode mode = sim::RoutingMode::compact;
+  std::uint64_t seed = 42;
+  std::string csv;
+};
+
+int usage() {
+  std::cerr
+      << "usage: embsp <workload> [--n N] [--v V] [--p P] [--D D] [--B B]\n"
+         "             [--M M] [--k K] [--mode compact|padded|deterministic]\n"
+         "             [--seed S] [--csv PATH]\n"
+         "workloads: sort permute transpose maxima dominance closest hull\n"
+         "           envelope listrank euler cc lca\n";
+  return 2;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  if (argc < 2) return false;
+  opt.workload = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string val = argv[i + 1];
+    if (flag == "--n") {
+      opt.n = std::stoull(val);
+    } else if (flag == "--v") {
+      opt.v = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--p") {
+      opt.p = static_cast<std::uint32_t>(std::stoul(val));
+    } else if (flag == "--D") {
+      opt.D = std::stoul(val);
+    } else if (flag == "--B") {
+      opt.B = std::stoul(val);
+    } else if (flag == "--M") {
+      opt.M = std::stoul(val);
+    } else if (flag == "--k") {
+      opt.k = std::stoul(val);
+    } else if (flag == "--seed") {
+      opt.seed = std::stoull(val);
+    } else if (flag == "--csv") {
+      opt.csv = val;
+    } else if (flag == "--mode") {
+      if (val == "compact") {
+        opt.mode = sim::RoutingMode::compact;
+      } else if (val == "padded") {
+        opt.mode = sim::RoutingMode::padded;
+      } else if (val == "deterministic") {
+        opt.mode = sim::RoutingMode::deterministic;
+      } else {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct KeyLess {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+
+void report(const Options& opt, const cgm::ExecResult& exec,
+            const std::string& note) {
+  util::Table table({"metric", "value"});
+  table.add_row({"workload", opt.workload});
+  table.add_row({"machine", "p=" + std::to_string(opt.p) +
+                                " D=" + std::to_string(opt.D) +
+                                " B=" + std::to_string(opt.B) +
+                                " M=" + util::fmt_bytes(opt.M)});
+  table.add_row({"virtual processors", std::to_string(opt.v)});
+  table.add_row({"supersteps (lambda)", std::to_string(exec.lambda)});
+  if (exec.sim.has_value()) {
+    const auto& r = *exec.sim;
+    std::uint64_t max_ios = r.total_io.parallel_ios;
+    for (const auto& io : r.per_proc_io) {
+      max_ios = std::max(max_ios, io.parallel_ios);
+    }
+    table.add_row({"parallel I/Os (max/proc)", util::fmt_count(max_ios)});
+    table.add_row(
+        {"blocks moved", util::fmt_count(r.total_io.blocks_read +
+                                         r.total_io.blocks_written)});
+    table.add_row({"disk utilization",
+                   util::fmt_double(r.total_io.utilization(opt.D), 3)});
+    table.add_row({"I/O time (G=1)",
+                   util::fmt_double(r.io_time(1.0), 0)});
+    table.add_row({"group size k", std::to_string(r.group_size)});
+    table.add_row({"disk tracks used (max)",
+                   util::fmt_count(r.max_tracks_per_disk)});
+    if (opt.p > 1) {
+      table.add_row({"real comm bytes/superstep (max)",
+                     util::fmt_bytes(r.real_comm_bytes)});
+    }
+  }
+  if (!note.empty()) table.add_row({"result", note});
+  std::cout << table.render();
+
+  if (!opt.csv.empty() && exec.sim.has_value()) {
+    std::ofstream out(opt.csv);
+    sim::write_cost_csv(out, *exec.sim);
+    std::cout << "trace written to " << opt.csv << "\n";
+  }
+}
+
+template <typename Fn>
+int run_workload(const Options& opt, Fn fn) {
+  sim::SimConfig cfg;
+  cfg.machine.p = opt.p;
+  cfg.machine.em = {opt.M, opt.D, opt.B, 1.0};
+  cfg.k = opt.k;
+  cfg.routing = opt.mode;
+  cfg.seed = opt.seed;
+  if (opt.p == 1) {
+    cgm::SeqEmExec exec(cfg);
+    return fn(exec);
+  }
+  cgm::ParEmExec exec(cfg);
+  return fn(exec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+
+  try {
+    return run_workload(opt, [&](auto& exec) -> int {
+      if (opt.workload == "sort") {
+        auto keys = util::random_keys(opt.n, opt.seed);
+        auto out = cgm::cgm_sort<std::uint64_t, KeyLess>(exec, keys, opt.v);
+        const bool ok = std::is_sorted(out.sorted.begin(), out.sorted.end());
+        report(opt, out.exec, ok ? "sorted" : "NOT SORTED");
+        return ok ? 0 : 1;
+      }
+      if (opt.workload == "permute") {
+        auto values = util::random_keys(opt.n, opt.seed);
+        auto perm = util::random_permutation(opt.n, opt.seed + 1);
+        auto out = cgm::cgm_permute(exec, values, perm, opt.v);
+        report(opt, out.exec, "permuted " + util::fmt_count(opt.n));
+        return 0;
+      }
+      if (opt.workload == "transpose") {
+        std::uint64_t side = 1;
+        while ((side * 2) * (side * 2) <= opt.n) side *= 2;
+        auto m = util::random_keys(side * side, opt.seed);
+        auto out = cgm::cgm_transpose(exec, m, side, side, opt.v);
+        report(opt, out.exec,
+               std::to_string(side) + "x" + std::to_string(side));
+        return 0;
+      }
+      if (opt.workload == "maxima") {
+        auto pts = util::random_points_3d(opt.n, opt.seed);
+        auto out = cgm::cgm_3d_maxima(exec, pts, opt.v);
+        std::uint64_t count = 0;
+        for (auto f : out.maximal) count += f;
+        report(opt, out.exec, util::fmt_count(count) + " maxima");
+        return 0;
+      }
+      if (opt.workload == "dominance") {
+        auto pts = util::random_points_2d(opt.n, opt.seed);
+        std::vector<std::uint64_t> w(opt.n, 1);
+        auto out = cgm::cgm_dominance_counts(exec, pts, w, opt.v);
+        report(opt, out.exec, "counts computed");
+        return 0;
+      }
+      if (opt.workload == "closest") {
+        auto pts = util::random_points_2d(opt.n, opt.seed);
+        auto out = cgm::cgm_closest_pair(exec, pts, opt.v);
+        report(opt, out.exec,
+               "pair (" + std::to_string(out.best.tag_a) + ", " +
+                   std::to_string(out.best.tag_b) + ")");
+        return 0;
+      }
+      if (opt.workload == "hull") {
+        auto pts = util::random_points_2d(opt.n, opt.seed);
+        auto out = cgm::cgm_convex_hull(exec, pts, opt.v);
+        report(opt, out.exec,
+               std::to_string(out.hull.size()) + " hull vertices");
+        return 0;
+      }
+      if (opt.workload == "envelope") {
+        auto segs = util::random_disjoint_segments(opt.n, opt.seed);
+        auto out = cgm::cgm_lower_envelope(exec, segs, opt.v);
+        report(opt, out.exec,
+               std::to_string(out.envelope.size()) + " envelope pieces");
+        return 0;
+      }
+      if (opt.workload == "listrank") {
+        auto [succ, head] = util::random_list(opt.n, opt.seed);
+        (void)head;
+        auto out = cgm::cgm_list_ranking(exec, succ, opt.v);
+        report(opt, out.exec, "ranked " + util::fmt_count(opt.n));
+        return 0;
+      }
+      if (opt.workload == "euler") {
+        auto parent = util::random_tree(opt.n, opt.seed);
+        auto out = cgm::cgm_euler_tour(exec, parent, opt.v);
+        std::uint64_t max_depth = 0;
+        for (auto d : out.depth) max_depth = std::max(max_depth, d);
+        report(opt, out.rank_exec,
+               "tree height " + std::to_string(max_depth));
+        return 0;
+      }
+      if (opt.workload == "cc") {
+        auto [edges, truth] = util::random_components_graph(
+            opt.n, std::max<std::uint64_t>(2, opt.n / 1000 + 2), opt.n,
+            opt.seed);
+        (void)truth;
+        auto out = cgm::cgm_connected_components(exec, opt.n, edges, opt.v);
+        std::set<std::uint64_t> labels(out.component.begin(),
+                                       out.component.end());
+        report(opt, out.exec,
+               std::to_string(labels.size()) + " components, " +
+                   util::fmt_count(out.tree_edges.size()) + " forest edges");
+        return 0;
+      }
+      if (opt.workload == "lca") {
+        auto parent = util::random_tree(opt.n, opt.seed);
+        util::Rng rng(opt.seed + 2);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> queries;
+        for (int i = 0; i < 256; ++i) {
+          queries.emplace_back(rng.below(opt.n), rng.below(opt.n));
+        }
+        auto out = cgm::cgm_batched_lca(exec, parent, queries, opt.v);
+        report(opt, out.exec, "256 queries answered");
+        return 0;
+      }
+      usage();
+      return 2;
+    });
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
