@@ -3,6 +3,8 @@
 // experiment above is built from.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "em/disk_array.hpp"
 #include "em/linked_buckets.hpp"
 #include "em/striped_region.hpp"
@@ -64,6 +66,47 @@ void BM_LinkedBucketCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LinkedBucketCycle)->Arg(2)->Arg(8);
+
+// Track I/O on file backends, serial vs worker-pool engine.  Backends open
+// O_DSYNC so each transfer is genuine device I/O — the worker pool's
+// overlap shows up as higher throughput at D >= 4 (claim_disk_scaling
+// [C-D2] reports the same comparison as a pass/fail shape check).
+void BM_FileTrackIo(benchmark::State& state, em::IoEngine engine) {
+  const std::size_t D = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kB = 1 << 16;
+  const auto dir = std::filesystem::temp_directory_path();
+  auto arr = em::make_disk_array(engine, D, kB, [&](std::size_t d) {
+    const auto path =
+        dir / ("embsp_micro_io_" + std::to_string(d) + ".bin");
+    return em::make_file_backend(path.string(), /*keep=*/false,
+                                 /*sync_writes=*/true);
+  });
+  std::vector<std::byte> buf(D * kB, std::byte{9});
+  std::uint64_t track = 0;
+  for (auto _ : state) {
+    std::vector<em::WriteOp> writes;
+    std::vector<em::ReadOp> reads;
+    for (std::uint32_t d = 0; d < D; ++d) {
+      writes.push_back(
+          {d, track % 64, std::span<const std::byte>(buf).subspan(d * kB, kB)});
+      reads.push_back(
+          {d, track % 64, std::span<std::byte>(buf).subspan(d * kB, kB)});
+    }
+    arr->parallel_write(writes);
+    arr->parallel_read(reads);
+    ++track;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(D * kB));
+}
+void BM_FileTrackIoSerial(benchmark::State& state) {
+  BM_FileTrackIo(state, em::IoEngine::serial);
+}
+void BM_FileTrackIoParallel(benchmark::State& state) {
+  BM_FileTrackIo(state, em::IoEngine::parallel);
+}
+BENCHMARK(BM_FileTrackIoSerial)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_FileTrackIoParallel)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_ContextSwap(benchmark::State& state) {
   em::DiskArray disks(4, 1024);

@@ -1,5 +1,9 @@
 #include "em/backend.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -25,54 +29,77 @@ void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> src) 
   std::memcpy(data_.data() + offset, src.data(), src.size());
 }
 
-FileBackend::FileBackend(std::string path, bool keep)
+FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
     : path_(std::move(path)), keep_(keep) {
-  file_ = std::fopen(path_.c_str(), "w+b");
-  if (file_ == nullptr) {
-    throw std::runtime_error("FileBackend: cannot open " + path_);
+  int flags = O_RDWR | O_CREAT | O_TRUNC;
+  if (sync_writes) flags |= O_DSYNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("FileBackend: cannot open " + path_ + ": " +
+                             std::strerror(errno));
   }
 }
 
 FileBackend::~FileBackend() {
-  if (file_ != nullptr) std::fclose(file_);
-  if (!keep_) std::remove(path_.c_str());
+  if (fd_ >= 0) ::close(fd_);
+  if (!keep_) ::unlink(path_.c_str());
 }
 
 void FileBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
-  if (offset >= size_) {
-    std::memset(dst.data(), 0, dst.size());
-    return;
-  }
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    throw std::runtime_error("FileBackend: seek failed on " + path_);
-  }
-  const std::size_t avail = static_cast<std::size_t>(
-      std::min<std::uint64_t>(offset + dst.size(), size_) - offset);
-  const std::size_t got = std::fread(dst.data(), 1, avail, file_);
-  if (got != avail) {
-    throw std::runtime_error("FileBackend: short read on " + path_);
-  }
-  if (avail < dst.size()) {
-    std::memset(dst.data() + avail, 0, dst.size() - avail);
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const ssize_t got =
+        ::pread(fd_, dst.data() + done, dst.size() - done,
+                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("FileBackend: read failed on " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    if (got == 0) {
+      // Past EOF: unwritten tracks read as zero.  (Holes inside the file
+      // already read as zero through pread itself.)
+      std::memset(dst.data() + done, 0, dst.size() - done);
+      return;
+    }
+    done += static_cast<std::size_t>(got);
   }
 }
 
 void FileBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    throw std::runtime_error("FileBackend: seek failed on " + path_);
+  std::size_t done = 0;
+  while (done < src.size()) {
+    const ssize_t put =
+        ::pwrite(fd_, src.data() + done, src.size() - done,
+                 static_cast<off_t>(offset + done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("FileBackend: write failed on " + path_ + ": " +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(put);
   }
-  if (std::fwrite(src.data(), 1, src.size(), file_) != src.size()) {
-    throw std::runtime_error("FileBackend: short write on " + path_);
+  const std::uint64_t end = offset + src.size();
+  std::uint64_t seen = size_.load(std::memory_order_relaxed);
+  while (seen < end &&
+         !size_.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {
   }
-  size_ = std::max<std::uint64_t>(size_, offset + src.size());
+}
+
+void FileBackend::flush() {
+  if (::fdatasync(fd_) != 0) {
+    throw std::runtime_error("FileBackend: fdatasync failed on " + path_ +
+                             ": " + std::strerror(errno));
+  }
 }
 
 std::unique_ptr<Backend> make_memory_backend() {
   return std::make_unique<MemoryBackend>();
 }
 
-std::unique_ptr<Backend> make_file_backend(const std::string& path, bool keep) {
-  return std::make_unique<FileBackend>(path, keep);
+std::unique_ptr<Backend> make_file_backend(const std::string& path, bool keep,
+                                           bool sync_writes) {
+  return std::make_unique<FileBackend>(path, keep, sync_writes);
 }
 
 }  // namespace embsp::em

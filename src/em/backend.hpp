@@ -8,10 +8,16 @@
 // The paper's machine has physical disks; per the substitution rules the
 // backends exercise the same code paths while letting the cost meter (the
 // quantity the paper's theorems are about) stay exact.
+//
+// Thread-safety contract: read()/write() must be safe to call without
+// external locking as long as concurrent calls do not overlap byte ranges.
+// The parallel I/O engine (ParallelDiskArray) relies on this — each disk's
+// worker issues one-track transfers, and one parallel I/O touches at most
+// one track per disk, so ranges never overlap within an operation.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
@@ -30,6 +36,10 @@ class Backend {
   /// Write `src.size()` bytes starting at `offset`, growing as needed.
   virtual void write(std::uint64_t offset, std::span<const std::byte> src) = 0;
 
+  /// Make all completed writes durable on the backing medium (no-op for
+  /// memory backends).  Called from DiskArray::sync().
+  virtual void flush() {}
+
   /// High-water mark of bytes ever touched (for disk-space reporting).
   [[nodiscard]] virtual std::uint64_t size() const = 0;
 };
@@ -44,11 +54,18 @@ class MemoryBackend final : public Backend {
   std::vector<std::byte> data_;
 };
 
-/// Flat-file backend.  The file is created on construction and removed on
-/// destruction unless `keep` is set.
+/// Flat-file backend on a raw file descriptor.  All accesses go through
+/// pread/pwrite at explicit 64-bit offsets, so the backend carries no seek
+/// state, is safe for concurrent non-overlapping transfers, and supports
+/// sparse files larger than 2 GiB (the old FILE*+fseek path truncated
+/// offsets to `long`).  The file is created on construction and removed on
+/// destruction unless `keep` is set.  With `sync_writes`, the file is
+/// opened O_DSYNC so every write reaches the device before returning —
+/// used by benches to measure genuine device-level I/O overlap.
 class FileBackend final : public Backend {
  public:
-  explicit FileBackend(std::string path, bool keep = false);
+  explicit FileBackend(std::string path, bool keep = false,
+                       bool sync_writes = false);
   ~FileBackend() override;
 
   FileBackend(const FileBackend&) = delete;
@@ -56,12 +73,15 @@ class FileBackend final : public Backend {
 
   void read(std::uint64_t offset, std::span<std::byte> dst) override;
   void write(std::uint64_t offset, std::span<const std::byte> src) override;
-  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  void flush() override;
+  [[nodiscard]] std::uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string path_;
-  std::FILE* file_ = nullptr;
-  std::uint64_t size_ = 0;
+  int fd_ = -1;
+  std::atomic<std::uint64_t> size_{0};
   bool keep_ = false;
 };
 
@@ -71,6 +91,7 @@ using BackendFactory =
 
 std::unique_ptr<Backend> make_memory_backend();
 std::unique_ptr<Backend> make_file_backend(const std::string& path,
-                                           bool keep = false);
+                                           bool keep = false,
+                                           bool sync_writes = false);
 
 }  // namespace embsp::em

@@ -21,6 +21,9 @@ class Disk {
   void read_track(std::uint64_t track, std::span<std::byte> dst);
   void write_track(std::uint64_t track, std::span<const std::byte> src);
 
+  /// Flush buffered writes to the backend's medium (DiskArray::sync).
+  void flush() { backend_->flush(); }
+
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
   [[nodiscard]] std::uint64_t capacity_tracks() const { return capacity_; }
 

@@ -1,9 +1,21 @@
 #include "em/disk_array.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
+#include "em/parallel_disk_array.hpp"
+
 namespace embsp::em {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 DiskArray::DiskArray(
     std::size_t num_disks, std::size_t block_size,
@@ -20,6 +32,7 @@ DiskArray::DiskArray(
     disks_.push_back(std::make_unique<Disk>(block_size, std::move(backend),
                                             capacity_tracks_per_disk));
   }
+  engine_.per_disk.resize(num_disks);
 }
 
 void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
@@ -46,15 +59,43 @@ void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
   for (auto d : disks) seen_[d] = 0;
 }
 
+void DiskArray::run_transfer(const Transfer& t) {
+  const std::uint64_t t0 = now_ns();
+  if (t.dst != nullptr) {
+    disks_[t.disk]->read_track(t.track, {t.dst, t.len});
+  } else {
+    disks_[t.disk]->write_track(t.track, {t.src, t.len});
+  }
+  auto& ds = engine_.per_disk[t.disk];
+  ds.ops += 1;
+  ds.bytes += t.len;
+  ds.busy_ns += now_ns() - t0;
+}
+
+void DiskArray::execute(std::span<const Transfer> transfers) {
+  for (const auto& t : transfers) run_transfer(t);
+}
+
+void DiskArray::sync() {
+  for (auto& d : disks_) d->flush();
+}
+
 void DiskArray::parallel_read(std::span<const ReadOp> ops) {
   std::vector<std::uint32_t> ids;
   ids.reserve(ops.size());
   for (const auto& op : ops) ids.push_back(op.disk);
   check_distinct(ids);
+  transfers_.clear();
   for (const auto& op : ops) {
-    disks_[op.disk]->read_track(op.track, op.dst);
+    transfers_.push_back(
+        {op.disk, op.track, op.dst.data(), nullptr, op.dst.size()});
     stats_.bytes_read += op.dst.size();
   }
+  engine_.max_queue_depth =
+      std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
+  const std::uint64_t t0 = now_ns();
+  execute(transfers_);
+  engine_.stall_ns += now_ns() - t0;
   stats_.parallel_ios += 1;
   stats_.blocks_read += ops.size();
 }
@@ -64,10 +105,17 @@ void DiskArray::parallel_write(std::span<const WriteOp> ops) {
   ids.reserve(ops.size());
   for (const auto& op : ops) ids.push_back(op.disk);
   check_distinct(ids);
+  transfers_.clear();
   for (const auto& op : ops) {
-    disks_[op.disk]->write_track(op.track, op.src);
+    transfers_.push_back(
+        {op.disk, op.track, nullptr, op.src.data(), op.src.size()});
     stats_.bytes_written += op.src.size();
   }
+  engine_.max_queue_depth =
+      std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
+  const std::uint64_t t0 = now_ns();
+  execute(transfers_);
+  engine_.stall_ns += now_ns() - t0;
   stats_.parallel_ios += 1;
   stats_.blocks_written += ops.size();
 }
@@ -76,6 +124,20 @@ std::uint64_t DiskArray::max_tracks_used() const {
   std::uint64_t used = 0;
   for (const auto& d : disks_) used = std::max(used, d->tracks_used());
   return used;
+}
+
+std::unique_ptr<DiskArray> make_disk_array(
+    IoEngine engine, std::size_t num_disks, std::size_t block_size,
+    std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
+    std::uint64_t capacity_tracks_per_disk) {
+  if (engine == IoEngine::parallel) {
+    return std::make_unique<ParallelDiskArray>(num_disks, block_size,
+                                               std::move(make_backend),
+                                               capacity_tracks_per_disk);
+  }
+  return std::make_unique<DiskArray>(num_disks, block_size,
+                                     std::move(make_backend),
+                                     capacity_tracks_per_disk);
 }
 
 }  // namespace embsp::em

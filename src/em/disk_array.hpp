@@ -9,6 +9,17 @@
 // counting as exactly one parallel I/O operation.  A call that names the
 // same disk twice throws — higher layers cannot accidentally serialize disk
 // accesses without it showing up in the operation count.
+//
+// Two execution engines implement the same interface:
+//  * DiskArray          — serial: the issuing thread performs the D
+//                         per-disk transfers one after another (the model
+//                         cost is identical; only wall-clock differs);
+//  * ParallelDiskArray  — a persistent worker pool, one worker per drive,
+//                         executes the D transfers of each operation
+//                         concurrently (parallel_disk_array.hpp).
+// Select via make_disk_array(IoEngine, ...).  Model-cost accounting
+// (IoStats) is engine-independent; EngineStats records what the engine did
+// with the hardware (per-disk busy time, issuing-thread stall, queue depth).
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,12 @@ struct WriteOp {
   std::span<const std::byte> src;  ///< exactly block_size bytes
 };
 
+/// How a disk array executes the per-disk transfers of one parallel I/O.
+enum class IoEngine {
+  serial,    ///< issuing thread performs transfers back-to-back
+  parallel,  ///< persistent per-disk workers execute them concurrently
+};
+
 class DiskArray {
  public:
   /// Creates `num_disks` drives with the given block size.  `make_backend`
@@ -42,6 +59,10 @@ class DiskArray {
             std::function<std::unique_ptr<Backend>(std::size_t)> make_backend =
                 nullptr,
             std::uint64_t capacity_tracks_per_disk = 0);
+  virtual ~DiskArray() = default;
+
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
 
   /// One parallel I/O operation reading up to one track per disk.
   /// Empty op lists are rejected (they would be free I/O).
@@ -50,6 +71,13 @@ class DiskArray {
   /// One parallel I/O operation writing up to one track per disk.
   void parallel_write(std::span<const WriteOp> ops);
 
+  /// Barrier: returns once every transfer issued so far has completed and
+  /// the backends have flushed buffered data to their medium.  Both engines
+  /// complete all transfers before parallel_read/parallel_write return, so
+  /// this only adds the backend flush — but callers should use it as the
+  /// ordering point before inspecting backing files externally.
+  virtual void sync();
+
   [[nodiscard]] std::size_t num_disks() const { return disks_.size(); }
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
 
@@ -57,10 +85,37 @@ class DiskArray {
   [[nodiscard]] const Disk& disk(std::size_t i) const { return *disks_[i]; }
 
   [[nodiscard]] const IoStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = IoStats{}; }
+  /// Engine execution stats; valid whenever no parallel I/O is in flight.
+  [[nodiscard]] const EngineStats& engine_stats() const { return engine_; }
+  void reset_stats() {
+    stats_ = IoStats{};
+    engine_.reset();
+  }
 
   /// Max tracks used over all drives — the per-disk space bound of Lemma 1.
   [[nodiscard]] std::uint64_t max_tracks_used() const;
+
+ protected:
+  /// One per-disk transfer of a parallel I/O operation; exactly one of
+  /// `dst` / `src` is non-null.
+  struct Transfer {
+    std::uint32_t disk;
+    std::uint64_t track;
+    std::byte* dst = nullptr;
+    const std::byte* src = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// Execute the (distinct-disk) transfers of one parallel I/O operation.
+  /// Must not return before every transfer has completed; errors propagate
+  /// as exceptions after all transfers have settled.
+  virtual void execute(std::span<const Transfer> transfers);
+
+  /// Perform one transfer against the owning Disk and record its per-disk
+  /// engine stats.  Safe to call concurrently for *different* disks.
+  void run_transfer(const Transfer& t);
+
+  EngineStats engine_;
 
  private:
   void check_distinct(std::span<const std::uint32_t> disks) const;
@@ -69,6 +124,15 @@ class DiskArray {
   std::vector<std::unique_ptr<Disk>> disks_;
   IoStats stats_;
   mutable std::vector<std::uint8_t> seen_;  // scratch for distinctness check
+  std::vector<Transfer> transfers_;         // scratch for op translation
 };
+
+/// Worker-pool engine: see parallel_disk_array.hpp.  Declared here so the
+/// factory can live next to the interface.
+std::unique_ptr<DiskArray> make_disk_array(
+    IoEngine engine, std::size_t num_disks, std::size_t block_size,
+    std::function<std::unique_ptr<Backend>(std::size_t)> make_backend =
+        nullptr,
+    std::uint64_t capacity_tracks_per_disk = 0);
 
 }  // namespace embsp::em

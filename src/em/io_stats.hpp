@@ -7,8 +7,10 @@
 // them exactly; wall-clock time plays no role in the accounting.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace embsp::em {
 
@@ -53,6 +55,50 @@ struct IoStats {
     d.bytes_read = bytes_read - before.bytes_read;
     d.bytes_written = bytes_written - before.bytes_written;
     return d;
+  }
+};
+
+/// Wall-clock execution stats of one disk drive inside an I/O engine.
+/// Model cost (IoStats above) is deterministic; these measure what the
+/// engine actually did with the hardware.  Written only by the drive's
+/// owning thread (the caller for the serial engine, the drive's worker for
+/// the parallel engine); safe to read whenever no parallel I/O is in
+/// flight.
+struct DiskIoStats {
+  std::uint64_t ops = 0;      ///< one-track transfers executed on this drive
+  std::uint64_t bytes = 0;    ///< bytes moved through this drive
+  std::uint64_t busy_ns = 0;  ///< wall time spent inside backend transfers
+};
+
+/// Engine-level execution stats of a whole disk array.
+struct EngineStats {
+  std::vector<DiskIoStats> per_disk;
+  /// Wall time the issuing thread spent blocked waiting for parallel I/O
+  /// operations to complete.  For the serial engine this equals the total
+  /// transfer time (the caller does the work itself); for the parallel
+  /// engine it is the per-operation max over the involved drives — the gap
+  /// between the two is the overlap the worker pool buys.
+  std::uint64_t stall_ns = 0;
+  /// Largest number of per-disk transfers in flight in one parallel I/O
+  /// operation (== D when every drive participates in some operation).
+  std::uint64_t max_queue_depth = 0;
+
+  void reset() {
+    for (auto& d : per_disk) d = DiskIoStats{};
+    stall_ns = 0;
+    max_queue_depth = 0;
+  }
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& d : per_disk) n += d.ops;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t max_busy_ns() const {
+    std::uint64_t n = 0;
+    for (const auto& d : per_disk) n = std::max(n, d.busy_ns);
+    return n;
   }
 };
 

@@ -1,0 +1,88 @@
+#include "em/parallel_disk_array.hpp"
+
+namespace embsp::em {
+
+ParallelDiskArray::ParallelDiskArray(
+    std::size_t num_disks, std::size_t block_size,
+    std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
+    std::uint64_t capacity_tracks_per_disk)
+    : DiskArray(num_disks, block_size, std::move(make_backend),
+                capacity_tracks_per_disk) {
+  workers_.reserve(num_disks);
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads started only after every Worker exists (no vector relocation
+  // races) — each thread owns drive d for the array's whole lifetime.
+  for (std::size_t d = 0; d < num_disks; ++d) {
+    workers_[d]->thread = std::thread([this, d] { worker_loop(d); });
+  }
+}
+
+ParallelDiskArray::~ParallelDiskArray() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->m);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+void ParallelDiskArray::worker_loop(std::size_t disk) {
+  Worker& w = *workers_[disk];
+  for (;;) {
+    const Transfer* task = nullptr;
+    std::latch* done = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(w.m);
+      w.cv.wait(lock, [&] { return w.stop || w.task != nullptr; });
+      if (w.task == nullptr) return;  // stop requested, nothing pending
+      task = w.task;
+      done = w.done;
+      w.task = nullptr;
+      w.done = nullptr;
+    }
+    try {
+      run_transfer(*task);
+    } catch (...) {
+      w.error = std::current_exception();
+    }
+    // count_down() publishes the transfer's effects (and w.error) to the
+    // issuing thread blocked in latch::wait.
+    done->count_down();
+  }
+}
+
+void ParallelDiskArray::execute(std::span<const Transfer> transfers) {
+  std::latch done(static_cast<std::ptrdiff_t>(transfers.size()));
+  for (const auto& t : transfers) {
+    Worker& w = *workers_[t.disk];
+    {
+      std::lock_guard<std::mutex> lock(w.m);
+      w.task = &t;
+      w.done = &done;
+    }
+    w.cv.notify_one();
+  }
+  done.wait();
+  std::exception_ptr first;
+  for (const auto& t : transfers) {
+    Worker& w = *workers_[t.disk];
+    if (w.error != nullptr) {
+      if (first == nullptr) first = w.error;
+      w.error = nullptr;
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void ParallelDiskArray::sync() {
+  // All transfers have completed (execute joins before returning); the
+  // latch of the last operation ordered the workers' writes before us, so
+  // flushing from this thread is race-free.
+  DiskArray::sync();
+}
+
+}  // namespace embsp::em

@@ -17,8 +17,9 @@ ParSimulator::ParSimulator(
                             return backend(i * cfg_.machine.em.D + d);
                           })
                     : nullptr;
-    disk_arrays_.push_back(std::make_unique<em::DiskArray>(
-        cfg_.machine.em.D, cfg_.machine.em.B, std::move(make)));
+    disk_arrays_.push_back(em::make_disk_array(
+        cfg_.io_engine, cfg_.machine.em.D, cfg_.machine.em.B,
+        std::move(make)));
   }
 }
 

@@ -410,6 +410,9 @@ SimResult ParSimulator::run(
         }
         account(self.phase_io.collect, before);
       }
+      // Flush barrier for this processor's private disk array (see
+      // SeqSimulator::run).
+      disks.sync();
     } catch (const Aborted&) {
       bar.arrive_and_drop();
     } catch (...) {

@@ -105,8 +105,7 @@ Reassembler::Partial* Reassembler::find_or_create(std::uint32_t src,
                                                   std::uint32_t dst,
                                                   std::uint32_t seq,
                                                   std::uint32_t total_len) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | seq;
-  auto [it, inserted] = partial_.try_emplace(key);
+  auto [it, inserted] = partial_.try_emplace(ChunkKey{src, dst, seq});
   Partial& p = it->second;
   if (inserted) {
     p.msg.src = src;

@@ -92,8 +92,29 @@ class Reassembler {
     bsp::Message msg;
     std::uint64_t received = 0;
   };
-  // key = (src << 32) | seq — unique within one superstep.
-  std::unordered_map<std::uint64_t, Partial> partial_;
+  // Key is the full (src, dst, seq) triple: seq numbers only order messages
+  // with the same (src, dst) pair (bsp::Message), so two messages from one
+  // source with equal seq to different virtual processors are distinct and
+  // must not share a reassembly slot.
+  struct ChunkKey {
+    std::uint32_t src;
+    std::uint32_t dst;
+    std::uint32_t seq;
+    bool operator==(const ChunkKey&) const = default;
+  };
+  struct ChunkKeyHash {
+    std::size_t operator()(const ChunkKey& k) const {
+      std::uint64_t h = (static_cast<std::uint64_t>(k.src) << 32) ^
+                        (static_cast<std::uint64_t>(k.dst) << 16) ^ k.seq;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      h *= 0xc4ceb9fe1a85ec53ULL;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<ChunkKey, Partial, ChunkKeyHash> partial_;
   Partial* find_or_create(std::uint32_t src, std::uint32_t dst,
                           std::uint32_t seq, std::uint32_t total_len);
 };

@@ -38,7 +38,11 @@ SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
   }
   k = std::min<std::size_t>(k, local_v);
   k = std::max<std::size_t>(k, 1);
-  if (cfg.k != 0 && cfg.k * layout.context_slot_bytes > 2 * em.M) {
+  // §5.1: "k = floor(M/mu)" — one group's contexts must fit the memory M
+  // the model grants; an explicit cfg.k gets the same bound.  (No slack:
+  // the group's message blocks of step 1(b) share the same M, so granting
+  // more than M of context would already break the theorem's premise.)
+  if (cfg.k != 0 && cfg.k * layout.context_slot_bytes > em.M) {
     throw std::invalid_argument(
         "SimLayout: requested group size k needs " +
         std::to_string(cfg.k * layout.context_slot_bytes) +
@@ -66,9 +70,8 @@ SeqSimulator::SeqSimulator(
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg) {
   cfg_.machine.validate();
-  disks_ = std::make_unique<em::DiskArray>(cfg_.machine.em.D,
-                                           cfg_.machine.em.B,
-                                           std::move(backend));
+  disks_ = em::make_disk_array(cfg_.io_engine, cfg_.machine.em.D,
+                               cfg_.machine.em.B, std::move(backend));
 }
 
 }  // namespace embsp::sim

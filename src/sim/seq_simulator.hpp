@@ -276,6 +276,10 @@ SimResult SeqSimulator::run(
     account(result.phase_io.collect, before);
   }
 
+  // Flush barrier: every issued transfer has completed (the engine joins
+  // per operation); this pushes file-backend buffers to the medium so the
+  // backing files are externally consistent when run() returns.
+  disks_->sync();
   result.total_io = disks_->stats();
   result.max_tracks_per_disk = disks_->max_tracks_used();
   return result;

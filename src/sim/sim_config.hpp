@@ -6,6 +6,7 @@
 
 #include "bsp/cost_model.hpp"
 #include "bsp/params.hpp"
+#include "em/disk_array.hpp"
 #include "em/io_stats.hpp"
 #include "sim/routing.hpp"
 
@@ -25,6 +26,11 @@ struct SimConfig {
   std::size_t gamma = 0;       ///< declared max comm bytes per vproc/superstep
   std::size_t k = 0;           ///< group size; 0 = auto floor(M / context slot)
   RoutingMode routing = RoutingMode::compact;
+  /// How the D per-disk transfers of each parallel I/O are executed:
+  /// serial (issuing thread, default) or parallel (per-disk worker pool —
+  /// overlaps real device I/O on file backends).  Model cost is identical;
+  /// results are byte-identical for a fixed seed.
+  em::IoEngine io_engine = em::IoEngine::serial;
   std::uint64_t seed = 0x5EEDULL;
   std::size_t max_supersteps = 1'000'000;
 };

@@ -70,6 +70,34 @@ TEST(FileBackend, PersistsAcrossReadWrite) {
   for (auto c : out) EXPECT_EQ(c, std::byte{0});
 }
 
+TEST(FileBackend, OffsetsBeyondFourGiB) {
+  // Regression: the old FILE*-based backend seeked with a cast to long,
+  // which truncates large offsets on ILP32/LLP64 platforms.  The pread/
+  // pwrite backend must address the full 64-bit offset space.  The file is
+  // sparse, so this test touches > 4 GiB of offsets but only a few blocks
+  // of actual disk space.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "embsp_test_big.bin")
+          .string();
+  constexpr std::size_t kB = 1 << 20;  // 1 MiB blocks
+  constexpr std::uint64_t kFarTrack = 4100;  // offset 4100 MiB > 4 GiB
+  Disk d(kB, make_file_backend(path));
+  auto far = pattern_block(kB, 42);
+  auto near = pattern_block(kB, 17);
+  d.write_track(kFarTrack, far);
+  d.write_track(1, near);
+  std::vector<std::byte> out(kB);
+  d.read_track(kFarTrack, out);
+  EXPECT_EQ(out, far);
+  d.read_track(1, out);
+  EXPECT_EQ(out, near);
+  d.read_track(4099, out);  // hole just below the 4 GiB boundary
+  for (auto c : out) {
+    ASSERT_EQ(c, std::byte{0});
+  }
+  EXPECT_EQ(d.tracks_used(), kFarTrack + 1);
+}
+
 TEST(DiskArray, ParallelIoCountsOnce) {
   DiskArray arr(4, 64);
   auto b = pattern_block(64, 3);

@@ -136,6 +136,26 @@ TEST(BlockFormat, IncompleteMessageDetected) {
   EXPECT_THROW(r.take(), std::runtime_error);
 }
 
+TEST(BlockFormat, SameSrcSeqDifferentDstKeptApart) {
+  // Regression: the reassembler used to key partial messages on (src, seq)
+  // only.  seq numbers order messages per (src, dst) pair, so two messages
+  // from one sender to *different* receivers in the same group can share a
+  // seq — they must reassemble into two intact messages, not be merged.
+  std::vector<bsp::Message> msgs{
+      make_msg(0, 1, 0, 150),  // spans blocks at block_size 64
+      make_msg(0, 2, 0, 150),  // same src, same seq, different dst
+  };
+  msgs[1].payload.assign(150, std::byte{0xAB});  // distinguishable payloads
+  auto got = pack_and_reassemble(msgs, 64, true);
+  ASSERT_EQ(got.size(), 2u);
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.dst < b.dst; });
+  EXPECT_EQ(got[0].dst, 1u);
+  EXPECT_EQ(got[0].payload, msgs[0].payload);
+  EXPECT_EQ(got[1].dst, 2u);
+  EXPECT_EQ(got[1].payload, msgs[1].payload);
+}
+
 TEST(ContextStore, RoundTripVariableSizes) {
   em::DiskArray disks(4, 64);
   em::TrackAllocators alloc(4);

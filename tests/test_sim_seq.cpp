@@ -129,6 +129,37 @@ TEST(SeqSimulator, DeterministicModeProducesSameResults) {
                     [](std::uint32_t) { return IrregularProgram::State{}; });
 }
 
+TEST(SeqSimulator, ParallelEngineProducesSameResults) {
+  IrregularProgram prog;
+  auto cfg = small_config(12, 4, 128, 64, 4096);
+  cfg.io_engine = em::IoEngine::parallel;
+  expect_equivalent(prog, cfg,
+                    [](std::uint32_t) { return IrregularProgram::State{}; });
+}
+
+TEST(SimLayout, GroupContextsMustFitM) {
+  // §5.1 gives k = floor(M/mu): one group's contexts get exactly the
+  // model's memory M, no slack.  With B = 128 and mu = 124 a context slot
+  // is exactly one 128-byte block, so M = 1024 admits k = 8 and nothing
+  // more.
+  SimConfig cfg;
+  cfg.machine.p = 1;
+  cfg.machine.bsp.v = 16;
+  cfg.machine.em.D = 2;
+  cfg.machine.em.B = 128;
+  cfg.machine.em.M = 1024;
+  cfg.mu = 124;
+  cfg.gamma = 256;
+
+  cfg.k = 8;  // 8 * 128 = 1024 == M: exactly at the bound, accepted
+  const auto layout = SimLayout::compute(cfg, 16);
+  EXPECT_EQ(layout.k, 8u);
+  EXPECT_EQ(layout.context_slot_bytes, 128u);
+
+  cfg.k = 9;  // 9 * 128 = 1152 > M: one block over, rejected
+  EXPECT_THROW(SimLayout::compute(cfg, 16), std::invalid_argument);
+}
+
 TEST(SeqSimulator, SingleDiskWorks) {
   PrefixSumProgram prog;
   expect_equivalent(prog, small_config(8, 1, 128, 64, 400),
