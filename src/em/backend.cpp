@@ -1,48 +1,137 @@
 #include "em/backend.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <stdexcept>
+#include <filesystem>
+#include <unordered_set>
+
+#include "em/io_error.hpp"
 
 namespace embsp::em {
 
-void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
-  const std::uint64_t end = offset + dst.size();
-  // Bytes beyond the high-water mark read as zero (freshly formatted disk).
-  if (offset >= data_.size()) {
-    std::memset(dst.data(), 0, dst.size());
-    return;
+// --- MemoryBackend ---------------------------------------------------------
+
+std::byte* MemoryBackend::segment(std::uint64_t index, bool create) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= segments_.size()) {
+    if (!create) return nullptr;
+    segments_.resize(index + 1);
   }
-  const std::uint64_t avail = std::min<std::uint64_t>(end, data_.size()) - offset;
-  std::memcpy(dst.data(), data_.data() + offset, avail);
-  if (avail < dst.size()) {
-    std::memset(dst.data() + avail, 0, dst.size() - avail);
+  auto& seg = segments_[index];
+  if (seg == nullptr) {
+    if (!create) return nullptr;
+    seg = std::make_unique<std::byte[]>(kSegmentBytes);  // zero-filled
+  }
+  return seg.get();
+}
+
+void MemoryBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t idx = pos / kSegmentBytes;
+    const std::size_t within = static_cast<std::size_t>(pos % kSegmentBytes);
+    const std::size_t n =
+        std::min<std::size_t>(kSegmentBytes - within, dst.size() - done);
+    if (const std::byte* seg = segment(idx, /*create=*/false)) {
+      std::memcpy(dst.data() + done, seg + within, n);
+    } else {
+      // Never-written territory reads as zero (freshly formatted disk).
+      std::memset(dst.data() + done, 0, n);
+    }
+    done += n;
   }
 }
 
-void MemoryBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
+void MemoryBackend::write(std::uint64_t offset,
+                          std::span<const std::byte> src) {
+  std::size_t done = 0;
+  while (done < src.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t idx = pos / kSegmentBytes;
+    const std::size_t within = static_cast<std::size_t>(pos % kSegmentBytes);
+    const std::size_t n =
+        std::min<std::size_t>(kSegmentBytes - within, src.size() - done);
+    std::byte* seg = segment(idx, /*create=*/true);
+    std::memcpy(seg + within, src.data() + done, n);
+    done += n;
+  }
   const std::uint64_t end = offset + src.size();
-  if (end > data_.size()) data_.resize(end);
-  std::memcpy(data_.data() + offset, src.data(), src.size());
+  std::uint64_t seen = size_.load(std::memory_order_relaxed);
+  while (seen < end &&
+         !size_.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {
+  }
 }
+
+// --- FileBackend -----------------------------------------------------------
+
+namespace {
+
+// Live backing files in this process: a second FileBackend on the same path
+// would silently clobber the first, so the constructor rejects it.
+std::mutex g_open_paths_mutex;
+std::unordered_set<std::string>& open_paths() {
+  static std::unordered_set<std::string> set;
+  return set;
+}
+
+std::string registry_key_for(const std::string& path) {
+  std::error_code ec;
+  auto abs = std::filesystem::absolute(path, ec);
+  if (ec) return path;
+  return abs.lexically_normal().string();
+}
+
+}  // namespace
 
 FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
     : path_(std::move(path)), keep_(keep) {
-  int flags = O_RDWR | O_CREAT | O_TRUNC;
+  registry_key_ = registry_key_for(path_);
+  {
+    std::lock_guard<std::mutex> lock(g_open_paths_mutex);
+    if (!open_paths().insert(registry_key_).second) {
+      throw PersistentIoError("FileBackend: " + path_ +
+                              " is already open in this process (double-open "
+                              "would clobber the backing file)");
+    }
+  }
+  // Truncate only files we create: with `keep`, an existing backing file is
+  // data the caller asked to preserve across runs.  Scratch files
+  // (!keep) are always started fresh.
+  int flags = O_RDWR | O_CREAT;
+  bool preexisting = false;
+  if (keep_) {
+    struct stat st{};
+    preexisting = ::stat(path_.c_str(), &st) == 0;
+  }
+  if (!preexisting) flags |= O_TRUNC;
   if (sync_writes) flags |= O_DSYNC;
   fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) {
-    throw std::runtime_error("FileBackend: cannot open " + path_ + ": " +
-                             std::strerror(errno));
+    const int err = errno;
+    std::lock_guard<std::mutex> lock(g_open_paths_mutex);
+    open_paths().erase(registry_key_);
+    throw IoError(classify_errno(err), "FileBackend: cannot open " + path_ +
+                                           ": " + std::strerror(err));
+  }
+  if (preexisting) {
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end > 0) {
+      size_.store(static_cast<std::uint64_t>(end),
+                  std::memory_order_relaxed);
+    }
   }
 }
 
 FileBackend::~FileBackend() {
   if (fd_ >= 0) ::close(fd_);
   if (!keep_) ::unlink(path_.c_str());
+  std::lock_guard<std::mutex> lock(g_open_paths_mutex);
+  open_paths().erase(registry_key_);
 }
 
 void FileBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
@@ -53,8 +142,10 @@ void FileBackend::read(std::uint64_t offset, std::span<std::byte> dst) {
                 static_cast<off_t>(offset + done));
     if (got < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("FileBackend: read failed on " + path_ + ": " +
-                               std::strerror(errno));
+      const int err = errno;
+      throw IoError(classify_errno(err), "FileBackend: read failed on " +
+                                             path_ + ": " +
+                                             std::strerror(err));
     }
     if (got == 0) {
       // Past EOF: unwritten tracks read as zero.  (Holes inside the file
@@ -74,8 +165,10 @@ void FileBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
                  static_cast<off_t>(offset + done));
     if (put < 0) {
       if (errno == EINTR) continue;
-      throw std::runtime_error("FileBackend: write failed on " + path_ + ": " +
-                               std::strerror(errno));
+      const int err = errno;
+      throw IoError(classify_errno(err), "FileBackend: write failed on " +
+                                             path_ + ": " +
+                                             std::strerror(err));
     }
     done += static_cast<std::size_t>(put);
   }
@@ -88,8 +181,9 @@ void FileBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
 
 void FileBackend::flush() {
   if (::fdatasync(fd_) != 0) {
-    throw std::runtime_error("FileBackend: fdatasync failed on " + path_ +
-                             ": " + std::strerror(errno));
+    const int err = errno;
+    throw IoError(classify_errno(err), "FileBackend: fdatasync failed on " +
+                                           path_ + ": " + std::strerror(err));
   }
 }
 

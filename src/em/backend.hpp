@@ -1,24 +1,33 @@
 // Storage backends for simulated disk drives.
 //
-// A Disk stores tracks through a Backend.  Two implementations:
-//  * MemoryBackend — a growable byte vector; fast, used by tests/benches.
-//  * FileBackend   — one flat file per disk accessed at byte offsets; this
-//    is the STXXL-style path used when the data genuinely exceeds RAM (see
-//    examples/em_sort_file.cpp).
+// A Disk stores tracks through a Backend.  Implementations:
+//  * MemoryBackend        — a segmented byte store; fast, used by
+//    tests/benches.
+//  * FileBackend          — one flat file per disk accessed at byte
+//    offsets; this is the STXXL-style path used when the data genuinely
+//    exceeds RAM (see examples/em_sort_file.cpp).
+//  * FaultInjectingBackend (fault_backend.hpp) — decorator injecting a
+//    deterministic fault schedule over any of the above.
 // The paper's machine has physical disks; per the substitution rules the
 // backends exercise the same code paths while letting the cost meter (the
 // quantity the paper's theorems are about) stay exact.
 //
 // Thread-safety contract: read()/write() must be safe to call without
-// external locking as long as concurrent calls do not overlap byte ranges.
-// The parallel I/O engine (ParallelDiskArray) relies on this — each disk's
-// worker issues one-track transfers, and one parallel I/O touches at most
-// one track per disk, so ranges never overlap within an operation.
+// external locking as long as concurrent calls do not overlap byte ranges —
+// including calls that grow the backend.  The parallel I/O engine
+// (ParallelDiskArray) relies on this — each disk's worker issues one-track
+// transfers, and one parallel I/O touches at most one track per disk, so
+// ranges never overlap within an operation.
+//
+// Error contract: I/O failures are reported as em::IoError (io_error.hpp)
+// so DiskArray::run_transfer can classify transient vs persistent failures
+// for its retry policy.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -44,24 +53,45 @@ class Backend {
   [[nodiscard]] virtual std::uint64_t size() const = 0;
 };
 
+/// In-memory backend over fixed-size segments.  Segments make concurrent
+/// growth safe: a plain growable vector would reallocate (or zero-fill)
+/// under a writer that is mid-memcpy on a non-overlapping range, violating
+/// the backend concurrency contract.  Here segment payloads never move —
+/// the directory of segment pointers is the only shared structure, and it
+/// is guarded by a mutex held only while resolving/creating segments,
+/// never during the copies themselves.
 class MemoryBackend final : public Backend {
  public:
   void read(std::uint64_t offset, std::span<std::byte> dst) override;
   void write(std::uint64_t offset, std::span<const std::byte> src) override;
-  [[nodiscard]] std::uint64_t size() const override { return data_.size(); }
+  [[nodiscard]] std::uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kSegmentBytes = 256 * 1024;
 
  private:
-  std::vector<std::byte> data_;
+  /// Segment holding `offset`, created zero-filled on demand if `create`;
+  /// nullptr when absent and !create.
+  std::byte* segment(std::uint64_t index, bool create);
+
+  mutable std::mutex mutex_;  ///< guards segments_ (directory only)
+  std::vector<std::unique_ptr<std::byte[]>> segments_;
+  std::atomic<std::uint64_t> size_{0};
 };
 
 /// Flat-file backend on a raw file descriptor.  All accesses go through
 /// pread/pwrite at explicit 64-bit offsets, so the backend carries no seek
 /// state, is safe for concurrent non-overlapping transfers, and supports
-/// sparse files larger than 2 GiB (the old FILE*+fseek path truncated
-/// offsets to `long`).  The file is created on construction and removed on
-/// destruction unless `keep` is set.  With `sync_writes`, the file is
-/// opened O_DSYNC so every write reaches the device before returning —
-/// used by benches to measure genuine device-level I/O overlap.
+/// sparse files larger than 2 GiB.  With `keep`, the backing file survives
+/// destruction AND re-opening an existing file preserves its contents
+/// (only freshly created files are truncated); without `keep` the file is
+/// scratch: truncated on open, removed on destruction.  Opening a path
+/// that is already held by a live FileBackend in this process throws —
+/// two backends writing one file would silently clobber each other.  With
+/// `sync_writes`, the file is opened O_DSYNC so every write reaches the
+/// device before returning — used by benches to measure genuine
+/// device-level I/O overlap.
 class FileBackend final : public Backend {
  public:
   explicit FileBackend(std::string path, bool keep = false,
@@ -80,6 +110,7 @@ class FileBackend final : public Backend {
 
  private:
   std::string path_;
+  std::string registry_key_;
   int fd_ = -1;
   std::atomic<std::uint64_t> size_{0};
   bool keep_ = false;

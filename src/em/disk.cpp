@@ -3,13 +3,17 @@
 #include <stdexcept>
 #include <string>
 
+#include "em/io_error.hpp"
+#include "util/checksum.hpp"
+
 namespace embsp::em {
 
 Disk::Disk(std::size_t block_size, std::unique_ptr<Backend> backend,
-           std::uint64_t capacity_tracks)
+           std::uint64_t capacity_tracks, bool verify_checksums)
     : block_size_(block_size),
       backend_(std::move(backend)),
-      capacity_(capacity_tracks) {
+      capacity_(capacity_tracks),
+      verify_(verify_checksums) {
   if (block_size_ == 0) {
     throw std::invalid_argument("Disk: block size must be > 0");
   }
@@ -34,6 +38,15 @@ void Disk::read_track(std::uint64_t track, std::span<std::byte> dst) {
   check(track, dst.size());
   backend_->read(track * block_size_, dst);
   ++reads_;
+  if (verify_ && track < has_sum_.size() && has_sum_[track] != 0) {
+    const std::uint64_t sum = util::checksum64(dst);
+    if (sum != sums_[track]) {
+      ++checksum_failures_;
+      throw CorruptBlockError("Disk: checksum mismatch on track " +
+                              std::to_string(track) +
+                              " (silent corruption detected)");
+    }
+  }
 }
 
 void Disk::write_track(std::uint64_t track, std::span<const std::byte> src) {
@@ -41,6 +54,14 @@ void Disk::write_track(std::uint64_t track, std::span<const std::byte> src) {
   backend_->write(track * block_size_, src);
   ++writes_;
   tracks_used_ = std::max(tracks_used_, track + 1);
+  if (verify_) {
+    if (track >= has_sum_.size()) {
+      has_sum_.resize(track + 1, 0);
+      sums_.resize(track + 1, 0);
+    }
+    sums_[track] = util::checksum64(src);
+    has_sum_[track] = 1;
+  }
 }
 
 }  // namespace embsp::em

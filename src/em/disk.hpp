@@ -1,10 +1,18 @@
 // A single simulated disk drive (§3): a sequence of tracks, each storing
 // exactly one block of B bytes, addressed by track number.
+//
+// With `verify_checksums`, the drive keeps a 64-bit checksum per written
+// track (in-memory metadata, the same class as the linked buckets' pointer
+// tables) and verifies it on every read: silent bit-rot surfaces as a
+// classified CorruptBlockError instead of wrong data.  The checksum table
+// never touches the backend, so enabling verification leaves the on-disk
+// image byte-identical.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "em/backend.hpp"
 
@@ -16,7 +24,7 @@ class Disk {
   /// (the backend grows on demand); a nonzero capacity makes out-of-range
   /// accesses throw, which the tests use to pin down space bounds.
   Disk(std::size_t block_size, std::unique_ptr<Backend> backend,
-       std::uint64_t capacity_tracks = 0);
+       std::uint64_t capacity_tracks = 0, bool verify_checksums = false);
 
   void read_track(std::uint64_t track, std::span<std::byte> dst);
   void write_track(std::uint64_t track, std::span<const std::byte> src);
@@ -26,6 +34,7 @@ class Disk {
 
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
   [[nodiscard]] std::uint64_t capacity_tracks() const { return capacity_; }
+  [[nodiscard]] bool verify_checksums() const { return verify_; }
 
   /// Highest track ever written + 1 — the disk-space usage the space bounds
   /// of Lemma 1 / Theorem 1 talk about.
@@ -35,15 +44,25 @@ class Disk {
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
 
+  /// Reads that failed checksum verification (each throws; retried reads
+  /// that then pass do not undo the count).
+  [[nodiscard]] std::uint64_t checksum_failures() const {
+    return checksum_failures_;
+  }
+
  private:
   void check(std::uint64_t track, std::size_t len) const;
 
   std::size_t block_size_;
   std::unique_ptr<Backend> backend_;
   std::uint64_t capacity_;
+  bool verify_;
   std::uint64_t tracks_used_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t checksum_failures_ = 0;
+  std::vector<std::uint64_t> sums_;     ///< per-track checksum (if verify_)
+  std::vector<std::uint8_t> has_sum_;   ///< track ever written
 };
 
 }  // namespace embsp::em

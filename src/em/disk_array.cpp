@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "em/parallel_disk_array.hpp"
 
@@ -20,17 +21,22 @@ std::uint64_t now_ns() {
 DiskArray::DiskArray(
     std::size_t num_disks, std::size_t block_size,
     std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
-    std::uint64_t capacity_tracks_per_disk)
-    : block_size_(block_size), seen_(num_disks, 0) {
+    std::uint64_t capacity_tracks_per_disk, DiskArrayOptions options)
+    : block_size_(block_size), options_(options), seen_(num_disks, 0) {
   if (num_disks == 0) {
     throw std::invalid_argument("DiskArray: need at least one disk");
   }
   disks_.reserve(num_disks);
+  jitter_.reserve(num_disks);
   for (std::size_t d = 0; d < num_disks; ++d) {
     auto backend =
         make_backend ? make_backend(d) : make_memory_backend();
     disks_.push_back(std::make_unique<Disk>(block_size, std::move(backend),
-                                            capacity_tracks_per_disk));
+                                            capacity_tracks_per_disk,
+                                            options_.verify_checksums));
+    // Backoff jitter only shapes sleep durations, never data, so a fixed
+    // per-disk seed keeps arrays reproducible without configuration.
+    jitter_.emplace_back(0xB0FF'0000ULL + d);
   }
   engine_.per_disk.resize(num_disks);
 }
@@ -60,16 +66,33 @@ void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
 }
 
 void DiskArray::run_transfer(const Transfer& t) {
-  const std::uint64_t t0 = now_ns();
-  if (t.dst != nullptr) {
-    disks_[t.disk]->read_track(t.track, {t.dst, t.len});
-  } else {
-    disks_[t.disk]->write_track(t.track, {t.src, t.len});
-  }
   auto& ds = engine_.per_disk[t.disk];
+  const RetryPolicy& policy = options_.retry;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const std::uint64_t t0 = now_ns();
+    try {
+      if (t.dst != nullptr) {
+        disks_[t.disk]->read_track(t.track, {t.dst, t.len});
+      } else {
+        disks_[t.disk]->write_track(t.track, {t.src, t.len});
+      }
+      ds.busy_ns += now_ns() - t0;
+      break;
+    } catch (const IoError& e) {
+      ds.busy_ns += now_ns() - t0;
+      if (!e.retryable() || attempt >= policy.max_attempts) {
+        ds.giveups += 1;
+        throw;
+      }
+      ds.retries += 1;
+      const std::uint64_t delay = policy.backoff_ns(attempt, jitter_[t.disk]);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      }
+    }
+  }
   ds.ops += 1;
   ds.bytes += t.len;
-  ds.busy_ns += now_ns() - t0;
 }
 
 void DiskArray::execute(std::span<const Transfer> transfers) {
@@ -129,15 +152,15 @@ std::uint64_t DiskArray::max_tracks_used() const {
 std::unique_ptr<DiskArray> make_disk_array(
     IoEngine engine, std::size_t num_disks, std::size_t block_size,
     std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
-    std::uint64_t capacity_tracks_per_disk) {
+    std::uint64_t capacity_tracks_per_disk, DiskArrayOptions options) {
   if (engine == IoEngine::parallel) {
-    return std::make_unique<ParallelDiskArray>(num_disks, block_size,
-                                               std::move(make_backend),
-                                               capacity_tracks_per_disk);
+    return std::make_unique<ParallelDiskArray>(
+        num_disks, block_size, std::move(make_backend),
+        capacity_tracks_per_disk, options);
   }
   return std::make_unique<DiskArray>(num_disks, block_size,
                                      std::move(make_backend),
-                                     capacity_tracks_per_disk);
+                                     capacity_tracks_per_disk, options);
 }
 
 }  // namespace embsp::em

@@ -29,7 +29,9 @@
 #include <vector>
 
 #include "em/disk.hpp"
+#include "em/io_error.hpp"
 #include "em/io_stats.hpp"
+#include "util/rng.hpp"
 
 namespace embsp::em {
 
@@ -51,6 +53,17 @@ enum class IoEngine {
   parallel,  ///< persistent per-disk workers execute them concurrently
 };
 
+/// Resilience knobs of a disk array, applied identically by both engines.
+struct DiskArrayOptions {
+  /// Retry discipline for transient IoErrors raised by a per-disk transfer
+  /// (see run_transfer).  max_attempts == 1 disables retrying.
+  RetryPolicy retry{};
+  /// Keep and verify a 64-bit checksum per written track; mismatches on
+  /// read surface as CorruptBlockError (and are retried like any other
+  /// transient fault, which heals read-path bit flips).
+  bool verify_checksums = false;
+};
+
 class DiskArray {
  public:
   /// Creates `num_disks` drives with the given block size.  `make_backend`
@@ -58,7 +71,8 @@ class DiskArray {
   DiskArray(std::size_t num_disks, std::size_t block_size,
             std::function<std::unique_ptr<Backend>(std::size_t)> make_backend =
                 nullptr,
-            std::uint64_t capacity_tracks_per_disk = 0);
+            std::uint64_t capacity_tracks_per_disk = 0,
+            DiskArrayOptions options = {});
   virtual ~DiskArray() = default;
 
   DiskArray(const DiskArray&) = delete;
@@ -111,8 +125,10 @@ class DiskArray {
   /// as exceptions after all transfers have settled.
   virtual void execute(std::span<const Transfer> transfers);
 
-  /// Perform one transfer against the owning Disk and record its per-disk
-  /// engine stats.  Safe to call concurrently for *different* disks.
+  /// Perform one transfer against the owning Disk, retrying retryable
+  /// IoErrors per the array's RetryPolicy (with per-disk jittered backoff),
+  /// and record per-disk engine stats including retries/giveups.  Safe to
+  /// call concurrently for *different* disks.
   void run_transfer(const Transfer& t);
 
   EngineStats engine_;
@@ -121,7 +137,9 @@ class DiskArray {
   void check_distinct(std::span<const std::uint32_t> disks) const;
 
   std::size_t block_size_;
+  DiskArrayOptions options_;
   std::vector<std::unique_ptr<Disk>> disks_;
+  std::vector<util::Rng> jitter_;  ///< per-disk backoff jitter streams
   IoStats stats_;
   mutable std::vector<std::uint8_t> seen_;  // scratch for distinctness check
   std::vector<Transfer> transfers_;         // scratch for op translation
@@ -133,6 +151,6 @@ std::unique_ptr<DiskArray> make_disk_array(
     IoEngine engine, std::size_t num_disks, std::size_t block_size,
     std::function<std::unique_ptr<Backend>(std::size_t)> make_backend =
         nullptr,
-    std::uint64_t capacity_tracks_per_disk = 0);
+    std::uint64_t capacity_tracks_per_disk = 0, DiskArrayOptions options = {});
 
 }  // namespace embsp::em

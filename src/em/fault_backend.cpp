@@ -1,0 +1,165 @@
+#include "em/fault_backend.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace embsp::em {
+
+namespace {
+
+std::uint64_t schedule_seed(std::uint64_t spec_seed, std::uint64_t sim_seed,
+                            std::uint32_t disk) {
+  // Distinct, decorrelated stream per disk; any change to either seed or
+  // the disk index yields an unrelated schedule.
+  std::uint64_t s = spec_seed ^ (sim_seed * 0x9e3779b97f4a7c15ULL);
+  s ^= (static_cast<std::uint64_t>(disk) + 1) * 0xd1342543de82ef95ULL;
+  return s;
+}
+
+}  // namespace
+
+FaultCounts snapshot(const FaultCounters& c) {
+  FaultCounts s;
+  s.read_errors = c.read_errors.load(std::memory_order_relaxed);
+  s.write_errors = c.write_errors.load(std::memory_order_relaxed);
+  s.torn_writes = c.torn_writes.load(std::memory_order_relaxed);
+  s.bit_flips = c.bit_flips.load(std::memory_order_relaxed);
+  s.latency_spikes = c.latency_spikes.load(std::memory_order_relaxed);
+  s.dead_range_hits = c.dead_range_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+FaultInjectingBackend::FaultInjectingBackend(
+    std::unique_ptr<Backend> inner, FaultSpec spec, std::uint64_t sim_seed,
+    std::uint32_t disk_index, std::shared_ptr<FaultCounters> counters)
+    : inner_(std::move(inner)),
+      spec_(std::move(spec)),
+      disk_(disk_index),
+      rng_(schedule_seed(spec_.seed, sim_seed, disk_index)),
+      counters_(std::move(counters)) {}
+
+void FaultInjectingBackend::check_dead_range(std::uint64_t offset,
+                                             std::size_t len,
+                                             const char* what) {
+  for (const auto& r : spec_.dead_ranges) {
+    if (r.disk != FaultRange::kAllDisks && r.disk != disk_) continue;
+    if (offset < r.end && offset + len > r.begin) {
+      if (counters_) {
+        counters_->dead_range_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      throw PersistentIoError(
+          "fault injection: " + std::string(what) + " touches dead range [" +
+          std::to_string(r.begin) + ", " + std::to_string(r.end) +
+          ") on disk " + std::to_string(disk_));
+    }
+  }
+}
+
+void FaultInjectingBackend::check_burst(std::uint64_t call,
+                                        const char* what) {
+  for (const auto& b : spec_.bursts) {
+    if (b.disk != disk_) continue;
+    if (call >= b.first_call && call < b.first_call + b.count) {
+      throw TransientIoError("fault injection: scripted burst fails " +
+                             std::string(what) + " call " +
+                             std::to_string(call) + " on disk " +
+                             std::to_string(disk_));
+    }
+  }
+}
+
+void FaultInjectingBackend::maybe_latency_spike(double draw) {
+  if (draw < spec_.latency_spike_rate) {
+    if (counters_) {
+      counters_->latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(spec_.latency_spike_us));
+  }
+}
+
+void FaultInjectingBackend::read(std::uint64_t offset,
+                                 std::span<std::byte> dst) {
+  const std::uint64_t call = calls_++;
+  // Fixed draw count per call: the schedule is a pure function of the call
+  // sequence, never of which faults happened to fire.
+  const double d_latency = rng_.uniform01();
+  const double d_error = rng_.uniform01();
+  const double d_flip = rng_.uniform01();
+  const std::uint64_t d_pos = rng_.next();
+
+  check_dead_range(offset, dst.size(), "read");
+  check_burst(call, "read");
+  maybe_latency_spike(d_latency);
+  if (d_error < spec_.read_error_rate) {
+    if (counters_) {
+      counters_->read_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw TransientIoError("fault injection: transient read error at offset " +
+                           std::to_string(offset) + " on disk " +
+                           std::to_string(disk_));
+  }
+  inner_->read(offset, dst);
+  if (d_flip < spec_.bit_flip_rate && !dst.empty()) {
+    // Flip one bit of the returned buffer; the medium is untouched, so a
+    // verified re-read heals it.  Without checksums this is silent.
+    const std::uint64_t bit = d_pos % (dst.size() * 8);
+    dst[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    if (counters_) {
+      counters_->bit_flips.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FaultInjectingBackend::write(std::uint64_t offset,
+                                  std::span<const std::byte> src) {
+  const std::uint64_t call = calls_++;
+  const double d_latency = rng_.uniform01();
+  const double d_error = rng_.uniform01();
+  const double d_torn = rng_.uniform01();
+  const std::uint64_t d_len = rng_.next();
+
+  check_dead_range(offset, src.size(), "write");
+  check_burst(call, "write");
+  maybe_latency_spike(d_latency);
+  if (d_error < spec_.write_error_rate) {
+    if (counters_) {
+      counters_->write_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw TransientIoError(
+        "fault injection: transient write error at offset " +
+        std::to_string(offset) + " on disk " + std::to_string(disk_));
+  }
+  if (d_torn < spec_.torn_write_rate && src.size() > 1) {
+    // Persist a strict prefix, then fail — the retried full write repairs
+    // the tear, so a successful operation leaves no trace of it.
+    const std::size_t cut = 1 + d_len % (src.size() - 1);
+    inner_->write(offset, src.first(cut));
+    if (counters_) {
+      counters_->torn_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw TransientIoError("fault injection: torn write (" +
+                           std::to_string(cut) + "/" +
+                           std::to_string(src.size()) + " bytes) at offset " +
+                           std::to_string(offset) + " on disk " +
+                           std::to_string(disk_));
+  }
+  inner_->write(offset, src);
+}
+
+std::function<std::unique_ptr<Backend>(std::size_t)> wrap_with_faults(
+    std::function<std::unique_ptr<Backend>(std::size_t)> base,
+    const FaultSpec& spec, std::uint64_t sim_seed,
+    std::shared_ptr<FaultCounters> counters) {
+  if (!spec.enabled()) return base;
+  return [base = std::move(base), spec, sim_seed,
+          counters = std::move(counters)](std::size_t d) {
+    auto inner = base ? base(d) : make_memory_backend();
+    return std::make_unique<FaultInjectingBackend>(
+        std::move(inner), spec, sim_seed, static_cast<std::uint32_t>(d),
+        counters);
+  };
+}
+
+}  // namespace embsp::em

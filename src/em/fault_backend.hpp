@@ -1,0 +1,164 @@
+// Deterministic fault injection for storage backends.
+//
+// FaultInjectingBackend wraps any Backend and injects faults from a seeded
+// schedule, so the substrate's failure handling (retry/backoff in
+// DiskArray::run_transfer, checksum verification in Disk, superstep
+// rollback in the simulators) can be exercised reproducibly:
+//
+//   * transient read/write failures  — EIO-style TransientIoError;
+//   * persistent dead ranges         — byte ranges that always fail
+//                                      (PersistentIoError, never retried);
+//   * scripted failure bursts        — calls [first, first+count) on a
+//                                      disk fail; a burst longer than the
+//                                      retry budget forces the giveup path
+//                                      and superstep-granular recovery;
+//   * torn writes                    — only a prefix reaches the backend
+//                                      before the call fails (healed by the
+//                                      retried full rewrite);
+//   * silent bit flips               — one bit of the *returned* read
+//                                      buffer is flipped, with no error;
+//                                      only block checksums notice.  The
+//                                      medium itself stays intact, so a
+//                                      re-read heals it;
+//   * latency spikes                 — a sleep, no error (exercises the
+//                                      engines' overlap under slow disks).
+//
+// Determinism: the wrapper draws a fixed number of RNG values per call
+// from a stream seeded by (spec.seed, simulation seed, disk index), so the
+// fault schedule is a pure function of the per-disk call sequence.  Both
+// I/O engines issue each disk's transfers in the same order (one worker
+// per drive; one track per disk per operation), hence the same seed yields
+// the same schedule under either engine — the property the determinism
+// tests pin down.
+//
+// Concurrency: unlike plain backends, the wrapper keeps per-call mutable
+// state (RNG, call counter), so calls on one wrapper must be serialized.
+// Both engines guarantee this per disk (a drive's transfers are totally
+// ordered); do not share one wrapper between drives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "em/backend.hpp"
+#include "em/io_error.hpp"
+#include "util/rng.hpp"
+
+namespace embsp::em {
+
+/// A byte range on one disk that fails every access (a dead sector run).
+struct FaultRange {
+  static constexpr std::uint32_t kAllDisks =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t disk = kAllDisks;
+  std::uint64_t begin = 0;  ///< first failing byte offset
+  std::uint64_t end = 0;    ///< one past the last failing byte offset
+};
+
+/// A scripted run of failing calls: backend calls (reads and writes,
+/// 0-indexed per disk, retries included) in [first_call, first_call+count)
+/// on `disk` throw TransientIoError.  With count >= RetryPolicy
+/// max_attempts this deterministically exhausts the retry budget and
+/// exercises superstep rollback.
+struct FaultBurst {
+  std::uint32_t disk = 0;
+  std::uint64_t first_call = 0;
+  std::uint64_t count = 0;
+};
+
+/// Per-disk fault model, configured in SimConfig.  All rates are
+/// probabilities per backend call in [0, 1].
+struct FaultSpec {
+  std::uint64_t seed = 0;  ///< folded with the sim seed and disk index
+
+  double read_error_rate = 0.0;   ///< transient EIO on read
+  double write_error_rate = 0.0;  ///< transient EIO on write
+  double torn_write_rate = 0.0;   ///< partial write, then transient error
+  double bit_flip_rate = 0.0;     ///< silent single-bit flip on read
+  double latency_spike_rate = 0.0;
+  std::uint32_t latency_spike_us = 50;
+
+  std::vector<FaultRange> dead_ranges;
+  std::vector<FaultBurst> bursts;
+
+  [[nodiscard]] bool enabled() const {
+    return read_error_rate > 0 || write_error_rate > 0 ||
+           torn_write_rate > 0 || bit_flip_rate > 0 ||
+           latency_spike_rate > 0 || !dead_ranges.empty() || !bursts.empty();
+  }
+};
+
+/// Tally of injected faults, shared by all wrappers of one simulation
+/// (atomics: the parallel engine's workers and the parallel simulator's
+/// threads all bump them).
+struct FaultCounters {
+  std::atomic<std::uint64_t> read_errors{0};
+  std::atomic<std::uint64_t> write_errors{0};
+  std::atomic<std::uint64_t> torn_writes{0};
+  std::atomic<std::uint64_t> bit_flips{0};
+  std::atomic<std::uint64_t> latency_spikes{0};
+  std::atomic<std::uint64_t> dead_range_hits{0};
+};
+
+/// Plain-value snapshot of FaultCounters (for SimResult).
+struct FaultCounts {
+  std::uint64_t read_errors = 0;
+  std::uint64_t write_errors = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t dead_range_hits = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return read_errors + write_errors + torn_writes + bit_flips +
+           latency_spikes + dead_range_hits;
+  }
+};
+
+[[nodiscard]] FaultCounts snapshot(const FaultCounters& c);
+
+class FaultInjectingBackend final : public Backend {
+ public:
+  /// `disk_index` selects this wrapper's dead ranges/bursts and salts the
+  /// schedule stream; `sim_seed` is the owning simulation's seed.
+  FaultInjectingBackend(std::unique_ptr<Backend> inner, FaultSpec spec,
+                        std::uint64_t sim_seed, std::uint32_t disk_index,
+                        std::shared_ptr<FaultCounters> counters = nullptr);
+
+  void read(std::uint64_t offset, std::span<std::byte> dst) override;
+  void write(std::uint64_t offset, std::span<const std::byte> src) override;
+  void flush() override { inner_->flush(); }
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+
+  /// Backend calls seen so far (reads + writes, retries included).
+  [[nodiscard]] std::uint64_t calls() const { return calls_; }
+
+ private:
+  void check_dead_range(std::uint64_t offset, std::size_t len,
+                        const char* what);
+  void check_burst(std::uint64_t call, const char* what);
+  void maybe_latency_spike(double draw);
+
+  std::unique_ptr<Backend> inner_;
+  FaultSpec spec_;
+  std::uint32_t disk_;
+  util::Rng rng_;
+  std::uint64_t calls_ = 0;
+  std::shared_ptr<FaultCounters> counters_;
+};
+
+/// Wrap a backend factory so every created backend injects faults per
+/// `spec`.  Returns `base` unchanged (or a plain memory-backend factory if
+/// `base` is null) when the spec is disabled, so the fault-free path pays
+/// nothing.  `disk_of(i)` defaults to identity; the parallel simulator
+/// passes globally unique indices.
+std::function<std::unique_ptr<Backend>(std::size_t)> wrap_with_faults(
+    std::function<std::unique_ptr<Backend>(std::size_t)> base,
+    const FaultSpec& spec, std::uint64_t sim_seed,
+    std::shared_ptr<FaultCounters> counters);
+
+}  // namespace embsp::em

@@ -1,0 +1,33 @@
+#include "em/io_error.hpp"
+
+#include <cerrno>
+
+namespace embsp::em {
+
+IoError::Kind classify_errno(int err) {
+  switch (err) {
+    case EIO:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENOBUFS:
+    case ENOMEM:
+      return IoError::Kind::transient;
+    default:
+      return IoError::Kind::persistent;
+  }
+}
+
+std::uint64_t RetryPolicy::backoff_ns(std::uint32_t attempt,
+                                      util::Rng& jitter) const {
+  double ns = static_cast<double>(base_backoff_ns);
+  for (std::uint32_t i = 1; i < attempt; ++i) ns *= multiplier;
+  ns = std::min(ns, static_cast<double>(max_backoff_ns));
+  const double u = 0.5 + jitter.uniform01();  // [0.5, 1.5)
+  return static_cast<std::uint64_t>(ns * u);
+}
+
+}  // namespace embsp::em

@@ -1,0 +1,91 @@
+// I/O failure taxonomy and retry policy for the disk substrate.
+//
+// Real parallel-disk deployments see three classes of failure, and the
+// right reaction differs per class (see DESIGN.md §"Failure model"):
+//
+//   transient  — the device hiccupped (bus reset, timeout, injected EIO);
+//                the same transfer retried a moment later succeeds.
+//   corrupt    — the transfer "succeeded" but the data failed its integrity
+//                check (bit-rot, torn write read back).  Re-reading usually
+//                heals an in-flight flip; media rot needs redundancy above
+//                this layer.  Treated as retryable.
+//   persistent — the failure will not go away (dead sector range, bad file
+//                descriptor, capacity exceeded).  Retrying wastes time;
+//                fail fast and let superstep-granular recovery (or the
+//                caller) decide.
+//
+// Everything the backends and disks throw on an I/O path derives from
+// IoError, so DiskArray::run_transfer can classify with one catch.  IoError
+// derives from std::runtime_error: pre-existing call sites that catch
+// runtime_error keep working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace embsp::em {
+
+class IoError : public std::runtime_error {
+ public:
+  enum class Kind { transient, persistent, corrupt };
+
+  IoError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Whether re-issuing the same transfer can possibly succeed.
+  [[nodiscard]] bool retryable() const { return kind_ != Kind::persistent; }
+
+ private:
+  Kind kind_;
+};
+
+class TransientIoError final : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what)
+      : IoError(Kind::transient, what) {}
+};
+
+class PersistentIoError final : public IoError {
+ public:
+  explicit PersistentIoError(const std::string& what)
+      : IoError(Kind::persistent, what) {}
+};
+
+class CorruptBlockError final : public IoError {
+ public:
+  explicit CorruptBlockError(const std::string& what)
+      : IoError(Kind::corrupt, what) {}
+};
+
+/// Map an errno from a failed pread/pwrite/fdatasync to a failure class.
+/// Device-level hiccups are worth retrying; programming or resource errors
+/// are not.
+[[nodiscard]] IoError::Kind classify_errno(int err);
+
+/// Bounded retry with exponential backoff and seeded jitter, applied to
+/// every per-disk transfer by DiskArray::run_transfer (both the serial
+/// engine and the per-disk workers of ParallelDiskArray).
+///
+/// Attempt n (1-based) that fails retryably sleeps
+///   backoff = min(base * multiplier^(n-1), max) * U  with U ~ [0.5, 1.5)
+/// before attempt n+1; the jitter stream is per-disk and seeded, so wall
+/// clock stays deterministic-ish but — crucially — *results* never depend
+/// on it.  After `max_attempts` total attempts the error propagates and
+/// the giveup counter increments (EngineStats).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;       ///< total attempts incl. the first
+  std::uint64_t base_backoff_ns = 20'000;
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_ns = 2'000'000;
+
+  /// Backoff before the retry following failed attempt `attempt` (1-based).
+  [[nodiscard]] std::uint64_t backoff_ns(std::uint32_t attempt,
+                                         util::Rng& jitter) const;
+};
+
+}  // namespace embsp::em

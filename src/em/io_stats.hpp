@@ -68,6 +68,9 @@ struct DiskIoStats {
   std::uint64_t ops = 0;      ///< one-track transfers executed on this drive
   std::uint64_t bytes = 0;    ///< bytes moved through this drive
   std::uint64_t busy_ns = 0;  ///< wall time spent inside backend transfers
+  std::uint64_t retries = 0;  ///< transfer attempts repeated after IoError
+  std::uint64_t giveups = 0;  ///< transfers abandoned (retry budget spent
+                              ///< or persistent failure)
 };
 
 /// Engine-level execution stats of a whole disk array.
@@ -98,6 +101,18 @@ struct EngineStats {
   [[nodiscard]] std::uint64_t max_busy_ns() const {
     std::uint64_t n = 0;
     for (const auto& d : per_disk) n = std::max(n, d.busy_ns);
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_retries() const {
+    std::uint64_t n = 0;
+    for (const auto& d : per_disk) n += d.retries;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_giveups() const {
+    std::uint64_t n = 0;
+    for (const auto& d : per_disk) n += d.giveups;
     return n;
   }
 };

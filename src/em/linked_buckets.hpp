@@ -71,6 +71,16 @@ class LinkedBuckets {
 
   [[nodiscard]] std::size_t num_buckets() const { return num_buckets_; }
 
+  /// Deep copy of every chain, captured before the (destructive) bucket
+  /// drain of reorganization so a failed reorganize can restart from intact
+  /// chains.  Tracks of blocks drained by the abandoned attempt are
+  /// re-covered by restoring the matching TrackAllocators snapshot.
+  using ChainsSnapshot =
+      std::vector<std::vector<std::vector<std::uint64_t>>>;
+
+  [[nodiscard]] ChainsSnapshot snapshot_chains() const { return chains_; }
+  void restore_chains(const ChainsSnapshot& s) { chains_ = s; }
+
   /// Read and remove every block of `bucket`, calling `consume` once per
   /// block.  Uses maximal disk parallelism: each parallel I/O reads one
   /// block from every drive that still holds part of the bucket, so the

@@ -5,9 +5,9 @@ namespace embsp::em {
 ParallelDiskArray::ParallelDiskArray(
     std::size_t num_disks, std::size_t block_size,
     std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
-    std::uint64_t capacity_tracks_per_disk)
+    std::uint64_t capacity_tracks_per_disk, DiskArrayOptions options)
     : DiskArray(num_disks, block_size, std::move(make_backend),
-                capacity_tracks_per_disk) {
+                capacity_tracks_per_disk, options) {
   workers_.reserve(num_disks);
   for (std::size_t d = 0; d < num_disks; ++d) {
     workers_.push_back(std::make_unique<Worker>());

@@ -44,7 +44,8 @@ class ParallelDiskArray final : public DiskArray {
   ParallelDiskArray(std::size_t num_disks, std::size_t block_size,
                     std::function<std::unique_ptr<Backend>(std::size_t)>
                         make_backend = nullptr,
-                    std::uint64_t capacity_tracks_per_disk = 0);
+                    std::uint64_t capacity_tracks_per_disk = 0,
+                    DiskArrayOptions options = {});
   ~ParallelDiskArray() override;
 
   void sync() override;

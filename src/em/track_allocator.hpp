@@ -19,6 +19,20 @@ class TrackAllocator {
  public:
   TrackAllocator() = default;
 
+  /// Complete allocator state, captured at a superstep boundary so a failed
+  /// superstep can be re-executed from identical allocation state (tracks
+  /// handed out by the abandoned attempt are reclaimed wholesale).
+  struct Snapshot {
+    std::uint64_t next = 0;
+    std::vector<std::uint64_t> free;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const { return {next_, free_}; }
+  void restore(const Snapshot& s) {
+    next_ = s.next;
+    free_ = s.free;
+  }
+
   /// Reserve `n` consecutive tracks; returns the first track number.
   std::uint64_t reserve_region(std::uint64_t n);
 
@@ -51,6 +65,19 @@ class TrackAllocators {
   /// Reserve the same number of consecutive tracks on every disk; returns
   /// the per-disk start tracks (used for striped regions).
   std::vector<std::uint64_t> reserve_striped(std::uint64_t tracks_per_disk);
+
+  [[nodiscard]] std::vector<TrackAllocator::Snapshot> snapshot() const {
+    std::vector<TrackAllocator::Snapshot> s;
+    s.reserve(per_disk_.size());
+    for (const auto& a : per_disk_) s.push_back(a.snapshot());
+    return s;
+  }
+
+  void restore(const std::vector<TrackAllocator::Snapshot>& s) {
+    for (std::size_t d = 0; d < per_disk_.size(); ++d) {
+      per_disk_[d].restore(s[d]);
+    }
+  }
 
  private:
   std::vector<TrackAllocator> per_disk_;

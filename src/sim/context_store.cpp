@@ -12,7 +12,7 @@ constexpr std::size_t kLenPrefix = sizeof(std::uint32_t);
 
 ContextStore::ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
                            std::uint32_t num_contexts,
-                           std::size_t max_context_bytes)
+                           std::size_t max_context_bytes, bool journaled)
     : disks_(&disks),
       num_contexts_(num_contexts),
       max_context_bytes_(max_context_bytes),
@@ -20,6 +20,7 @@ ContextStore::ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
       blocks_((max_context_bytes + kLenPrefix + block_size_ - 1) /
               block_size_),
       band_((blocks_ + disks.num_disks() - 1) / disks.num_disks()),
+      journaled_(journaled),
       lengths_(num_contexts, 0) {
   if (num_contexts == 0) {
     throw std::invalid_argument("ContextStore: need at least one context");
@@ -30,17 +31,48 @@ ContextStore::ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
   // Context j occupies its own band of `band_` tracks on every disk; its
   // i-th block lives on disk (j + i) mod D — the rotation keeps partial
   // (length-limited) accesses of consecutive contexts spread over all
-  // drives, preserving the fully parallel group I/O of §5.1.
+  // drives, preserving the fully parallel group I/O of §5.1.  Journaled
+  // mode reserves a second bank of the same shape right after the first.
   start_tracks_ = alloc.reserve_striped(static_cast<std::uint64_t>(band_) *
-                                        num_contexts);
+                                        num_contexts *
+                                        (journaled_ ? 2 : 1));
+  if (journaled_) {
+    bank_.assign(num_contexts, 0);
+    dirty_.assign(num_contexts, 0);
+    pending_lengths_.assign(num_contexts, 0);
+  }
+}
+
+std::pair<std::uint32_t, std::uint64_t> ContextStore::location_in_bank(
+    std::uint32_t ctx, std::uint64_t block, std::uint8_t bank) const {
+  const std::uint64_t d = disks_->num_disks();
+  const auto disk = static_cast<std::uint32_t>((ctx + block) % d);
+  return {disk,
+          start_tracks_[disk] +
+              (static_cast<std::uint64_t>(bank) * num_contexts_ + ctx) *
+                  band_ +
+              block / d};
 }
 
 std::pair<std::uint32_t, std::uint64_t> ContextStore::location(
     std::uint32_t ctx, std::uint64_t block) const {
-  const std::uint64_t d = disks_->num_disks();
-  const auto disk = static_cast<std::uint32_t>((ctx + block) % d);
-  return {disk, start_tracks_[disk] +
-                    static_cast<std::uint64_t>(ctx) * band_ + block / d};
+  return location_in_bank(ctx, block, journaled_ ? bank_[ctx] : 0);
+}
+
+void ContextStore::commit_epoch() {
+  if (!journaled_) return;
+  for (std::uint32_t c = 0; c < num_contexts_; ++c) {
+    if (dirty_[c] != 0) {
+      bank_[c] ^= 1;
+      lengths_[c] = pending_lengths_[c];
+      dirty_[c] = 0;
+    }
+  }
+}
+
+void ContextStore::discard_epoch() {
+  if (!journaled_) return;
+  for (std::uint32_t c = 0; c < num_contexts_; ++c) dirty_[c] = 0;
 }
 
 void ContextStore::write(std::uint32_t first,
@@ -74,12 +106,21 @@ void ContextStore::write(std::uint32_t first,
     const auto len = static_cast<std::uint32_t>(p.size());
     std::memcpy(scratch_.data() + staged, &len, kLenPrefix);
     std::memcpy(scratch_.data() + staged + kLenPrefix, p.data(), p.size());
+    // Journaled: write the non-live bank and leave the committed copy (the
+    // checkpoint) untouched until commit_epoch().
+    const std::uint8_t bank =
+        journaled_ ? static_cast<std::uint8_t>(bank_[first + i] ^ 1) : 0;
     for (std::uint64_t b = 0; b < used; ++b) {
-      const auto [disk, track] = location(first + i, b);
+      const auto [disk, track] = location_in_bank(first + i, b, bank);
       queues[disk].push_back(Op{disk, track, staged + b * block_size_});
     }
     staged += used * block_size_;
-    lengths_[first + i] = len;
+    if (journaled_) {
+      pending_lengths_[first + i] = len;
+      dirty_[first + i] = 1;
+    } else {
+      lengths_[first + i] = len;
+    }
   }
   std::vector<std::size_t> heads(d, 0);
   std::vector<em::WriteOp> ops;

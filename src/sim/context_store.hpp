@@ -32,8 +32,18 @@ namespace embsp::sim {
 class ContextStore {
  public:
   /// `max_context_bytes` is the paper's mu (serialized size bound).
+  ///
+  /// With `journaled`, the store keeps TWO banks per context and writes
+  /// always go to the non-live bank; commit_epoch() flips the live bank of
+  /// every context written since the last commit, discard_epoch() abandons
+  /// them.  Until a context's epoch commits, reads still return its
+  /// previous committed payload — this is what makes the context area a
+  /// consistent checkpoint at superstep boundaries (§5.1) even when a write
+  /// attempt dies mid-superstep.  Costs 2x context disk space; layout and
+  /// I/O counts are otherwise unchanged.
   ContextStore(em::DiskArray& disks, em::TrackAllocators& alloc,
-               std::uint32_t num_contexts, std::size_t max_context_bytes);
+               std::uint32_t num_contexts, std::size_t max_context_bytes,
+               bool journaled = false);
 
   /// Blocks per context after padding (mu/B, rounded up, incl. the length
   /// prefix).
@@ -57,11 +67,25 @@ class ContextStore {
                                                          std::uint32_t count);
 
   [[nodiscard]] std::uint32_t num_contexts() const { return num_contexts_; }
+  [[nodiscard]] bool journaled() const { return journaled_; }
+
+  /// Journaled mode only: make every write since the last commit/discard
+  /// the live version (flip banks).  In-memory metadata flips only —
+  /// no I/O.
+  void commit_epoch();
+
+  /// Journaled mode only: abandon every uncommitted write; subsequent reads
+  /// keep returning the last committed payloads.
+  void discard_epoch();
 
  private:
   [[nodiscard]] std::uint64_t blocks_for(std::size_t bytes) const {
     return (bytes + sizeof(std::uint32_t) + block_size_ - 1) / block_size_;
   }
+
+  /// Placement of context `ctx`'s block `block` in bank `bank`.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint64_t> location_in_bank(
+      std::uint32_t ctx, std::uint64_t block, std::uint8_t bank) const;
 
   em::DiskArray* disks_;
   std::uint32_t num_contexts_;
@@ -69,8 +93,12 @@ class ContextStore {
   std::size_t block_size_;
   std::uint64_t blocks_;
   std::uint64_t band_;  ///< tracks per context per disk
+  bool journaled_;
   std::vector<std::uint64_t> start_tracks_;
-  std::vector<std::uint32_t> lengths_;  ///< in-memory length table
+  std::vector<std::uint32_t> lengths_;  ///< committed length per context
+  std::vector<std::uint8_t> bank_;      ///< live bank (journaled mode)
+  std::vector<std::uint8_t> dirty_;     ///< written this epoch
+  std::vector<std::uint32_t> pending_lengths_;  ///< uncommitted lengths
   std::vector<std::byte> scratch_;
 };
 

@@ -343,4 +343,28 @@ std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {
   return r.take();
 }
 
+MessageStore::Snapshot MessageStore::snapshot() const {
+  Snapshot s;
+  s.pending = pending_;
+  s.rr_next = rr_next_;
+  s.staged_count = staged_count_;
+  s.staged_real = staged_real_;
+  s.ready_count = ready_count_;
+  s.ready_real = ready_real_;
+  s.ready_base = ready_base_;
+  s.chains = buckets_.snapshot_chains();
+  return s;
+}
+
+void MessageStore::restore(const Snapshot& s) {
+  pending_ = s.pending;
+  rr_next_ = s.rr_next;
+  staged_count_ = s.staged_count;
+  staged_real_ = s.staged_real;
+  ready_count_ = s.ready_count;
+  ready_real_ = s.ready_real;
+  ready_base_ = s.ready_base;
+  buckets_.restore_chains(s.chains);
+}
+
 }  // namespace embsp::sim

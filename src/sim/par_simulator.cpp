@@ -7,19 +7,30 @@ ParSimulator::ParSimulator(
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg) {
   cfg_.machine.validate();
+  if (cfg_.faults.enabled()) {
+    fault_counters_ = std::make_shared<em::FaultCounters>();
+  }
+  em::DiskArrayOptions opts;
+  opts.retry = cfg_.retry;
+  opts.verify_checksums = cfg_.block_checksums;
+  // `global` takes a machine-wide drive index: the fault schedule is keyed
+  // by that index, so every drive of every processor gets its own
+  // decorrelated stream.  With faults disabled this is `backend` unchanged.
+  auto global = em::wrap_with_faults(backend, cfg_.faults, cfg_.seed,
+                                     fault_counters_);
   disk_arrays_.reserve(cfg_.machine.p);
   for (std::uint32_t i = 0; i < cfg_.machine.p; ++i) {
-    // Give each processor's drives distinct backend indices so file-backed
+    // Give each processor's drives distinct global indices so file-backed
     // setups do not collide.
-    auto make = backend
+    auto make = global
                     ? std::function<std::unique_ptr<em::Backend>(std::size_t)>(
-                          [backend, i, this](std::size_t d) {
-                            return backend(i * cfg_.machine.em.D + d);
+                          [global, i, this](std::size_t d) {
+                            return global(i * cfg_.machine.em.D + d);
                           })
                     : nullptr;
     disk_arrays_.push_back(em::make_disk_array(
         cfg_.io_engine, cfg_.machine.em.D, cfg_.machine.em.B,
-        std::move(make)));
+        std::move(make), /*capacity_tracks_per_disk=*/0, opts));
   }
 }
 

@@ -64,6 +64,8 @@ class ParSimulator {
  private:
   SimConfig cfg_;
   std::vector<std::unique_ptr<em::DiskArray>> disk_arrays_;
+  /// Shared tally of injected faults (null when injection is disabled).
+  std::shared_ptr<em::FaultCounters> fault_counters_;
 };
 
 // ---------------------------------------------------------------------------
@@ -444,6 +446,18 @@ SimResult ParSimulator::run(
         std::max(result.real_comm_bytes, procs[i].max_comm_bytes_step);
     result.max_tracks_per_disk = std::max(
         result.max_tracks_per_disk, disk_arrays_[i]->max_tracks_used());
+    // Retry-layer resilience only: the barrier-coupled workers make
+    // superstep rollback a distributed-recovery problem (every processor
+    // would have to roll back together), which stays with the sequential
+    // simulator for now; a giveup here aborts the run via the cooperative
+    // abort path.
+    result.recovery.io_retries +=
+        disk_arrays_[i]->engine_stats().total_retries();
+    result.recovery.io_giveups +=
+        disk_arrays_[i]->engine_stats().total_giveups();
+  }
+  if (fault_counters_ != nullptr) {
+    result.recovery.faults = em::snapshot(*fault_counters_);
   }
   result.phase_io = procs[0].phase_io;
   return result;

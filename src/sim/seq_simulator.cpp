@@ -70,8 +70,17 @@ SeqSimulator::SeqSimulator(
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg) {
   cfg_.machine.validate();
+  if (cfg_.faults.enabled()) {
+    fault_counters_ = std::make_shared<em::FaultCounters>();
+  }
+  auto make_backend = em::wrap_with_faults(std::move(backend), cfg_.faults,
+                                           cfg_.seed, fault_counters_);
+  em::DiskArrayOptions opts;
+  opts.retry = cfg_.retry;
+  opts.verify_checksums = cfg_.block_checksums;
   disks_ = em::make_disk_array(cfg_.io_engine, cfg_.machine.em.D,
-                               cfg_.machine.em.B, std::move(backend));
+                               cfg_.machine.em.B, std::move(make_backend),
+                               /*capacity_tracks_per_disk=*/0, opts);
 }
 
 }  // namespace embsp::sim

@@ -64,6 +64,8 @@ class SeqSimulator {
  private:
   SimConfig cfg_;
   std::unique_ptr<em::DiskArray> disks_;
+  /// Shared tally of injected faults (null when injection is disabled).
+  std::shared_ptr<em::FaultCounters> fault_counters_;
 };
 
 /// Convenience: measure mu/gamma with a direct dry run (small v is fine as
@@ -102,7 +104,8 @@ SimResult SeqSimulator::run(
   const std::uint32_t num_groups = layout.num_groups;
 
   em::TrackAllocators alloc(disks_->num_disks());
-  ContextStore contexts(*disks_, alloc, v, cfg_.mu);
+  ContextStore contexts(*disks_, alloc, v, cfg_.mu,
+                        /*journaled=*/cfg_.superstep_recovery);
   MessageStore messages(
       *disks_, alloc,
       MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing});
@@ -115,9 +118,45 @@ SimResult SeqSimulator::run(
     slot += disks_->stats().since(before);
   };
 
+  // Superstep-granular recovery (§5.1: the on-disk state at a superstep
+  // boundary is a consistent checkpoint).  Each recovery *unit* — init,
+  // one superstep body, one reorganization, collect — runs under this
+  // wrapper: on an unrecoverable IoError (a transfer that exhausted its
+  // retry budget) the in-memory metadata (RNG, track allocators, message
+  // chains, journaled context epoch) is rolled back to the unit's entry
+  // and the unit re-executes.  Re-execution replays the exact same RNG
+  // draws and track placements, so its writes overwrite whatever the
+  // abandoned attempt left behind — torn blocks included — and a recovered
+  // run's disk image is byte-identical to an undisturbed one.
+  auto run_protected = [&](std::uint64_t& rollbacks, auto&& body) {
+    if (!cfg_.superstep_recovery) {
+      body();
+      return;
+    }
+    for (std::size_t attempt = 0;; ++attempt) {
+      const util::Rng rng_ckpt = rng;
+      const auto alloc_ckpt = alloc.snapshot();
+      const auto msg_ckpt = messages.snapshot();
+      try {
+        body();
+        contexts.commit_epoch();
+        return;
+      } catch (const em::IoError&) {
+        if (attempt >= cfg_.max_superstep_retries) throw;
+        rng = rng_ckpt;
+        alloc.restore(alloc_ckpt);
+        messages.restore(msg_ckpt);
+        contexts.discard_epoch();
+        ++rollbacks;
+      }
+    }
+  };
+  std::uint64_t superstep_rollbacks = 0;
+  std::uint64_t reorganize_rollbacks = 0;
+
   // Write initial contexts, one group at a time (never more than k contexts
   // in memory — the EM discipline applies to setup too).
-  {
+  run_protected(superstep_rollbacks, [&] {
     const auto before = snapshot();
     std::vector<std::vector<std::byte>> payloads;
     for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
@@ -132,7 +171,7 @@ SimResult SeqSimulator::run(
       contexts.write(first, payloads);
     }
     account(result.phase_io.init, before);
-  }
+  });
 
   const auto group_of = [k](std::uint32_t dst) { return dst / k; };
   bsp::WorkMeter meter;
@@ -147,6 +186,14 @@ SimResult SeqSimulator::run(
     const auto superstep_before = snapshot();
     bsp::SuperstepCost cost;
     bool any_continue = false;
+
+    // One recovery unit: the whole superstep body (all groups' fetch /
+    // compute / write).  Its reads touch only committed state — the arena
+    // written by the previous reorganize and the committed context bank —
+    // so re-execution after a rollback sees exactly the original inputs.
+    run_protected(superstep_rollbacks, [&] {
+    cost = bsp::SuperstepCost{};
+    any_continue = false;
 
     for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
       const std::uint32_t first = gidx * k;
@@ -235,13 +282,19 @@ SimResult SeqSimulator::run(
       contexts.write(first, out_payloads);
       account(result.phase_io.write_ctx, before);
     }
+    });  // end superstep-body recovery unit
 
     // --- Step 2: SimulateRouting ---
-    {
+    // Its own recovery unit: reorganize drains the bucket chains
+    // destructively and overwrites the arena (this superstep's *input*), so
+    // rolling it back needs the chains snapshot taken at its entry — not
+    // the superstep's.  Consolidation and arena writes go to fixed
+    // locations, hence replaying them is idempotent.
+    run_protected(reorganize_rollbacks, [&] {
       const auto before = snapshot();
       result.routing_stats += messages.reorganize(rng);
       account(result.phase_io.reorganize, before);
-    }
+    });
 
     result.costs.supersteps.push_back(cost);
     result.per_superstep_io.push_back(
@@ -259,20 +312,24 @@ SimResult SeqSimulator::run(
     }
   }
 
-  // Collect results, group by group.
+  // Collect results, group by group.  Read-only, but reads can still
+  // exhaust the retry budget; `collect` callbacks may run again after a
+  // rollback (same first..first+count prefix, same states).
   {
     const auto before = snapshot();
-    for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
-      const std::uint32_t first = gidx * k;
-      const std::uint32_t count = std::min(k, v - first);
-      auto payloads = contexts.read(first, count);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        State s;
-        util::Reader r(payloads[i]);
-        s.deserialize(r);
-        collect(first + i, s);
+    run_protected(superstep_rollbacks, [&] {
+      for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+        const std::uint32_t first = gidx * k;
+        const std::uint32_t count = std::min(k, v - first);
+        auto payloads = contexts.read(first, count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          State s;
+          util::Reader r(payloads[i]);
+          s.deserialize(r);
+          collect(first + i, s);
+        }
       }
-    }
+    });
     account(result.phase_io.collect, before);
   }
 
@@ -282,6 +339,13 @@ SimResult SeqSimulator::run(
   disks_->sync();
   result.total_io = disks_->stats();
   result.max_tracks_per_disk = disks_->max_tracks_used();
+  result.recovery.io_retries = disks_->engine_stats().total_retries();
+  result.recovery.io_giveups = disks_->engine_stats().total_giveups();
+  result.recovery.superstep_rollbacks = superstep_rollbacks;
+  result.recovery.reorganize_rollbacks = reorganize_rollbacks;
+  if (fault_counters_ != nullptr) {
+    result.recovery.faults = em::snapshot(*fault_counters_);
+  }
   return result;
 }
 

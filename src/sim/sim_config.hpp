@@ -7,6 +7,8 @@
 #include "bsp/cost_model.hpp"
 #include "bsp/params.hpp"
 #include "em/disk_array.hpp"
+#include "em/fault_backend.hpp"
+#include "em/io_error.hpp"
 #include "em/io_stats.hpp"
 #include "sim/routing.hpp"
 
@@ -33,6 +35,46 @@ struct SimConfig {
   em::IoEngine io_engine = em::IoEngine::serial;
   std::uint64_t seed = 0x5EEDULL;
   std::size_t max_supersteps = 1'000'000;
+
+  // --- Resilience (see DESIGN.md §"Failure model & recovery") -------------
+
+  /// Deterministic fault injection over every disk backend.  Disabled by
+  /// default (all rates zero): the fault-free path is byte-for-byte the
+  /// PR-1 substrate.  The schedule folds `faults.seed` with `seed` and the
+  /// disk index, so a fixed config reproduces the exact same faults under
+  /// either I/O engine.
+  em::FaultSpec faults;
+
+  /// Retry/backoff for per-disk transfers that raise retryable IoErrors.
+  em::RetryPolicy retry;
+
+  /// Keep + verify a 64-bit checksum per written track (detects silent
+  /// bit-rot; adds no I/O and leaves the disk image unchanged).
+  bool block_checksums = false;
+
+  /// Superstep-granular recovery (sequential simulator): journal context
+  /// writes (2x context disk space) and, when a transfer exhausts its retry
+  /// budget, roll back to the enclosing superstep boundary and re-execute.
+  /// Off by default so default-config layouts match PR 1 exactly.
+  bool superstep_recovery = false;
+
+  /// Re-execution budget per recovery unit (superstep body / reorganize);
+  /// exceeded => the original IoError propagates to the caller.
+  std::size_t max_superstep_retries = 2;
+};
+
+/// Resilience events observed during one run (all zero on a fault-free
+/// run with default config).
+struct RecoveryStats {
+  std::uint64_t io_retries = 0;   ///< per-disk transfer attempts repeated
+  std::uint64_t io_giveups = 0;   ///< transfers that exhausted the budget
+  std::uint64_t superstep_rollbacks = 0;   ///< superstep bodies re-executed
+  std::uint64_t reorganize_rollbacks = 0;  ///< reorganizations re-executed
+  em::FaultCounts faults;         ///< injected-fault tally
+
+  [[nodiscard]] std::uint64_t total_rollbacks() const {
+    return superstep_rollbacks + reorganize_rollbacks;
+  }
 };
 
 /// Per-phase I/O breakdown of one simulation run (maps onto the phases of
@@ -63,6 +105,8 @@ struct SimResult {
   /// Real-processor communication per superstep (parallel simulator only):
   /// max bytes sent/received by one real processor.
   std::uint64_t real_comm_bytes = 0;
+  /// Retries, rollbacks and injected faults observed during the run.
+  RecoveryStats recovery;
 
   [[nodiscard]] std::size_t lambda() const { return costs.num_supersteps(); }
   [[nodiscard]] double io_time(double cost_g) const {

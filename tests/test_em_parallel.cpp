@@ -237,6 +237,9 @@ TEST(ParallelEngine, SerialAndParallelDiskImagesAreByteIdentical) {
   std::vector<std::uint64_t> sums[2];
   for (int which = 0; which < 2; ++which) {
     const char* variant = which == 0 ? "serial" : "parallel";
+    // keep=true preserves pre-existing files (no truncation), so scrub any
+    // leftovers from an interrupted earlier run before comparing images.
+    for (std::size_t d = 0; d < 4; ++d) fs::remove(files_for(variant, d));
     auto cfg = engine_config(
         which == 0 ? em::IoEngine::serial : em::IoEngine::parallel, 1, 16);
     sim::SeqSimulator simr(cfg, [&](std::size_t d) {
