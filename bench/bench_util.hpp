@@ -3,12 +3,19 @@
 // Every bench prints (a) a header naming the paper artifact it regenerates,
 // (b) a column-aligned table of measured vs predicted quantities, and (c) a
 // short "shape check" verdict so EXPERIMENTS.md can quote pass/fail lines.
+// Benches can also emit a machine-readable artifact (BENCH_<id>.json) next
+// to the human-readable table via JsonArtifact, so sweeps are plottable
+// without scraping stdout.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/json.hpp"
 #include "sim/sim_config.hpp"
 #include "util/table.hpp"
 
@@ -45,5 +52,61 @@ inline std::uint64_t algorithm_ios(const sim::SimResult& r) {
   return r.total_io.parallel_ios > setup ? r.total_io.parallel_ios - setup
                                          : 0;
 }
+
+/// Machine-readable companion to the stdout tables.  Collect one case per
+/// measured configuration, then write() produces BENCH_<id>.json:
+///
+///   { "bench": "<id>", "schema_version": 1,
+///     "cases": [ { "name": "...", "metrics": { "<k>": <double>, ... } } ] }
+///
+/// Metric insertion order is preserved, so the JSON columns line up with
+/// the printed table.
+class JsonArtifact {
+ public:
+  explicit JsonArtifact(std::string id) : id_(std::move(id)) {}
+
+  /// Start a new case; subsequent metric() calls attach to it.
+  void begin_case(const std::string& name) { cases_.push_back({name, {}}); }
+
+  void metric(const std::string& key, double value) {
+    cases_.back().metrics.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<id>.json into `dir` (current directory by default);
+  /// returns the path written, or "" on failure (benches must not fail the
+  /// run because an artifact directory is read-only).
+  std::string write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + id_ + ".json";
+    std::ofstream out(path);
+    if (!out) return "";
+    obs::JsonWriter w(out, /*indent=*/2);
+    w.begin_object();
+    w.kv("bench", id_);
+    w.kv("schema_version", 1);
+    w.key("cases");
+    w.begin_array();
+    for (const auto& c : cases_) {
+      w.begin_object();
+      w.kv("name", c.name);
+      w.key("metrics");
+      w.begin_object();
+      for (const auto& [k, v] : c.metrics) w.kv(k, v);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    return out ? path : "";
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string id_;
+  std::vector<Case> cases_;
+};
 
 }  // namespace embsp::bench

@@ -53,7 +53,7 @@ double run_engine(embsp::em::DiskArray& arr, std::size_t D, std::size_t B,
       .count();
 }
 
-bool engine_comparison() {
+bool engine_comparison(embsp::bench::JsonArtifact& artifact) {
   using namespace embsp;
   using namespace embsp::em;
   using namespace embsp::bench;
@@ -106,6 +106,12 @@ bool engine_comparison() {
     table.add_row({std::to_string(D), util::fmt_double(secs[0], 3),
                    util::fmt_double(secs[1], 3), util::fmt_ratio(speedup),
                    util::fmt_ratio(overlap), std::to_string(depth)});
+    artifact.begin_case("engine_D" + std::to_string(D));
+    artifact.metric("serial_s", secs[0]);
+    artifact.metric("parallel_s", secs[1]);
+    artifact.metric("speedup", speedup);
+    artifact.metric("overlap", overlap);
+    artifact.metric("max_queue_depth", static_cast<double>(depth));
     // The pool must show real device-level concurrency once there are
     // disks to overlap (D >= 4): either end-to-end wall-clock speedup over
     // the serial engine (threshold conservative — ideal is ~D, but a
@@ -135,6 +141,7 @@ int main() {
 
   util::Table table({"D", "parallel IOs", "utilization", "speedup vs D=1",
                      "ideal"});
+  JsonArtifact artifact("C-D");
   std::uint64_t base = 0;
   bool ok = true;
   for (std::size_t D : {1u, 2u, 4u, 8u, 16u}) {
@@ -143,16 +150,23 @@ int main() {
     const auto ios = out.exec.sim->total_io.parallel_ios;
     if (D == 1) base = ios;
     const double speedup = static_cast<double>(base) / ios;
+    const double disk_util = out.exec.sim->total_io.utilization(D);
     table.add_row({std::to_string(D), util::fmt_count(ios),
-                   util::fmt_double(out.exec.sim->total_io.utilization(D), 2),
+                   util::fmt_double(disk_util, 2),
                    util::fmt_ratio(speedup),
                    util::fmt_ratio(static_cast<double>(D))});
+    artifact.begin_case("sort_D" + std::to_string(D));
+    artifact.metric("parallel_ios", static_cast<double>(ios));
+    artifact.metric("utilization", disk_util);
+    artifact.metric("speedup_vs_D1", speedup);
     // At least 60% of ideal scaling at every width.
     ok = ok && speedup > 0.6 * static_cast<double>(D);
   }
   std::cout << table.render();
   verdict(ok, "I/O time scales ~1/D: the simulation keeps all disks busy");
 
-  engine_comparison();
+  engine_comparison(artifact);
+  const auto path = artifact.write();
+  if (!path.empty()) std::cout << "artifact written to " << path << "\n";
   return 0;
 }

@@ -69,6 +69,7 @@ int main() {
   util::Table table({"simulator", "parallel IOs", "blocks moved",
                      "utilization", "routing max chain", "dummy blocks",
                      "vs compact"});
+  JsonArtifact artifact("F2");
 
   std::uint64_t compact_ios = 0;
   std::uint64_t checksum_ref = 0;
@@ -105,6 +106,15 @@ int main() {
          util::fmt_count(result.routing_stats.dummy_blocks),
          util::fmt_ratio(static_cast<double>(io.parallel_ios) /
                          static_cast<double>(compact_ios))});
+    artifact.begin_case(label);
+    artifact.metric("parallel_ios", static_cast<double>(io.parallel_ios));
+    artifact.metric("blocks_moved", static_cast<double>(io.blocks_read +
+                                                        io.blocks_written));
+    artifact.metric("utilization", io.utilization(kD));
+    artifact.metric("routing_max_chain",
+                    static_cast<double>(result.routing_stats.max_chain));
+    artifact.metric("dummy_blocks",
+                    static_cast<double>(result.routing_stats.dummy_blocks));
   }
 
   // Naive Sibeyn–Kaufmann style comparator.
@@ -128,7 +138,17 @@ int main() {
        util::fmt_ratio(static_cast<double>(nres.total_io.parallel_ios) /
                        static_cast<double>(compact_ios))});
 
+  artifact.begin_case("naive (S-K style)");
+  artifact.metric("parallel_ios",
+                  static_cast<double>(nres.total_io.parallel_ios));
+  artifact.metric("blocks_moved",
+                  static_cast<double>(nres.total_io.blocks_read +
+                                      nres.total_io.blocks_written));
+  artifact.metric("utilization", nres.total_io.utilization(kD));
+
   std::cout << table.render();
+  const auto path = artifact.write();
+  if (!path.empty()) std::cout << "artifact written to " << path << "\n";
   verdict(naive_checksum == checksum_ref,
           "all simulators compute identical results");
   verdict(nres.total_io.parallel_ios > 3 * compact_ios,

@@ -76,16 +76,21 @@ void DiskArray::run_transfer(const Transfer& t) {
       } else {
         disks_[t.disk]->write_track(t.track, {t.src, t.len});
       }
-      ds.busy_ns += now_ns() - t0;
+      const std::uint64_t dt = now_ns() - t0;
+      ds.busy_ns += dt;
+      ds.service_ns.record(dt);
       break;
     } catch (const IoError& e) {
-      ds.busy_ns += now_ns() - t0;
+      const std::uint64_t dt = now_ns() - t0;
+      ds.busy_ns += dt;
+      ds.service_ns.record(dt);
       if (!e.retryable() || attempt >= policy.max_attempts) {
         ds.giveups += 1;
         throw;
       }
       ds.retries += 1;
       const std::uint64_t delay = policy.backoff_ns(attempt, jitter_[t.disk]);
+      ds.retry_delay_ns.record(delay);
       if (delay > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
       }
@@ -109,18 +114,24 @@ void DiskArray::parallel_read(std::span<const ReadOp> ops) {
   for (const auto& op : ops) ids.push_back(op.disk);
   check_distinct(ids);
   transfers_.clear();
+  std::uint64_t bytes = 0;
   for (const auto& op : ops) {
     transfers_.push_back(
         {op.disk, op.track, op.dst.data(), nullptr, op.dst.size()});
-    stats_.bytes_read += op.dst.size();
+    bytes += op.dst.size();
   }
   engine_.max_queue_depth =
       std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
+  engine_.queue_depth.record(transfers_.size());
   const std::uint64_t t0 = now_ns();
   execute(transfers_);
   engine_.stall_ns += now_ns() - t0;
+  // Model accounting only after the operation succeeded: a throwing
+  // execute() must charge nothing, or recovery paths double-count bytes
+  // for I/O that never completed.
   stats_.parallel_ios += 1;
   stats_.blocks_read += ops.size();
+  stats_.bytes_read += bytes;
 }
 
 void DiskArray::parallel_write(std::span<const WriteOp> ops) {
@@ -129,18 +140,22 @@ void DiskArray::parallel_write(std::span<const WriteOp> ops) {
   for (const auto& op : ops) ids.push_back(op.disk);
   check_distinct(ids);
   transfers_.clear();
+  std::uint64_t bytes = 0;
   for (const auto& op : ops) {
     transfers_.push_back(
         {op.disk, op.track, nullptr, op.src.data(), op.src.size()});
-    stats_.bytes_written += op.src.size();
+    bytes += op.src.size();
   }
   engine_.max_queue_depth =
       std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
+  engine_.queue_depth.record(transfers_.size());
   const std::uint64_t t0 = now_ns();
   execute(transfers_);
   engine_.stall_ns += now_ns() - t0;
+  // Same rule as parallel_read: charge the model only on success.
   stats_.parallel_ios += 1;
   stats_.blocks_written += ops.size();
+  stats_.bytes_written += bytes;
 }
 
 std::uint64_t DiskArray::max_tracks_used() const {

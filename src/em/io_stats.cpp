@@ -1,3 +1,35 @@
 #include "em/io_stats.hpp"
 
-// Header-only; see io_stats.hpp.
+#include "obs/metrics.hpp"
+
+namespace embsp::em {
+
+void export_metrics(const EngineStats& stats, obs::Registry& registry,
+                    const std::string& prefix) {
+  std::string key;
+  key.reserve(prefix.size() + 32);
+  auto at = [&](const std::string& mid, std::string_view leaf)
+      -> const std::string& {
+    key.assign(prefix).append(mid).append(leaf);
+    return key;
+  };
+  for (std::size_t d = 0; d < stats.per_disk.size(); ++d) {
+    const DiskIoStats& ds = stats.per_disk[d];
+    const std::string mid = "disk." + std::to_string(d) + ".";
+    registry.add(at(mid, "ops"), ds.ops);
+    registry.add(at(mid, "bytes"), ds.bytes);
+    registry.add(at(mid, "busy_ns"), ds.busy_ns);
+    registry.add(at(mid, "retries"), ds.retries);
+    registry.add(at(mid, "giveups"), ds.giveups);
+    registry.merge_histogram(at(mid, "service_ns"), ds.service_ns);
+    if (!ds.retry_delay_ns.empty()) {
+      registry.merge_histogram(at(mid, "retry_delay_ns"), ds.retry_delay_ns);
+    }
+  }
+  registry.add(at("", "stall_ns"), stats.stall_ns);
+  registry.set_gauge(at("", "max_queue_depth"),
+                     static_cast<double>(stats.max_queue_depth));
+  registry.merge_histogram(at("", "queue_depth"), stats.queue_depth);
+}
+
+}  // namespace embsp::em

@@ -10,7 +10,14 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace embsp::obs {
+class Registry;
+}  // namespace embsp::obs
 
 namespace embsp::em {
 
@@ -71,6 +78,12 @@ struct DiskIoStats {
   std::uint64_t retries = 0;  ///< transfer attempts repeated after IoError
   std::uint64_t giveups = 0;  ///< transfers abandoned (retry budget spent
                               ///< or persistent failure)
+  /// Per-attempt service time (every backend transfer attempt, successful
+  /// or not) — busy_ns is this histogram's sum.
+  obs::LogHistogram service_ns;
+  /// Backoff delay actually slept before each retry (jittered; see
+  /// RetryPolicy) — the latency cost of absorbing transient faults.
+  obs::LogHistogram retry_delay_ns;
 };
 
 /// Engine-level execution stats of a whole disk array.
@@ -82,14 +95,22 @@ struct EngineStats {
   /// engine it is the per-operation max over the involved drives — the gap
   /// between the two is the overlap the worker pool buys.
   std::uint64_t stall_ns = 0;
-  /// Largest number of per-disk transfers in flight in one parallel I/O
+  /// Largest number of per-disk transfers issued by one parallel I/O
   /// operation (== D when every drive participates in some operation).
+  /// Semantics differ by engine: under ParallelDiskArray the transfers are
+  /// genuinely concurrent, so this is true in-flight depth; under the
+  /// serial DiskArray the issuing thread runs them back-to-back, so it is
+  /// the *batch size* of the widest operation, not a concurrency measure.
   std::uint64_t max_queue_depth = 0;
+  /// Distribution of per-operation batch width (same per-engine caveat as
+  /// max_queue_depth): how often the caller actually filled all D slots.
+  obs::LogHistogram queue_depth;
 
   void reset() {
     for (auto& d : per_disk) d = DiskIoStats{};
     stall_ns = 0;
     max_queue_depth = 0;
+    queue_depth = obs::LogHistogram{};
   }
 
   [[nodiscard]] std::uint64_t total_ops() const {
@@ -116,5 +137,15 @@ struct EngineStats {
     return n;
   }
 };
+
+/// Dump engine execution stats into a metrics registry under `prefix`
+/// (e.g. "engine." or "proc.3.engine."): per-disk counters
+/// `<prefix>disk.<d>.{ops,bytes,busy_ns,retries,giveups}`, per-disk
+/// histograms `<prefix>disk.<d>.{service_ns,retry_delay_ns}`, plus
+/// `<prefix>stall_ns`, `<prefix>max_queue_depth` (gauge) and
+/// `<prefix>queue_depth` (histogram).  Call once per run, after all
+/// parallel I/O has completed.
+void export_metrics(const EngineStats& stats, obs::Registry& registry,
+                    const std::string& prefix);
 
 }  // namespace embsp::em

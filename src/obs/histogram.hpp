@@ -1,0 +1,103 @@
+// Log-scale (power-of-two bucket) histogram for latency- and size-shaped
+// quantities: values span nanoseconds to seconds (or bytes to gigabytes),
+// so fixed-width buckets would either truncate the tail or waste the head.
+//
+// Bucket i holds values whose bit width is i: bucket 0 is exactly {0},
+// bucket i >= 1 covers [2^(i-1), 2^i - 1].  record() is a handful of
+// arithmetic ops (std::bit_width + three adds) — cheap enough to live on
+// the per-transfer path of the disk engines, where two steady_clock reads
+// already dwarf it.
+//
+// Concurrency contract: a LogHistogram is a plain value type with NO
+// internal locking, following DiskIoStats (io_stats.hpp): it must be
+// written by a single owning thread and read only when that writer is
+// quiescent.  Multi-writer aggregation goes through obs::Registry, which
+// serializes access, or through merge() on quiescent copies.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace embsp::obs {
+
+class LogHistogram {
+ public:
+  /// Bucket count covers the full uint64 range: bit widths 0..64.
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)] += 1;
+    count_ += 1;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  /// Min over recorded values; 0 when empty.
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return max_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i];
+  }
+
+  /// Inclusive value range [lo, hi] of bucket i.
+  static constexpr std::uint64_t bucket_lo(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static constexpr std::uint64_t bucket_hi(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  static constexpr std::size_t bucket_index(std::uint64_t value) {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Approximate p-quantile (p in [0, 1]): the upper bound of the bucket
+  /// containing the p*count-th recorded value, clamped to the observed max.
+  /// Exact to within one power of two — the right resolution for "did p99
+  /// service time jump an order of magnitude".
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));  // 0-based
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return std::min(bucket_hi(i), max_);
+    }
+    return max_;
+  }
+
+  LogHistogram& merge(const LogHistogram& o) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    return *this;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace embsp::obs

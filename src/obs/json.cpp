@@ -1,0 +1,130 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace embsp::obs {
+
+void JsonWriter::newline_indent() {
+  if (indent_ < 0) return;
+  *out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    *out_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (!first_in_scope_) *out_ << ',';
+    newline_indent();
+  }
+  first_in_scope_ = false;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  *out_ << '{';
+  stack_.push_back(Ctx::object);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_object() {
+  stack_.pop_back();
+  if (!first_in_scope_) newline_indent();
+  *out_ << '}';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  *out_ << '[';
+  stack_.push_back(Ctx::array);
+  first_in_scope_ = true;
+}
+
+void JsonWriter::end_array() {
+  stack_.pop_back();
+  if (!first_in_scope_) newline_indent();
+  *out_ << ']';
+  first_in_scope_ = false;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!first_in_scope_) *out_ << ',';
+  newline_indent();
+  first_in_scope_ = false;
+  write_escaped(k);
+  *out_ << (indent_ < 0 ? ":" : ": ");
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value();
+  write_escaped(v);
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  *out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  *out_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  *out_ << v;
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {  // JSON has no Infinity/NaN literals
+    *out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out_ << buf;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  *out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out_ << "\\\"";
+        break;
+      case '\\':
+        *out_ << "\\\\";
+        break;
+      case '\n':
+        *out_ << "\\n";
+        break;
+      case '\r':
+        *out_ << "\\r";
+        break;
+      case '\t':
+        *out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out_ << buf;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
+  *out_ << '"';
+}
+
+}  // namespace embsp::obs

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer — the one serialization format every obs
+// sink (metrics snapshot, Chrome trace events, bench artifacts) shares.
+//
+// Push-style: begin/end nesting with automatic comma placement and string
+// escaping.  No DOM, no allocation beyond the nesting stack; output is
+// deterministic (callers control ordering), which keeps golden-schema tests
+// and diff-based perf trajectories stable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace embsp::obs {
+
+class JsonWriter {
+ public:
+  /// indent < 0 emits compact single-line JSON; otherwise pretty-print
+  /// with `indent` spaces per nesting level.
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(&out), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by a value or begin_*.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once every begin_* has been matched by its end_*.
+  [[nodiscard]] bool balanced() const { return stack_.empty(); }
+
+ private:
+  enum class Ctx : std::uint8_t { object, array };
+  void before_value();
+  void newline_indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream* out_;
+  int indent_;
+  std::vector<Ctx> stack_;
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+};
+
+}  // namespace embsp::obs

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace embsp::obs {
+
+namespace {
+
+// Heterogeneous lookup-or-insert: std::map::operator[] would force a
+// std::string temporary per call even on hits.
+template <typename Map>
+auto& slot(Map& m, std::string_view name) {
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(std::string(name), typename Map::mapped_type{}).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void Registry::add(std::string_view counter, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(m_);
+  slot(counters_, counter) += delta;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(m_);
+  slot(gauges_, name) = value;
+}
+
+void Registry::observe(std::string_view histogram, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(m_);
+  slot(histograms_, histogram).record(value);
+}
+
+void Registry::merge_histogram(std::string_view name, const LogHistogram& h) {
+  std::lock_guard<std::mutex> lock(m_);
+  slot(histograms_, name).merge(h);
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+LogHistogram Registry::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? LogHistogram{} : it->second;
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(m_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(m_);
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema_version", kMetricsSchemaVersion);
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.kv(name, v);
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.kv(name, v);
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("mean", h.mean());
+    w.kv("p50", h.percentile(0.50));
+    w.kv("p99", h.percentile(0.99));
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      if (h.bucket_count(i) == 0) continue;
+      w.begin_array();
+      w.value(LogHistogram::bucket_lo(i));
+      w.value(LogHistogram::bucket_hi(i));
+      w.value(h.bucket_count(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace embsp::obs

@@ -1,0 +1,66 @@
+// Metrics registry: named counters, gauges and log-scale histograms with a
+// machine-readable JSON snapshot.
+//
+// Names are hierarchical dot-paths ("phase.fetch_ctx.parallel_ios",
+// "engine.disk.3.service_ns"); the registry does not interpret them — it
+// only guarantees a stable, sorted JSON rendering so snapshots diff
+// cleanly across runs.
+//
+// Thread safety: every mutation and read takes one internal mutex.  The
+// registry sits OFF the per-transfer hot path by design — the disk engines
+// record into plain per-disk LogHistograms (single-writer, lock-free) and
+// bulk-merge them here once per run; simulator phase spans touch the
+// registry a handful of times per superstep, where a mutex is noise.
+//
+// Snapshot schema (validated by tests/test_obs.cpp):
+//   {
+//     "schema_version": 1,
+//     "counters":   { "<name>": <u64>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "count": u64, "sum": u64, "min": u64,
+//                                 "max": u64, "mean": double,
+//                                 "p50": u64, "p99": u64,
+//                                 "buckets": [[lo, hi, count], ...] }, ... }
+//   }
+// Histogram bucket lists include only non-empty buckets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+
+namespace embsp::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+class Registry {
+ public:
+  void add(std::string_view counter, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  /// Record one value into the named histogram (created on first use).
+  void observe(std::string_view histogram, std::uint64_t value);
+  /// Bulk-merge an externally accumulated histogram (engine stats export).
+  void merge_histogram(std::string_view name, const LogHistogram& h);
+
+  /// Snapshot accessors (tests / reports); missing names read as empty.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] LogHistogram histogram(std::string_view name) const;
+  [[nodiscard]] bool empty() const;
+
+  void write_json(std::ostream& out) const;
+  void clear();
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, LogHistogram, std::less<>> histograms_;
+};
+
+}  // namespace embsp::obs

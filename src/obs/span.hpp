@@ -1,0 +1,114 @@
+// Recorder + RAII phase spans: the glue between instrumented code and the
+// sinks.
+//
+// A PhaseSpan measures the wall-clock duration of one phase (fetch /
+// compute / write / reorganize / ...) and pairs it with the *model-cost*
+// delta the phase produced (parallel I/Os, blocks, bytes — the quantities
+// the paper's theorems bound).  On destruction it feeds both into the
+// recorder's Registry (wall_ns histogram + per-phase cost counters, keyed
+// "phase.<name>.*") and, when tracing is enabled, appends a Chrome trace
+// event on the span's tid track.
+//
+// Null-sink fast path: every entry point takes Recorder* and a null
+// recorder makes construction/destruction a pointer test — no clock reads,
+// no allocation, no locking.  Default-config runs (recorder unset) execute
+// the exact instruction sequence they did before instrumentation existed,
+// which is what keeps them byte-identical and inside the noise floor.
+//
+// Layering: obs knows nothing of the em/sim layers.  CostDelta mirrors
+// em::IoStats field-for-field; sim/obs_hooks.hpp does the translation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_events.hpp"
+
+namespace embsp::obs {
+
+/// Model-cost delta attributed to one span (mirrors em::IoStats).
+struct CostDelta {
+  std::uint64_t parallel_ios = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] bool any() const {
+    return parallel_ios | blocks_read | blocks_written | bytes_read |
+           bytes_written;
+  }
+};
+
+/// One metrics pipeline: a registry plus an optional trace-event stream.
+/// Non-copyable; attach by pointer (SimConfig::recorder) — the owner
+/// outlives every run that records into it.
+struct Recorder {
+  Registry registry;
+  TraceWriter trace;
+  /// Trace events are buffered only when enabled; the registry is always
+  /// live once a recorder is attached.
+  bool trace_enabled = false;
+
+  Recorder() = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+};
+
+class PhaseSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).  `tid`
+  /// labels the trace track (real-processor index).
+  PhaseSpan(Recorder* rec, std::string_view name, std::uint32_t tid = 0)
+      : rec_(rec), name_(name), tid_(tid) {
+    if (rec_ != nullptr) start_ns_ = TraceWriter::now_ns();
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  /// Attach model cost observed during the span (accumulates).
+  void add_cost(const CostDelta& d) {
+    cost_.parallel_ios += d.parallel_ios;
+    cost_.blocks_read += d.blocks_read;
+    cost_.blocks_written += d.blocks_written;
+    cost_.bytes_read += d.bytes_read;
+    cost_.bytes_written += d.bytes_written;
+  }
+
+  ~PhaseSpan() {
+    if (rec_ == nullptr) return;
+    const std::uint64_t dur = TraceWriter::now_ns() - start_ns_;
+    auto& reg = rec_->registry;
+    std::string key;
+    key.reserve(name_.size() + 24);
+    key.append("phase.").append(name_);
+    const std::size_t base = key.size();
+    auto with = [&](std::string_view suffix) -> std::string& {
+      key.resize(base);
+      key.append(suffix);
+      return key;
+    };
+    reg.observe(with(".wall_ns"), dur);
+    reg.add(with(".calls"));
+    reg.add(with(".parallel_ios"), cost_.parallel_ios);
+    reg.add(with(".blocks_read"), cost_.blocks_read);
+    reg.add(with(".blocks_written"), cost_.blocks_written);
+    reg.add(with(".bytes_read"), cost_.bytes_read);
+    reg.add(with(".bytes_written"), cost_.bytes_written);
+    if (rec_->trace_enabled) {
+      rec_->trace.duration(name_, "phase", tid_, start_ns_, dur);
+    }
+  }
+
+ private:
+  Recorder* rec_;
+  std::string_view name_;
+  std::uint32_t tid_;
+  std::uint64_t start_ns_ = 0;
+  CostDelta cost_;
+};
+
+}  // namespace embsp::obs

@@ -1,0 +1,69 @@
+#include "obs/trace_events.hpp"
+
+#include <chrono>
+
+#include "obs/json.hpp"
+
+namespace embsp::obs {
+
+std::uint64_t TraceWriter::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceWriter::TraceWriter() : epoch_ns_(now_ns()) {}
+
+void TraceWriter::duration(std::string_view name, std::string_view category,
+                           std::uint32_t tid, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(m_);
+  events_.push_back({std::string(name), std::string(category), tid, 'X',
+                     start_ns, dur_ns});
+}
+
+void TraceWriter::instant(std::string_view name, std::string_view category,
+                          std::uint32_t tid, std::uint64_t ts_ns) {
+  std::lock_guard<std::mutex> lock(m_);
+  events_.push_back(
+      {std::string(name), std::string(category), tid, 'i', ts_ns, 0});
+}
+
+std::size_t TraceWriter::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return events_.size();
+}
+
+void TraceWriter::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(m_);
+  JsonWriter w(out, /*indent=*/-1);  // compact: traces can be large
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& e : events_) {
+    w.begin_object();
+    w.kv("name", std::string_view(e.name));
+    w.kv("cat", std::string_view(e.category));
+    w.key("ph");
+    w.value(std::string_view(&e.phase, 1));
+    // Chrome expects microseconds; keep sub-us precision as a fraction.
+    const std::uint64_t rel =
+        e.ts_ns >= epoch_ns_ ? e.ts_ns - epoch_ns_ : 0;
+    w.kv("ts", static_cast<double>(rel) / 1000.0);
+    if (e.phase == 'X') {
+      w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    } else {
+      w.kv("s", "t");  // instant scope: thread
+    }
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", static_cast<std::uint64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace embsp::obs

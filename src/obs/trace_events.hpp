@@ -1,0 +1,64 @@
+// Chrome trace-event sink: phase spans rendered as a timeline that
+// chrome://tracing (or Perfetto) opens directly.
+//
+// Events are buffered in memory (a span is ~60 bytes; even a long run is a
+// few MB) and written once at the end — no I/O on the instrumented path, so
+// tracing never perturbs the wall-clock numbers it reports.
+//
+// Output is the JSON Object Format: {"traceEvents": [...]}, each event a
+// complete-duration ("ph":"X") or instant ("ph":"i") record with
+// microsecond timestamps relative to the writer's construction.  "pid" is
+// always 0 (one simulated machine); "tid" carries the real-processor index,
+// so the parallel simulator's p timelines stack as separate tracks.
+//
+// Thread safety: append takes an internal mutex (spans from p simulator
+// threads interleave); write_json must run when no spans are in flight.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embsp::obs {
+
+class TraceWriter {
+ public:
+  TraceWriter();
+
+  /// Complete-duration event ("ph":"X").  Timestamps are steady-clock ns;
+  /// the writer rebases them onto its own epoch.
+  void duration(std::string_view name, std::string_view category,
+                std::uint32_t tid, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+
+  /// Instant event ("ph":"i") — e.g. a recovery rollback.
+  void instant(std::string_view name, std::string_view category,
+               std::uint32_t tid, std::uint64_t ts_ns);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  void write_json(std::ostream& out) const;
+
+  /// Current steady-clock time in ns (the timebase events are recorded in).
+  static std::uint64_t now_ns();
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint32_t tid;
+    char phase;  // 'X' or 'i'
+    std::uint64_t ts_ns;
+    std::uint64_t dur_ns;
+  };
+
+  mutable std::mutex m_;
+  std::vector<Event> events_;
+  std::uint64_t epoch_ns_;
+};
+
+}  // namespace embsp::obs

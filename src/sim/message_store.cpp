@@ -337,7 +337,7 @@ void MessageStore::fetch_group_blocks(
 }
 
 std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {
-  Reassembler r;
+  Reassembler r(cfg_.max_message_bytes);
   fetch_group_blocks(
       g, [&](std::span<const std::byte> block) { r.absorb(block, g); });
   return r.take();

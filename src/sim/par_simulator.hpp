@@ -38,6 +38,7 @@
 #include "em/disk_array.hpp"
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
+#include "sim/obs_hooks.hpp"
 #include "sim/seq_simulator.hpp"
 #include "sim/sim_config.hpp"
 
@@ -113,7 +114,8 @@ SimResult ParSimulator::run(
           *disk_arrays_[i], *procs[i].alloc, local_v, cfg_.mu);
       procs[i].messages = std::make_unique<MessageStore>(
           *disk_arrays_[i], *procs[i].alloc,
-          MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing});
+          MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
+                             /*max_message_bytes=*/cfg_.gamma});
       procs[i].rng = master.fork(i + 1);
     }
   }
@@ -155,14 +157,11 @@ SimResult ParSimulator::run(
     try {
       auto& self = procs[me];
       auto& disks = *disk_arrays_[me];
-      auto snapshot = [&]() { return disks.stats(); };
-      auto account = [&](em::IoStats& slot, const em::IoStats& before) {
-        slot += disks.stats().since(before);
-      };
+      obs::Recorder* const rec = cfg_.recorder;
 
       // Initial contexts (local virtual processors i*local_v .. ).
       {
-        const auto before = snapshot();
+        ObsPhase phase(rec, "init", disks, &self.phase_io.init, me);
         std::vector<std::vector<std::byte>> payloads;
         for (std::uint32_t r = 0; r < rounds; ++r) {
           const std::uint32_t first = r * k;
@@ -175,7 +174,6 @@ SimResult ParSimulator::run(
           }
           self.contexts->write(first, payloads);
         }
-        account(self.phase_io.init, before);
       }
       sync();
 
@@ -190,7 +188,8 @@ SimResult ParSimulator::run(
         for (std::uint32_t round = 0; round < rounds; ++round) {
           // --- Fetch: read local blocks of this batch, forward to owners.
           {
-            const auto before = snapshot();
+            ObsPhase phase(rec, "fetch_msg", disks, &self.phase_io.fetch_msg,
+                           me);
             self.messages->fetch_group_blocks(
                 round, [&](std::span<const std::byte> block) {
                   if (is_dummy_block(block)) return;
@@ -207,14 +206,13 @@ SimResult ParSimulator::run(
                     self.comm_bytes_this_step += block.size();
                   }
                 });
-            account(self.phase_io.fetch_msg, before);
           }
           sync();
 
           // --- Compute: reassemble inboxes, run the k virtual supersteps.
           const std::uint32_t first = round * k;
           const std::uint32_t count = std::min(k, local_v - first);
-          Reassembler reasm;
+          Reassembler reasm(cfg_.gamma);
           for (std::uint32_t src = 0; src < p; ++src) {
             for (auto& block : forward_mail[src][me]) {
               reasm.absorb(block, round);
@@ -232,13 +230,18 @@ SimResult ParSimulator::run(
             inboxes[local - first].push_back(std::move(m));
           }
 
-          const auto before_ctx = snapshot();
-          auto payloads = self.contexts->read(first, count);
-          account(self.phase_io.fetch_ctx, before_ctx);
+          std::vector<std::vector<std::byte>> payloads;
+          {
+            ObsPhase phase(rec, "fetch_ctx", disks, &self.phase_io.fetch_ctx,
+                           me);
+            payloads = self.contexts->read(first, count);
+          }
 
           std::vector<State> states(count);
           std::vector<bsp::Message> outgoing;
           bsp::SuperstepCost local_cost;
+          {
+          ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
           for (std::uint32_t i = 0; i < count; ++i) {
             util::Reader r(payloads[i]);
             states[i].deserialize(r);
@@ -284,6 +287,7 @@ SimResult ParSimulator::run(
 
             for (auto& m : out.take()) outgoing.push_back(std::move(m));
           }
+          }  // end compute span
           {
             std::lock_guard<std::mutex> lock(cost_mutex);
             step_cost.max_work = std::max(step_cost.max_work,
@@ -304,7 +308,8 @@ SimResult ParSimulator::run(
 
           // Write contexts back.
           {
-            const auto before = snapshot();
+            ObsPhase phase(rec, "write_ctx", disks, &self.phase_io.write_ctx,
+                           me);
             std::vector<std::vector<std::byte>> out_payloads(count);
             for (std::uint32_t i = 0; i < count; ++i) {
               util::Writer w;
@@ -312,7 +317,6 @@ SimResult ParSimulator::run(
               out_payloads[i] = w.take();
             }
             self.contexts->write(first, out_payloads);
-            account(self.phase_io.write_ctx, before);
           }
 
           // --- Writing: pack per (owner, batch) and scatter randomly.
@@ -362,7 +366,8 @@ SimResult ParSimulator::run(
 
           // --- Receive scattered blocks, write them to local buckets.
           {
-            const auto before = snapshot();
+            ObsPhase phase(rec, "write_msg", disks, &self.phase_io.write_msg,
+                           me);
             for (std::uint32_t src = 0; src < p; ++src) {
               for (auto& block : scatter_mail[src][me]) {
                 self.messages->write_block(block, self.rng);
@@ -370,17 +375,16 @@ SimResult ParSimulator::run(
               scatter_mail[src][me].clear();
               forward_mail[src][me].clear();
             }
-            account(self.phase_io.write_msg, before);
           }
           sync();
         }
 
         // --- Step 2: local SimulateRouting.
         {
-          const auto before = snapshot();
+          ObsPhase phase(rec, "reorganize", disks, &self.phase_io.reorganize,
+                         me);
           self.messages->flush(self.rng);
           self.routing += self.messages->reorganize(self.rng);
-          account(self.phase_io.reorganize, before);
         }
         self.max_comm_bytes_step =
             std::max(self.max_comm_bytes_step, self.comm_bytes_this_step);
@@ -400,7 +404,7 @@ SimResult ParSimulator::run(
 
       // Collect local results.
       {
-        const auto before = snapshot();
+        ObsPhase phase(rec, "collect", disks, &self.phase_io.collect, me);
         for (std::uint32_t r = 0; r < rounds; ++r) {
           const std::uint32_t first = r * k;
           const std::uint32_t count = std::min(k, local_v - first);
@@ -410,7 +414,6 @@ SimResult ParSimulator::run(
             final_states[me * local_v + first + i].deserialize(rd);
           }
         }
-        account(self.phase_io.collect, before);
       }
       // Flush barrier for this processor's private disk array (see
       // SeqSimulator::run).
@@ -460,6 +463,21 @@ SimResult ParSimulator::run(
     result.recovery.faults = em::snapshot(*fault_counters_);
   }
   result.phase_io = procs[0].phase_io;
+  if (cfg_.recorder != nullptr) {
+    auto& reg = cfg_.recorder->registry;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      em::export_metrics(disk_arrays_[i]->engine_stats(), reg,
+                         "proc." + std::to_string(i) + ".engine.");
+    }
+    export_routing_stats(reg, result.routing_stats);
+    export_recovery_stats(reg, result.recovery);
+    reg.add("sim.supersteps", result.costs.num_supersteps());
+    reg.set_gauge("sim.group_size", static_cast<double>(result.group_size));
+    reg.set_gauge("sim.max_tracks_per_disk",
+                  static_cast<double>(result.max_tracks_per_disk));
+    reg.set_gauge("sim.real_comm_bytes",
+                  static_cast<double>(result.real_comm_bytes));
+  }
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "em/io_error.hpp"
+
 namespace embsp::sim {
 
 namespace {
@@ -112,6 +114,15 @@ Reassembler::Partial* Reassembler::find_or_create(std::uint32_t src,
     p.msg.dst = dst;
     p.msg.seq = seq;
     p.msg.payload.resize(total_len);
+  } else if (p.msg.payload.size() != total_len) {
+    // Chunks of one message must agree on its total length; a mismatch
+    // means a garbled header, and trusting the larger value would let the
+    // memcpy below run past the buffer sized by the first chunk.
+    throw em::CorruptBlockError(
+        "Reassembler: total_len mismatch across chunks of message (src " +
+        std::to_string(src) + ", dst " + std::to_string(dst) + ", seq " +
+        std::to_string(seq) + "): " + std::to_string(p.msg.payload.size()) +
+        " vs " + std::to_string(total_len));
   }
   return &p;
 }
@@ -125,10 +136,17 @@ void Reassembler::absorb(std::span<const std::byte> block,
         "Reassembler: block for group " + std::to_string(h.dst_group) +
         " delivered to group " + std::to_string(expected_group));
   }
+  // All fields below came off disk — validate before use, in 64-bit
+  // arithmetic (the u32 fields can be crafted so that offset + len wraps).
+  if (kBlockHeaderBytes + h.n_chunks * kChunkHeaderBytes > block.size()) {
+    throw em::CorruptBlockError(
+        "Reassembler: n_chunks " + std::to_string(h.n_chunks) +
+        " cannot fit in a " + std::to_string(block.size()) + "-byte block");
+  }
   std::size_t pos = kBlockHeaderBytes;
   for (std::uint16_t c = 0; c < h.n_chunks; ++c) {
     if (pos + kChunkHeaderBytes > block.size()) {
-      throw std::runtime_error("Reassembler: truncated chunk header");
+      throw em::CorruptBlockError("Reassembler: truncated chunk header");
     }
     const std::byte* p = block.data() + pos;
     const std::uint32_t src = get_u32(p);
@@ -138,8 +156,22 @@ void Reassembler::absorb(std::span<const std::byte> block,
     const std::uint32_t offset = get_u32(p + 16);
     const std::uint16_t len = get_u16(p + 20);
     pos += kChunkHeaderBytes;
-    if (pos + len > block.size() || offset + len > total) {
-      throw std::runtime_error("Reassembler: corrupt chunk bounds");
+    if (pos + len > block.size()) {
+      throw em::CorruptBlockError("Reassembler: chunk_len " +
+                                  std::to_string(len) +
+                                  " runs past the block span");
+    }
+    if (std::uint64_t{offset} + std::uint64_t{len} > std::uint64_t{total}) {
+      throw em::CorruptBlockError(
+          "Reassembler: chunk [" + std::to_string(offset) + ", " +
+          std::to_string(offset + std::uint64_t{len}) +
+          ") outside message of total_len " + std::to_string(total));
+    }
+    if (max_message_bytes_ != 0 && total > max_message_bytes_) {
+      throw em::CorruptBlockError(
+          "Reassembler: claimed total_len " + std::to_string(total) +
+          " exceeds the message-size limit " +
+          std::to_string(max_message_bytes_));
     }
     Partial* part = find_or_create(src, dst, seq, total);
     if (len > 0) {

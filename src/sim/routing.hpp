@@ -76,8 +76,23 @@ void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
 [[nodiscard]] bool is_dummy_block(std::span<const std::byte> block);
 
 /// Incremental message reassembly from chunks.
+///
+/// Blocks come back from disk, so every header field (n_chunks, chunk_len,
+/// offset, total_len) is treated as untrusted input: absorb() bounds-checks
+/// each chunk against the block span and the message's total length in
+/// 64-bit arithmetic and throws em::CorruptBlockError (retryable — a
+/// re-read may heal an in-flight flip) on any inconsistency, never reading
+/// or writing out of bounds.
 class Reassembler {
  public:
+  /// `max_message_bytes` caps any single message's claimed total_len; a
+  /// block claiming more is rejected as corrupt instead of triggering a
+  /// giant allocation.  0 disables the cap.  The simulators pass gamma
+  /// (the per-processor message-size bound the BSP* model already
+  /// enforces on send).
+  explicit Reassembler(std::uint64_t max_message_bytes = 0)
+      : max_message_bytes_(max_message_bytes) {}
+
   /// Parse one block and absorb its chunks.  `expected_group` validates the
   /// block's header (pass kDummyGroup to skip validation).
   void absorb(std::span<const std::byte> block, std::uint32_t expected_group);
@@ -115,6 +130,7 @@ class Reassembler {
     }
   };
   std::unordered_map<ChunkKey, Partial, ChunkKeyHash> partial_;
+  std::uint64_t max_message_bytes_ = 0;
   Partial* find_or_create(std::uint32_t src, std::uint32_t dst,
                           std::uint32_t seq, std::uint32_t total_len);
 };

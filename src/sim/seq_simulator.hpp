@@ -27,6 +27,7 @@
 #include "em/disk_array.hpp"
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
+#include "sim/obs_hooks.hpp"
 #include "sim/sim_config.hpp"
 
 namespace embsp::sim {
@@ -108,15 +109,14 @@ SimResult SeqSimulator::run(
                         /*journaled=*/cfg_.superstep_recovery);
   MessageStore messages(
       *disks_, alloc,
-      MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing});
+      MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing,
+                         /*max_message_bytes=*/cfg_.gamma});
   util::Rng rng(cfg_.seed);
 
   SimResult result;
   result.group_size = layout.k;
+  obs::Recorder* const rec = cfg_.recorder;
   auto snapshot = [&]() { return disks_->stats(); };
-  auto account = [&](em::IoStats& slot, const em::IoStats& before) {
-    slot += disks_->stats().since(before);
-  };
 
   // Superstep-granular recovery (§5.1: the on-disk state at a superstep
   // boundary is a consistent checkpoint).  Each recovery *unit* — init,
@@ -128,6 +128,8 @@ SimResult SeqSimulator::run(
   // draws and track placements, so its writes overwrite whatever the
   // abandoned attempt left behind — torn blocks included — and a recovered
   // run's disk image is byte-identical to an undisturbed one.
+  std::uint64_t superstep_rollbacks = 0;
+  std::uint64_t reorganize_rollbacks = 0;
   auto run_protected = [&](std::uint64_t& rollbacks, auto&& body) {
     if (!cfg_.superstep_recovery) {
       body();
@@ -148,16 +150,17 @@ SimResult SeqSimulator::run(
         messages.restore(msg_ckpt);
         contexts.discard_epoch();
         ++rollbacks;
+        record_rollback(rec, &rollbacks == &superstep_rollbacks
+                                 ? "superstep"
+                                 : "reorganize");
       }
     }
   };
-  std::uint64_t superstep_rollbacks = 0;
-  std::uint64_t reorganize_rollbacks = 0;
 
   // Write initial contexts, one group at a time (never more than k contexts
   // in memory — the EM discipline applies to setup too).
   run_protected(superstep_rollbacks, [&] {
-    const auto before = snapshot();
+    ObsPhase phase(rec, "init", *disks_, &result.phase_io.init);
     std::vector<std::vector<std::byte>> payloads;
     for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
       const std::uint32_t first = gidx * k;
@@ -170,7 +173,6 @@ SimResult SeqSimulator::run(
       }
       contexts.write(first, payloads);
     }
-    account(result.phase_io.init, before);
   });
 
   const auto group_of = [k](std::uint32_t dst) { return dst / k; };
@@ -200,13 +202,17 @@ SimResult SeqSimulator::run(
       const std::uint32_t count = std::min(k, v - first);
 
       // --- Fetching Phase: steps 1(a) and 1(b) ---
-      auto before = snapshot();
-      auto payloads = contexts.read(first, count);
-      account(result.phase_io.fetch_ctx, before);
+      std::vector<std::vector<std::byte>> payloads;
+      {
+        ObsPhase phase(rec, "fetch_ctx", *disks_, &result.phase_io.fetch_ctx);
+        payloads = contexts.read(first, count);
+      }
 
-      before = snapshot();
-      auto incoming = messages.fetch_group(gidx);
-      account(result.phase_io.fetch_msg, before);
+      std::vector<bsp::Message> incoming;
+      {
+        ObsPhase phase(rec, "fetch_msg", *disks_, &result.phase_io.fetch_msg);
+        incoming = messages.fetch_group(gidx);
+      }
 
       std::vector<std::vector<bsp::Message>> inboxes(count);
       for (auto& m : incoming) {
@@ -220,6 +226,10 @@ SimResult SeqSimulator::run(
       // --- Computation Phase: step 1(c) ---
       std::vector<State> states(count);
       std::vector<bsp::Message> outgoing;
+      {
+      // Wall-clock-only span: compute does no I/O, so there is no PhaseIo
+      // slot for it.
+      ObsPhase compute_phase(rec, "compute", *disks_, nullptr);
       for (std::uint32_t i = 0; i < count; ++i) {
         util::Reader r(payloads[i]);
         states[i].deserialize(r);
@@ -266,21 +276,24 @@ SimResult SeqSimulator::run(
 
         for (auto& m : out.take()) outgoing.push_back(std::move(m));
       }
+      }  // end compute span
 
       // --- Writing Phase: steps 1(d) and 1(e) ---
-      before = snapshot();
-      messages.write_messages(outgoing, group_of, rng);
-      account(result.phase_io.write_msg, before);
-
-      before = snapshot();
-      std::vector<std::vector<std::byte>> out_payloads(count);
-      for (std::uint32_t i = 0; i < count; ++i) {
-        util::Writer w;
-        states[i].serialize(w);
-        out_payloads[i] = w.take();
+      {
+        ObsPhase phase(rec, "write_msg", *disks_, &result.phase_io.write_msg);
+        messages.write_messages(outgoing, group_of, rng);
       }
-      contexts.write(first, out_payloads);
-      account(result.phase_io.write_ctx, before);
+
+      {
+        ObsPhase phase(rec, "write_ctx", *disks_, &result.phase_io.write_ctx);
+        std::vector<std::vector<std::byte>> out_payloads(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          util::Writer w;
+          states[i].serialize(w);
+          out_payloads[i] = w.take();
+        }
+        contexts.write(first, out_payloads);
+      }
     }
     });  // end superstep-body recovery unit
 
@@ -291,9 +304,9 @@ SimResult SeqSimulator::run(
     // the superstep's.  Consolidation and arena writes go to fixed
     // locations, hence replaying them is idempotent.
     run_protected(reorganize_rollbacks, [&] {
-      const auto before = snapshot();
+      ObsPhase phase(rec, "reorganize", *disks_,
+                     &result.phase_io.reorganize);
       result.routing_stats += messages.reorganize(rng);
-      account(result.phase_io.reorganize, before);
     });
 
     result.costs.supersteps.push_back(cost);
@@ -316,7 +329,7 @@ SimResult SeqSimulator::run(
   // exhaust the retry budget; `collect` callbacks may run again after a
   // rollback (same first..first+count prefix, same states).
   {
-    const auto before = snapshot();
+    ObsPhase phase(rec, "collect", *disks_, &result.phase_io.collect);
     run_protected(superstep_rollbacks, [&] {
       for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
         const std::uint32_t first = gidx * k;
@@ -330,7 +343,6 @@ SimResult SeqSimulator::run(
         }
       }
     });
-    account(result.phase_io.collect, before);
   }
 
   // Flush barrier: every issued transfer has completed (the engine joins
@@ -345,6 +357,16 @@ SimResult SeqSimulator::run(
   result.recovery.reorganize_rollbacks = reorganize_rollbacks;
   if (fault_counters_ != nullptr) {
     result.recovery.faults = em::snapshot(*fault_counters_);
+  }
+  if (rec != nullptr) {
+    auto& reg = rec->registry;
+    em::export_metrics(disks_->engine_stats(), reg, "engine.");
+    export_routing_stats(reg, result.routing_stats);
+    export_recovery_stats(reg, result.recovery);
+    reg.add("sim.supersteps", result.costs.num_supersteps());
+    reg.set_gauge("sim.group_size", static_cast<double>(result.group_size));
+    reg.set_gauge("sim.max_tracks_per_disk",
+                  static_cast<double>(result.max_tracks_per_disk));
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "em/fault_backend.hpp"
 #include "em/io_error.hpp"
 #include "em/io_stats.hpp"
+#include "obs/span.hpp"
 #include "sim/routing.hpp"
 
 namespace embsp::sim {
@@ -61,6 +62,15 @@ struct SimConfig {
   /// Re-execution budget per recovery unit (superstep body / reorganize);
   /// exceeded => the original IoError propagates to the caller.
   std::size_t max_superstep_retries = 2;
+
+  // --- Observability (see DESIGN.md §"Observability") ---------------------
+
+  /// Metrics/trace sink shared by the run: phase spans, engine histograms
+  /// and routing/recovery counters are recorded here.  Null (the default)
+  /// disables all instrumentation — the null-sink fast path makes spans
+  /// free and keeps default-config runs byte-identical.  The recorder must
+  /// outlive the run; it is borrowed, never owned.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Resilience events observed during one run (all zero on a fault-free

@@ -219,6 +219,44 @@ TEST(FaultInjection, DeadRangeFailsFastWithoutRetries) {
   arr.parallel_write(ok);
 }
 
+// --- Model accounting on failed operations ----------------------------------
+// Regression: parallel_read/parallel_write used to charge bytes_read /
+// bytes_written while *building* the transfer list, before execute() ran —
+// an operation that then threw left the model stats claiming bytes for I/O
+// that never completed (and recovery re-execution double-counted them).
+
+TEST(IoAccounting, FailedParallelIoChargesNothing) {
+  for (const auto engine : {IoEngine::serial, IoEngine::parallel}) {
+    FaultSpec spec;
+    spec.seed = 1;
+    spec.dead_ranges.push_back({0u, 0u, 10 * 64u});  // disk 0, tracks 0..9
+    auto arr = make_disk_array(engine, 2, 64,
+                               wrap_with_faults(nullptr, spec, 1, nullptr));
+    const auto block = pattern_block(64, 3);
+
+    std::vector<WriteOp> bad_w{{0u, 2u, block}};
+    EXPECT_THROW(arr->parallel_write(bad_w), PersistentIoError);
+    std::vector<std::byte> buf(64);
+    std::vector<ReadOp> bad_r{{0u, 3u, buf}};
+    EXPECT_THROW(arr->parallel_read(bad_r), PersistentIoError);
+
+    // The model operations never completed: nothing may be charged.
+    EXPECT_EQ(arr->stats().parallel_ios, 0u) << "engine " << int(engine);
+    EXPECT_EQ(arr->stats().blocks_written, 0u);
+    EXPECT_EQ(arr->stats().blocks_read, 0u);
+    EXPECT_EQ(arr->stats().bytes_written, 0u);
+    EXPECT_EQ(arr->stats().bytes_read, 0u);
+
+    // A successful operation charges exactly once, all fields consistent.
+    std::vector<WriteOp> ok{{0u, 20u, block}, {1u, 0u, block}};
+    arr->parallel_write(ok);
+    EXPECT_EQ(arr->stats().parallel_ios, 1u);
+    EXPECT_EQ(arr->stats().blocks_written, 2u);
+    EXPECT_EQ(arr->stats().bytes_written, 2 * 64u);
+    EXPECT_EQ(arr->stats().bytes_written, arr->stats().blocks_written * 64u);
+  }
+}
+
 TEST(FaultInjection, BurstShorterThanBudgetIsAbsorbed) {
   FaultSpec spec;
   spec.seed = 1;
@@ -233,6 +271,14 @@ TEST(FaultInjection, BurstShorterThanBudgetIsAbsorbed) {
   arr.parallel_write(w);  // calls 2,3,4 fail; call 5 succeeds
   EXPECT_EQ(arr.engine_stats().total_retries(), 3u);
   EXPECT_EQ(arr.engine_stats().total_giveups(), 0u);
+  // Execution histograms: one service-time sample per attempt (successful
+  // or not), one retry-delay sample per backoff slept.
+  const auto& ds = arr.engine_stats().per_disk[0];
+  EXPECT_EQ(ds.service_ns.count(), 6u);  // 1 + 1 + 4 attempts
+  EXPECT_EQ(ds.service_ns.sum(), ds.busy_ns);
+  EXPECT_EQ(ds.retry_delay_ns.count(), 3u);
+  EXPECT_EQ(arr.engine_stats().queue_depth.count(), 3u);
+  EXPECT_EQ(arr.engine_stats().queue_depth.max(), 1u);
 }
 
 TEST(FaultInjection, BurstLongerThanBudgetGivesUp) {
@@ -510,6 +556,11 @@ TEST(FaultySimSeq, BurstForcesSuperstepRollbackAndRecovers) {
   EXPECT_EQ(got, expected);
   EXPECT_EQ(res.recovery.io_giveups, 1u);
   EXPECT_EQ(res.recovery.total_rollbacks(), 1u);
+  // Accounting bugfix regression: a rolled-back (thrown) parallel I/O must
+  // charge nothing, so byte and block tallies stay exactly consistent even
+  // across a giveup + re-execution (B = 128 in fault_config).
+  EXPECT_EQ(res.total_io.bytes_written, res.total_io.blocks_written * 128u);
+  EXPECT_EQ(res.total_io.bytes_read, res.total_io.blocks_read * 128u);
 }
 
 TEST(FaultySimSeq, UnrecoverableWithoutSuperstepRecovery) {

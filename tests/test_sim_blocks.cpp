@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 
 #include "em/disk_array.hpp"
+#include "em/io_error.hpp"
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
 #include "sim/routing.hpp"
@@ -154,6 +156,162 @@ TEST(BlockFormat, SameSrcSeqDifferentDstKeptApart) {
   EXPECT_EQ(got[0].payload, msgs[0].payload);
   EXPECT_EQ(got[1].dst, 2u);
   EXPECT_EQ(got[1].payload, msgs[1].payload);
+}
+
+// --- Adversarial / corrupt-block parsing -----------------------------------
+//
+// Blocks come back from disk, so every header field is untrusted input: a
+// torn write or bit flip can produce counts and lengths that point outside
+// the block span or wrap 32-bit arithmetic.  Each test hand-crafts one
+// corruption and expects em::CorruptBlockError (never a crash or an
+// out-of-bounds access — these are the asan regression cases).
+
+void poke_u32(std::vector<std::byte>& b, std::size_t off, std::uint32_t v) {
+  std::memcpy(b.data() + off, &v, 4);
+}
+void poke_u16(std::vector<std::byte>& b, std::size_t off, std::uint16_t v) {
+  std::memcpy(b.data() + off, &v, 2);
+}
+
+/// One valid 64-byte block holding a single small message, as a mutable
+/// starting point for corruption.
+std::vector<std::byte> valid_block(std::size_t block_size = 64,
+                                   std::size_t payload_len = 8) {
+  auto m = make_msg(1, 2, 0, payload_len);
+  std::vector<const bsp::Message*> ptrs{&m};
+  std::vector<std::byte> block;
+  pack_blocks(ptrs, 0, block_size, [&](std::span<const std::byte> b) {
+    block.assign(b.begin(), b.end());
+  });
+  return block;
+}
+
+TEST(CorruptBlock, TruncatedHeaderThrows) {
+  std::vector<std::byte> tiny(kBlockHeaderBytes - 1, std::byte{0});
+  EXPECT_THROW(parse_header(tiny), std::invalid_argument);
+  Reassembler r;
+  EXPECT_THROW(r.absorb(tiny, 0), std::exception);
+}
+
+TEST(CorruptBlock, NChunksBeyondSpanThrows) {
+  // n_chunks claims more chunk headers than the block can physically hold;
+  // the parser must reject it up front instead of walking off the end.
+  auto block = valid_block();
+  poke_u16(block, 4, 0x7FFF);
+  Reassembler r;
+  EXPECT_THROW(r.absorb(block, 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, TruncatedChunkHeaderThrows) {
+  // Two chunks claimed, but the block ends inside the second chunk header.
+  auto block = valid_block(64, 8);
+  poke_u16(block, 4, 2);
+  // First chunk: header(22) + 8 payload ends at 8+30=38; 64-38=26 bytes
+  // remain, enough for the second header (22) — shrink the block so the
+  // second header is cut off.
+  block.resize(kBlockHeaderBytes + kChunkHeaderBytes + 8 + 10);
+  Reassembler r;
+  EXPECT_THROW(r.absorb(block, 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, ChunkLenPastBlockEndThrows) {
+  // chunk_len points past the physical block span.
+  auto block = valid_block();
+  poke_u16(block, kBlockHeaderBytes + 20, 0xFFF0);
+  Reassembler r;
+  EXPECT_THROW(r.absorb(block, 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, OffsetOverflowWrapThrows) {
+  // offset + chunk_len wraps 32-bit arithmetic: 0xFFFFFFF8 + 8 == 0 in u32,
+  // which would pass a naive `offset + len <= total` check and memcpy to
+  // payload.data() + 4 GiB.  The check must be done in 64 bits.
+  auto block = valid_block(64, 8);
+  poke_u32(block, kBlockHeaderBytes + 16, 0xFFFFFFF8u);
+  Reassembler r;
+  EXPECT_THROW(r.absorb(block, 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, OffsetPastTotalLenThrows) {
+  // In-range lengths, but the chunk lands past the message's total_len.
+  auto block = valid_block(64, 8);
+  poke_u32(block, kBlockHeaderBytes + 16, 100);  // offset 100 into an 8-byte msg
+  Reassembler r;
+  EXPECT_THROW(r.absorb(block, 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, TotalLenMismatchAcrossChunksThrows) {
+  // Two chunks of the "same" message disagree on total_len.  The payload
+  // buffer is sized by the first chunk; trusting the second (larger) value
+  // used to let the memcpy run past it — a heap overflow.
+  auto m = make_msg(1, 2, 0, 100);
+  std::vector<const bsp::Message*> ptrs{&m};
+  std::vector<std::vector<std::byte>> blocks;
+  pack_blocks(ptrs, 0, 64, [&](std::span<const std::byte> b) {
+    blocks.emplace_back(b.begin(), b.end());
+  });
+  ASSERT_GE(blocks.size(), 2u);
+  poke_u32(blocks[1], kBlockHeaderBytes + 12, 200);  // total_len 100 -> 200
+  Reassembler r;
+  r.absorb(blocks[0], 0);
+  EXPECT_THROW(r.absorb(blocks[1], 0), em::CorruptBlockError);
+}
+
+TEST(CorruptBlock, OversizedTotalLenRejectedByLimit) {
+  // gamma bounds any legitimate message, so a Reassembler built with that
+  // cap rejects absurd total_len values before allocating the buffer.
+  auto block = valid_block(64, 8);
+  poke_u32(block, kBlockHeaderBytes + 12, 1u << 20);  // total_len = 1 MiB
+  poke_u32(block, kBlockHeaderBytes + 16, 0);         // keep offset sane
+  Reassembler capped(1024);
+  EXPECT_THROW(capped.absorb(block, 0), em::CorruptBlockError);
+  // An uncapped reassembler accepts the header (the chunk itself is
+  // in-bounds) and reports the message incomplete at take() time.
+  Reassembler uncapped;
+  uncapped.absorb(block, 0);
+  EXPECT_THROW(uncapped.take(), std::runtime_error);
+}
+
+TEST(CorruptBlock, GarbledBlockFuzzNeverCrashes) {
+  // Byte-soup fuzz: random corruptions of valid blocks plus fully random
+  // blocks.  absorb() must either succeed or throw an exception — never
+  // read or write out of bounds (asan enforces the "never" part).
+  util::Rng rng(2026);
+  std::vector<bsp::Message> msgs;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    msgs.push_back(make_msg(i, 1, i, (i * 53) % 200));
+  }
+  std::vector<const bsp::Message*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  std::vector<std::vector<std::byte>> blocks;
+  pack_blocks(ptrs, 0, 96, [&](std::span<const std::byte> b) {
+    blocks.emplace_back(b.begin(), b.end());
+  });
+  ASSERT_FALSE(blocks.empty());
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::vector<std::byte> block;
+    if (iter % 4 == 0) {
+      block.resize(96);
+      for (auto& byte : block) {
+        byte = static_cast<std::byte>(rng.below(256));
+      }
+      poke_u32(block, 0, 0);  // pass the dst_group check, fuzz the rest
+    } else {
+      block = blocks[rng.below(blocks.size())];
+      const std::size_t flips = 1 + rng.below(6);
+      for (std::size_t f = 0; f < flips; ++f) {
+        block[rng.below(block.size())] ^=
+            static_cast<std::byte>(1u << rng.below(8));
+      }
+    }
+    Reassembler r(4096);
+    try {
+      r.absorb(block, 0);
+      (void)r.take();
+    } catch (const std::exception&) {
+      // Detected corruption is the expected outcome; crashing is not.
+    }
+  }
 }
 
 TEST(ContextStore, RoundTripVariableSizes) {

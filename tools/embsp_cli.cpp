@@ -26,6 +26,12 @@
 //                      p=1 — superstep-granular recovery.  Results are
 //                      identical to a fault-free run; the recovery rows
 //                      in the report show what the substrate absorbed.
+//     --metrics <path> write a JSON metrics snapshot (per-phase wall/model
+//                      cost, per-disk service-time histograms, routing and
+//                      recovery counters; schema in src/obs/metrics.hpp)
+//     --trace-events <path>
+//                      write a Chrome trace-event timeline (open in
+//                      chrome://tracing or https://ui.perfetto.dev)
 #include <cstring>
 #include <set>
 #include <fstream>
@@ -50,6 +56,8 @@ struct Options {
   std::uint64_t seed = 42;
   std::string csv;
   double faults = 0.0;
+  std::string metrics;
+  std::string trace;
 };
 
 int usage() {
@@ -57,6 +65,7 @@ int usage() {
       << "usage: embsp <workload> [--n N] [--v V] [--p P] [--D D] [--B B]\n"
          "             [--M M] [--k K] [--mode compact|padded|deterministic]\n"
          "             [--seed S] [--csv PATH] [--faults RATE]\n"
+         "             [--metrics PATH] [--trace-events PATH]\n"
          "workloads: sort permute transpose maxima dominance closest hull\n"
          "           envelope listrank euler cc lca\n";
   return 2;
@@ -86,6 +95,10 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.seed = std::stoull(val);
     } else if (flag == "--csv") {
       opt.csv = val;
+    } else if (flag == "--metrics") {
+      opt.metrics = val;
+    } else if (flag == "--trace-events") {
+      opt.trace = val;
     } else if (flag == "--faults") {
       opt.faults = std::stod(val);
       if (opt.faults < 0.0 || opt.faults >= 1.0) return false;
@@ -179,12 +192,32 @@ int run_workload(const Options& opt, Fn fn) {
     // simulator runs with the retry layer only.
     cfg.superstep_recovery = (opt.p == 1);
   }
+  // The recorder outlives the run; sinks are written only when requested,
+  // and a null cfg.recorder keeps the uninstrumented fast path.
+  obs::Recorder recorder;
+  if (!opt.metrics.empty() || !opt.trace.empty()) {
+    recorder.trace_enabled = !opt.trace.empty();
+    cfg.recorder = &recorder;
+  }
+  int rc;
   if (opt.p == 1) {
     cgm::SeqEmExec exec(cfg);
-    return fn(exec);
+    rc = fn(exec);
+  } else {
+    cgm::ParEmExec exec(cfg);
+    rc = fn(exec);
   }
-  cgm::ParEmExec exec(cfg);
-  return fn(exec);
+  if (!opt.metrics.empty()) {
+    std::ofstream out(opt.metrics);
+    recorder.registry.write_json(out);
+    std::cout << "metrics written to " << opt.metrics << "\n";
+  }
+  if (!opt.trace.empty()) {
+    std::ofstream out(opt.trace);
+    recorder.trace.write_json(out);
+    std::cout << "trace events written to " << opt.trace << "\n";
+  }
+  return rc;
 }
 
 }  // namespace
