@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 
 #include "em/parallel_disk_array.hpp"
 
@@ -39,6 +40,13 @@ DiskArray::DiskArray(
     jitter_.emplace_back(0xB0FF'0000ULL + d);
   }
   engine_.per_disk.resize(num_disks);
+}
+
+DiskArray::~DiskArray() {
+  // Tokens never settled by the owner are settled here so their successful
+  // I/O is not silently forgotten.  ParallelDiskArray drains before joining
+  // its workers, making this a no-op for the concurrent engine.
+  drain();
 }
 
 void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
@@ -100,62 +108,152 @@ void DiskArray::run_transfer(const Transfer& t) {
   ds.bytes += t.len;
 }
 
-void DiskArray::execute(std::span<const Transfer> transfers) {
-  for (const auto& t : transfers) run_transfer(t);
+void DiskArray::PendingOp::complete(std::size_t index,
+                                    std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(m);
+  if (error != nullptr) errors[index] = std::move(error);
+  if (--remaining == 0) {
+    done = true;
+    // Notify under the lock: the waiter re-checks `done` holding m, so it
+    // cannot destroy the op while we still touch it.
+    cv.notify_all();
+  }
 }
 
-void DiskArray::sync() {
-  for (auto& d : disks_) d->flush();
+void DiskArray::start(const std::shared_ptr<PendingOp>& op) {
+  // Serial engine: the issuing thread performs the transfers back-to-back
+  // and STOPS at the first failure (the historical serial semantics —
+  // later transfers of a failed operation never reach the disk, so
+  // deterministic fault schedules keyed on per-disk call counts are
+  // preserved).  The whole inline execution is issuing-thread stall.
+  const std::uint64_t t0 = now_ns();
+  std::size_t i = 0;
+  std::exception_ptr err;
+  for (; i < op->transfers.size(); ++i) {
+    try {
+      run_transfer(op->transfers[i]);
+    } catch (...) {
+      err = std::current_exception();
+      break;
+    }
+  }
+  engine_.stall_ns += now_ns() - t0;
+  std::lock_guard<std::mutex> lock(op->m);
+  if (err != nullptr) op->errors[i] = std::move(err);
+  op->remaining = 0;
+  op->done = true;
+}
+
+template <class Op>
+DiskArray::IoToken DiskArray::submit(std::span<const Op> ops, bool is_read) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(ops.size());
+  for (const auto& op : ops) ids.push_back(op.disk);
+  check_distinct(ids);
+  auto op = std::make_shared<PendingOp>();
+  op->is_read = is_read;
+  op->transfers.reserve(ops.size());
+  for (const auto& o : ops) {
+    if constexpr (std::is_same_v<Op, ReadOp>) {
+      op->transfers.push_back(
+          {o.disk, o.track, o.dst.data(), nullptr, o.dst.size()});
+      op->bytes += o.dst.size();
+    } else {
+      op->transfers.push_back(
+          {o.disk, o.track, nullptr, o.src.data(), o.src.size()});
+      op->bytes += o.src.size();
+    }
+  }
+  op->blocks = ops.size();
+  op->remaining = ops.size();
+  op->errors.resize(ops.size());
+  engine_.max_queue_depth =
+      std::max<std::uint64_t>(engine_.max_queue_depth, ops.size());
+  engine_.queue_depth.record(ops.size());
+  const IoToken token = next_token_++;
+  pending_.emplace(token, op);
+  start(op);
+  return token;
+}
+
+void DiskArray::settle(PendingOp& op, bool swallow) {
+  {
+    std::unique_lock<std::mutex> lock(op.m);
+    if (!op.done) {
+      const std::uint64_t t0 = now_ns();
+      op.cv.wait(lock, [&] { return op.done; });
+      engine_.stall_ns += now_ns() - t0;
+    }
+  }
+  std::exception_ptr first;
+  for (auto& e : op.errors) {
+    if (e != nullptr) {
+      first = e;
+      break;
+    }
+  }
+  if (first != nullptr) {
+    // Model accounting only on success: a failed operation must charge
+    // nothing, or recovery paths double-count bytes for I/O that never
+    // completed.
+    if (!swallow) std::rethrow_exception(first);
+    return;
+  }
+  stats_.parallel_ios += 1;
+  if (op.is_read) {
+    stats_.blocks_read += op.blocks;
+    stats_.bytes_read += op.bytes;
+  } else {
+    stats_.blocks_written += op.blocks;
+    stats_.bytes_written += op.bytes;
+  }
+}
+
+DiskArray::IoToken DiskArray::submit_read(std::span<const ReadOp> ops) {
+  return submit(ops, /*is_read=*/true);
+}
+
+DiskArray::IoToken DiskArray::submit_write(std::span<const WriteOp> ops) {
+  return submit(ops, /*is_read=*/false);
+}
+
+void DiskArray::wait(IoToken token) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;  // already settled
+  auto op = std::move(it->second);
+  pending_.erase(it);
+  settle(*op, /*swallow=*/false);
+}
+
+void DiskArray::wait_all() {
+  std::exception_ptr first;
+  for (auto& [token, op] : pending_) {
+    try {
+      settle(*op, /*swallow=*/false);
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  pending_.clear();
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void DiskArray::drain() noexcept {
+  for (auto& [token, op] : pending_) settle(*op, /*swallow=*/true);
+  pending_.clear();
 }
 
 void DiskArray::parallel_read(std::span<const ReadOp> ops) {
-  std::vector<std::uint32_t> ids;
-  ids.reserve(ops.size());
-  for (const auto& op : ops) ids.push_back(op.disk);
-  check_distinct(ids);
-  transfers_.clear();
-  std::uint64_t bytes = 0;
-  for (const auto& op : ops) {
-    transfers_.push_back(
-        {op.disk, op.track, op.dst.data(), nullptr, op.dst.size()});
-    bytes += op.dst.size();
-  }
-  engine_.max_queue_depth =
-      std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
-  engine_.queue_depth.record(transfers_.size());
-  const std::uint64_t t0 = now_ns();
-  execute(transfers_);
-  engine_.stall_ns += now_ns() - t0;
-  // Model accounting only after the operation succeeded: a throwing
-  // execute() must charge nothing, or recovery paths double-count bytes
-  // for I/O that never completed.
-  stats_.parallel_ios += 1;
-  stats_.blocks_read += ops.size();
-  stats_.bytes_read += bytes;
+  wait(submit_read(ops));
 }
 
 void DiskArray::parallel_write(std::span<const WriteOp> ops) {
-  std::vector<std::uint32_t> ids;
-  ids.reserve(ops.size());
-  for (const auto& op : ops) ids.push_back(op.disk);
-  check_distinct(ids);
-  transfers_.clear();
-  std::uint64_t bytes = 0;
-  for (const auto& op : ops) {
-    transfers_.push_back(
-        {op.disk, op.track, nullptr, op.src.data(), op.src.size()});
-    bytes += op.src.size();
-  }
-  engine_.max_queue_depth =
-      std::max<std::uint64_t>(engine_.max_queue_depth, transfers_.size());
-  engine_.queue_depth.record(transfers_.size());
-  const std::uint64_t t0 = now_ns();
-  execute(transfers_);
-  engine_.stall_ns += now_ns() - t0;
-  // Same rule as parallel_read: charge the model only on success.
-  stats_.parallel_ios += 1;
-  stats_.blocks_written += ops.size();
-  stats_.bytes_written += bytes;
+  wait(submit_write(ops));
+}
+
+void DiskArray::sync() {
+  wait_all();
+  for (auto& d : disks_) d->flush();
 }
 
 std::uint64_t DiskArray::max_tracks_used() const {

@@ -5,26 +5,54 @@
 //    transfer D x B items ... in a single I/O operation and at cost G.  In
 //    such an operation, we permit only one track per disk to be accessed."
 //
-// Every read/write goes through parallel_read()/parallel_write(), each call
-// counting as exactly one parallel I/O operation.  A call that names the
-// same disk twice throws — higher layers cannot accidentally serialize disk
-// accesses without it showing up in the operation count.
+// Every read/write goes through one parallel I/O operation: either the
+// blocking parallel_read()/parallel_write(), or the asynchronous
+// submit_read()/submit_write() + wait() pair that the pipelined simulator
+// uses to overlap transfers with compute.  The blocking calls are literally
+// submit+wait, so both paths meter identical model cost.  A call that names
+// the same disk twice throws — higher layers cannot accidentally serialize
+// disk accesses without it showing up in the operation count.
+//
+// Async contract:
+//  * submit_read/submit_write validate the op set (distinct disks), start
+//    the transfers, and return a completion token;
+//  * wait(token) blocks until the operation settles, charges IoStats (one
+//    parallel I/O) **at completion, only on success**, and rethrows the
+//    lowest-transfer-index error on failure (deterministic across engines);
+//  * wait_all() settles every outstanding token in submission order;
+//    drain() does the same but swallows errors — the quiescence point the
+//    simulator's rollback path uses before restoring snapshots;
+//  * tokens, submissions and waits belong to ONE issuing thread per array
+//    (the simulators' coordinator / per-proc worker); only the transfers
+//    themselves run concurrently.
+//  * distinct in-flight operations MAY touch the same disk: each drive
+//    executes its transfers in submission order (FIFO per drive), so the
+//    per-disk sequence of track accesses — and therefore any per-disk
+//    deterministic fault schedule — is the submission order, regardless of
+//    how operations interleave in time.
 //
 // Two execution engines implement the same interface:
-//  * DiskArray          — serial: the issuing thread performs the D
-//                         per-disk transfers one after another (the model
-//                         cost is identical; only wall-clock differs);
+//  * DiskArray          — serial: start() runs the transfers back-to-back
+//                         on the issuing thread (submission blocks; wait is
+//                         then a bookkeeping step — the model cost is
+//                         identical, only wall-clock differs);
 //  * ParallelDiskArray  — a persistent worker pool, one worker per drive,
-//                         executes the D transfers of each operation
-//                         concurrently (parallel_disk_array.hpp).
+//                         with a FIFO task queue per worker: submissions
+//                         return immediately and the D transfers of each
+//                         operation proceed concurrently
+//                         (parallel_disk_array.hpp).
 // Select via make_disk_array(IoEngine, ...).  Model-cost accounting
 // (IoStats) is engine-independent; EngineStats records what the engine did
 // with the hardware (per-disk busy time, issuing-thread stall, queue depth).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -66,6 +94,11 @@ struct DiskArrayOptions {
 
 class DiskArray {
  public:
+  /// Completion token for an asynchronous parallel I/O operation.  Tokens
+  /// are handed out in submission order; wait()ing a token that was already
+  /// settled (by wait, wait_all or drain) is a no-op.
+  using IoToken = std::uint64_t;
+
   /// Creates `num_disks` drives with the given block size.  `make_backend`
   /// is invoked once per drive; pass nullptr for in-memory backends.
   DiskArray(std::size_t num_disks, std::size_t block_size,
@@ -73,23 +106,47 @@ class DiskArray {
                 nullptr,
             std::uint64_t capacity_tracks_per_disk = 0,
             DiskArrayOptions options = {});
-  virtual ~DiskArray() = default;
+  virtual ~DiskArray();
 
   DiskArray(const DiskArray&) = delete;
   DiskArray& operator=(const DiskArray&) = delete;
 
-  /// One parallel I/O operation reading up to one track per disk.
-  /// Empty op lists are rejected (they would be free I/O).
+  /// One parallel I/O operation reading up to one track per disk; blocks
+  /// until complete (submit_read + wait).  Empty op lists are rejected
+  /// (they would be free I/O).
   void parallel_read(std::span<const ReadOp> ops);
 
-  /// One parallel I/O operation writing up to one track per disk.
+  /// One parallel I/O operation writing up to one track per disk; blocks
+  /// until complete (submit_write + wait).
   void parallel_write(std::span<const WriteOp> ops);
 
+  /// Start one parallel read without waiting for it.  The destination
+  /// buffers must stay alive (and untouched) until the token is settled.
+  IoToken submit_read(std::span<const ReadOp> ops);
+
+  /// Start one parallel write without waiting for it.  The source buffers
+  /// must stay alive (and unmodified) until the token is settled.
+  IoToken submit_write(std::span<const WriteOp> ops);
+
+  /// Block until the given operation has settled.  On success charges one
+  /// parallel I/O to IoStats; on failure rethrows the error of the lowest
+  /// transfer index without charging anything.  Settled/unknown tokens are
+  /// a no-op.
+  void wait(IoToken token);
+
+  /// Settle every outstanding token in submission order; rethrows the
+  /// first error encountered (after settling the rest).
+  void wait_all();
+
+  /// Quiesce: settle every outstanding token, swallowing errors (successful
+  /// operations are still charged).  Rollback paths call this before
+  /// restoring snapshots so no in-flight transfer can touch a staging
+  /// buffer — or the disk image — after the restore.
+  void drain() noexcept;
+
   /// Barrier: returns once every transfer issued so far has completed and
-  /// the backends have flushed buffered data to their medium.  Both engines
-  /// complete all transfers before parallel_read/parallel_write return, so
-  /// this only adds the backend flush — but callers should use it as the
-  /// ordering point before inspecting backing files externally.
+  /// the backends have flushed buffered data to their medium.  Implies
+  /// wait_all(), so outstanding async errors surface here.
   virtual void sync();
 
   [[nodiscard]] std::size_t num_disks() const { return disks_.size(); }
@@ -120,10 +177,30 @@ class DiskArray {
     std::size_t len = 0;
   };
 
-  /// Execute the (distinct-disk) transfers of one parallel I/O operation.
-  /// Must not return before every transfer has completed; errors propagate
-  /// as exceptions after all transfers have settled.
-  virtual void execute(std::span<const Transfer> transfers);
+  /// One in-flight parallel I/O operation.  Transfer completions are
+  /// recorded per transfer index so the error rethrown at wait() is the
+  /// lowest-index one, independent of completion order.
+  struct PendingOp {
+    std::vector<Transfer> transfers;
+    bool is_read = false;
+    std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining = 0;                 ///< guarded by m
+    bool done = false;                         ///< guarded by m
+    std::vector<std::exception_ptr> errors;    ///< slot i = transfers[i]
+    /// Mark transfer `index` finished (with `error` if it threw); wakes the
+    /// waiter when the whole operation has settled.
+    void complete(std::size_t index, std::exception_ptr error);
+  };
+
+  /// Begin executing an already-validated operation.  The serial engine
+  /// runs the transfers back-to-back on the calling thread, stopping at the
+  /// first failure (remaining transfers are marked skipped-by-error — the
+  /// historical serial semantics).  ParallelDiskArray overrides this to
+  /// enqueue one task per transfer on the owning drive's FIFO worker.
+  virtual void start(const std::shared_ptr<PendingOp>& op);
 
   /// Perform one transfer against the owning Disk, retrying retryable
   /// IoErrors per the array's RetryPolicy (with per-disk jittered backoff),
@@ -135,6 +212,11 @@ class DiskArray {
 
  private:
   void check_distinct(std::span<const std::uint32_t> disks) const;
+  template <class Op>
+  IoToken submit(std::span<const Op> ops, bool is_read);
+  /// Block until `op` settles; charge stats / rethrow per the wait()
+  /// contract.  With `swallow` set, errors are discarded instead.
+  void settle(PendingOp& op, bool swallow);
 
   std::size_t block_size_;
   DiskArrayOptions options_;
@@ -142,7 +224,8 @@ class DiskArray {
   std::vector<util::Rng> jitter_;  ///< per-disk backoff jitter streams
   IoStats stats_;
   mutable std::vector<std::uint8_t> seen_;  // scratch for distinctness check
-  std::vector<Transfer> transfers_;         // scratch for op translation
+  IoToken next_token_ = 1;
+  std::map<IoToken, std::shared_ptr<PendingOp>> pending_;  // issuing thread
 };
 
 /// Worker-pool engine: see parallel_disk_array.hpp.  Declared here so the

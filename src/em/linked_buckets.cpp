@@ -15,21 +15,23 @@ LinkedBuckets::LinkedBuckets(DiskArray& disks, TrackAllocators& alloc,
   for (auto& per_disk : chains_) per_disk.resize(num_buckets);
 }
 
-void LinkedBuckets::write_cycle(std::span<const OutBlock> blocks,
-                                util::Rng& rng) {
+DiskArray::IoToken LinkedBuckets::submit_write_cycle(
+    std::span<const OutBlock> blocks, util::Rng& rng) {
   const std::size_t d = disks_->num_disks();
-  if (blocks.empty()) return;
+  if (blocks.empty()) return 0;
   if (blocks.size() > d) {
     throw std::invalid_argument(
         "LinkedBuckets: at most one block per disk per write cycle");
   }
+  // Placement is fixed at submission: the permutation draw, the track
+  // allocation and the chain append all happen here, in call order, so the
+  // write-behind schedule consumes the RNG stream exactly like the blocking
+  // one and the eventual disk image is byte-identical.
   std::vector<std::uint32_t> perm;
   rng.permutation(d, perm);
 
   std::vector<WriteOp> ops;
   ops.reserve(blocks.size());
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> placements;
-  placements.reserve(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (blocks[i].bucket >= num_buckets_) {
       throw std::out_of_range("LinkedBuckets: bucket " +
@@ -38,26 +40,25 @@ void LinkedBuckets::write_cycle(std::span<const OutBlock> blocks,
     const std::uint32_t disk = perm[i];
     const std::uint64_t track = (*alloc_)[disk].alloc_track();
     ops.push_back({disk, track, blocks[i].data});
-    placements.emplace_back(disk, track);
-  }
-  disks_->parallel_write(ops);
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    const auto [disk, track] = placements[i];
     chains_[disk][blocks[i].bucket].push_back(track);
   }
+  return disks_->submit_write(ops);
 }
 
-void LinkedBuckets::write_cycle_assigned(
+void LinkedBuckets::write_cycle(std::span<const OutBlock> blocks,
+                                util::Rng& rng) {
+  disks_->wait(submit_write_cycle(blocks, rng));
+}
+
+DiskArray::IoToken LinkedBuckets::submit_write_cycle_assigned(
     std::span<const OutBlock> blocks, std::span<const std::uint32_t> disks) {
-  if (blocks.empty()) return;
+  if (blocks.empty()) return 0;
   if (blocks.size() != disks.size() || blocks.size() > disks_->num_disks()) {
     throw std::invalid_argument(
         "LinkedBuckets: bad assigned write cycle shape");
   }
   std::vector<WriteOp> ops;
   ops.reserve(blocks.size());
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> placements;
-  placements.reserve(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (blocks[i].bucket >= num_buckets_) {
       throw std::out_of_range("LinkedBuckets: bucket " +
@@ -66,13 +67,14 @@ void LinkedBuckets::write_cycle_assigned(
     const std::uint32_t disk = disks[i];
     const std::uint64_t track = (*alloc_)[disk].alloc_track();
     ops.push_back({disk, track, blocks[i].data});
-    placements.emplace_back(disk, track);
-  }
-  disks_->parallel_write(ops);
-  for (std::size_t i = 0; i < blocks.size(); ++i) {
-    const auto [disk, track] = placements[i];
     chains_[disk][blocks[i].bucket].push_back(track);
   }
+  return disks_->submit_write(ops);
+}
+
+void LinkedBuckets::write_cycle_assigned(
+    std::span<const OutBlock> blocks, std::span<const std::uint32_t> disks) {
+  disks_->wait(submit_write_cycle_assigned(blocks, disks));
 }
 
 std::optional<std::uint64_t> LinkedBuckets::pop_track(std::size_t bucket,

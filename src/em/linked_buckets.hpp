@@ -48,11 +48,28 @@ class LinkedBuckets {
   /// drawn from `rng` — Algorithm 1 step 1(d).
   void write_cycle(std::span<const OutBlock> blocks, util::Rng& rng);
 
+  /// Asynchronous write cycle (the write-behind path of the pipelined
+  /// simulator).  The permutation is drawn from `rng` and the tracks are
+  /// allocated AT SUBMISSION, in call order — so interleaving submissions
+  /// with compute leaves the RNG stream, the track placement, and hence the
+  /// on-disk image byte-identical to the blocking schedule.  The chain
+  /// metadata is updated eagerly as well; a failed cycle surfaces when the
+  /// caller waits the token (recovery restores chains + allocators from
+  /// snapshots, so the eager update is safe).  `blocks` data must stay
+  /// alive until the token settles.
+  DiskArray::IoToken submit_write_cycle(std::span<const OutBlock> blocks,
+                                        util::Rng& rng);
+
   /// Deterministic variant: block i goes to `disks[i]` (all distinct) —
   /// used by RoutingMode::deterministic, where the caller derives the
   /// placement from per-bucket round-robin cursors.
   void write_cycle_assigned(std::span<const OutBlock> blocks,
                             std::span<const std::uint32_t> disks);
+
+  /// Asynchronous form of write_cycle_assigned; same submission-time
+  /// placement/metadata contract as submit_write_cycle.
+  DiskArray::IoToken submit_write_cycle_assigned(
+      std::span<const OutBlock> blocks, std::span<const std::uint32_t> disks);
 
   /// Pop the next track of `bucket` stored on `disk` (LIFO — list head).
   /// The caller is expected to read the track and then release_track() it.

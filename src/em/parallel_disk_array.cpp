@@ -20,6 +20,10 @@ ParallelDiskArray::ParallelDiskArray(
 }
 
 ParallelDiskArray::~ParallelDiskArray() {
+  // Settle every outstanding token before stopping the workers: tasks hold
+  // shared_ptrs to their ops, but the staging buffers the transfers target
+  // belong to callers, so nothing may still be in flight when we return.
+  drain();
   for (auto& w : workers_) {
     {
       std::lock_guard<std::mutex> lock(w->m);
@@ -33,56 +37,35 @@ ParallelDiskArray::~ParallelDiskArray() {
 void ParallelDiskArray::worker_loop(std::size_t disk) {
   Worker& w = *workers_[disk];
   for (;;) {
-    const Transfer* task = nullptr;
-    std::latch* done = nullptr;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(w.m);
-      w.cv.wait(lock, [&] { return w.stop || w.task != nullptr; });
-      if (w.task == nullptr) return;  // stop requested, nothing pending
-      task = w.task;
-      done = w.done;
-      w.task = nullptr;
-      w.done = nullptr;
+      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop requested, nothing pending
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
     }
+    std::exception_ptr error;
     try {
-      run_transfer(*task);
+      run_transfer(task.op->transfers[task.index]);
     } catch (...) {
-      w.error = std::current_exception();
+      error = std::current_exception();
     }
-    // count_down() publishes the transfer's effects (and w.error) to the
-    // issuing thread blocked in latch::wait.
-    done->count_down();
+    // complete() publishes the transfer's effects (and the error slot) to
+    // whichever thread eventually waits the token.
+    task.op->complete(task.index, std::move(error));
   }
 }
 
-void ParallelDiskArray::execute(std::span<const Transfer> transfers) {
-  std::latch done(static_cast<std::ptrdiff_t>(transfers.size()));
-  for (const auto& t : transfers) {
-    Worker& w = *workers_[t.disk];
+void ParallelDiskArray::start(const std::shared_ptr<PendingOp>& op) {
+  for (std::size_t i = 0; i < op->transfers.size(); ++i) {
+    Worker& w = *workers_[op->transfers[i].disk];
     {
       std::lock_guard<std::mutex> lock(w.m);
-      w.task = &t;
-      w.done = &done;
+      w.queue.push_back(Task{op, i});
     }
     w.cv.notify_one();
   }
-  done.wait();
-  std::exception_ptr first;
-  for (const auto& t : transfers) {
-    Worker& w = *workers_[t.disk];
-    if (w.error != nullptr) {
-      if (first == nullptr) first = w.error;
-      w.error = nullptr;
-    }
-  }
-  if (first != nullptr) std::rethrow_exception(first);
-}
-
-void ParallelDiskArray::sync() {
-  // All transfers have completed (execute joins before returning); the
-  // latch of the last operation ordered the workers' writes before us, so
-  // flushing from this thread is race-free.
-  DiskArray::sync();
 }
 
 }  // namespace embsp::em

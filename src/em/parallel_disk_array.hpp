@@ -6,32 +6,39 @@
 // take the time of one.  The serial DiskArray meters that cost exactly but
 // executes the D transfers back-to-back on the issuing thread, so on a file
 // backend the simulator never sees real disk parallelism.  This engine
-// keeps one persistent worker thread per drive; each parallel_read/
-// parallel_write dispatches its per-disk transfers to the owning workers
-// and joins on a latch, so the operation completes in ~max (not sum) of the
-// per-disk transfer times.
+// keeps one persistent worker thread per drive, each with a FIFO task
+// queue: submit_read/submit_write enqueue one task per transfer and return
+// immediately; wait() joins the operation.  The blocking calls therefore
+// complete in ~max (not sum) of the per-disk transfer times, and the
+// pipelined simulator can keep several operations in flight while it
+// computes.
 //
 // Threading model / ordering guarantees (see DESIGN.md §"I/O engine"):
-//  * one worker per drive — a drive's transfers are totally ordered, and a
-//    parallel I/O touches each drive at most once (model invariant), so
-//    no two in-flight transfers ever overlap a byte range;
-//  * parallel_read/parallel_write BLOCK until every transfer of the
-//    operation has completed (latch join): writes issued by operation n are
-//    visible to operation n+1, so higher layers observe exactly the serial
-//    engine's semantics and serial/parallel runs produce byte-identical
-//    disk images;
-//  * the latch join publishes the workers' effects (data, per-disk stats,
-//    Disk counters) to the issuing thread — reading stats between
-//    operations is race-free;
+//  * one worker per drive — a drive executes its tasks strictly in
+//    submission order (FIFO), and a single parallel I/O touches each drive
+//    at most once (model invariant), so two transfers to the same byte
+//    range are always ordered by their submission order;
+//  * higher layers only submit overlapping-range operations when the
+//    earlier one must land first (e.g. a context write of group g before a
+//    later superstep's read of the same slot), which the per-drive FIFO
+//    honors — and the simulators additionally quiesce at superstep
+//    boundaries;
+//  * the per-drive FIFO also fixes the per-disk *call sequence*: a
+//    deterministic fault schedule keyed on (seed, disk, per-disk call
+//    count) fires on the same transfers whether operations were submitted
+//    eagerly (pipelined) or one at a time (serial schedule);
+//  * wait() blocks until every transfer of the operation has settled;
+//    PendingOp::complete publishes the workers' effects (data, per-disk
+//    stats, Disk counters) to the issuing thread, so reading stats after a
+//    wait_all()/drain() is race-free;
 //  * a transfer that throws (capacity violation, backend error) is captured
-//    on the worker and rethrown on the issuing thread after the whole
-//    operation has settled, leaving the array usable;
-//  * sync() additionally flushes every backend to its medium.
+//    per transfer index and the lowest-index error is rethrown at wait(),
+//    after the whole operation has settled, leaving the array usable;
+//  * sync() waits out every token and flushes every backend to its medium.
 #pragma once
 
 #include <condition_variable>
-#include <exception>
-#include <latch>
+#include <deque>
 #include <mutex>
 #include <thread>
 
@@ -48,19 +55,23 @@ class ParallelDiskArray final : public DiskArray {
                     DiskArrayOptions options = {});
   ~ParallelDiskArray() override;
 
-  void sync() override;
-
  protected:
-  void execute(std::span<const Transfer> transfers) override;
+  void start(const std::shared_ptr<PendingOp>& op) override;
 
  private:
+  /// One enqueued transfer: the owning operation (shared so the op outlives
+  /// every worker access regardless of wait/drain timing) and the index of
+  /// the transfer within it.
+  struct Task {
+    std::shared_ptr<PendingOp> op;
+    std::size_t index;
+  };
+
   struct Worker {
     std::mutex m;
     std::condition_variable cv;
-    const Transfer* task = nullptr;  ///< guarded by m
-    std::latch* done = nullptr;      ///< guarded by m
-    bool stop = false;               ///< guarded by m
-    std::exception_ptr error;        ///< published by the latch count_down
+    std::deque<Task> queue;  ///< guarded by m; FIFO per drive
+    bool stop = false;       ///< guarded by m
     std::thread thread;
   };
 

@@ -75,46 +75,53 @@ void ContextStore::discard_epoch() {
   for (std::uint32_t c = 0; c < num_contexts_; ++c) dirty_[c] = 0;
 }
 
-void ContextStore::write(std::uint32_t first,
-                         std::span<const std::vector<std::byte>> payloads) {
-  const auto count = static_cast<std::uint32_t>(payloads.size());
+void ContextStore::write_submit(std::uint32_t first, std::uint32_t count,
+                                const EmitFn& emit, PendingIo& io) {
   if (first + count > num_contexts_) {
     throw std::out_of_range("ContextStore::write: context range");
   }
   const std::uint64_t d = disks_->num_disks();
+  io.tokens.clear();
+  io.buf.clear();  // keeps capacity: the staging buffer is grow-only
+  io.first = first;
+  io.count = count;
+  io.active = true;
   // Stage all used blocks, then drain per-disk queues one op per disk per
   // parallel I/O — the rotated layout keeps the queues balanced.
-  scratch_.clear();
   struct Op {
     std::uint32_t disk;
     std::uint64_t track;
     std::size_t offset;
   };
   std::vector<std::vector<Op>> queues(d);
-  std::size_t staged = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto& p = payloads[i];
-    if (p.size() > max_context_bytes_) {
+    // Slot format [u32 len][payload][zero pad]: serialize straight into the
+    // staging buffer behind a length placeholder, then zero only the pad
+    // bytes (resize value-initializes the tail) — never the payload region.
+    const std::size_t offset = io.buf.size();
+    io.buf.resize(offset + kLenPrefix);
+    util::Writer w(io.buf);
+    emit(first + i, w);
+    const std::size_t payload = io.buf.size() - offset - kLenPrefix;
+    if (payload > max_context_bytes_) {
       throw std::runtime_error(
           "ContextStore: context of processor " + std::to_string(first + i) +
-          " is " + std::to_string(p.size()) +
+          " is " + std::to_string(payload) +
           " bytes, exceeding the declared mu = " +
           std::to_string(max_context_bytes_));
     }
-    const std::uint64_t used = blocks_for(p.size());
-    scratch_.resize(staged + used * block_size_, std::byte{0});
-    const auto len = static_cast<std::uint32_t>(p.size());
-    std::memcpy(scratch_.data() + staged, &len, kLenPrefix);
-    std::memcpy(scratch_.data() + staged + kLenPrefix, p.data(), p.size());
+    const auto len = static_cast<std::uint32_t>(payload);
+    std::memcpy(io.buf.data() + offset, &len, kLenPrefix);
+    const std::uint64_t used = blocks_for(payload);
+    io.buf.resize(offset + used * block_size_);
     // Journaled: write the non-live bank and leave the committed copy (the
     // checkpoint) untouched until commit_epoch().
     const std::uint8_t bank =
         journaled_ ? static_cast<std::uint8_t>(bank_[first + i] ^ 1) : 0;
     for (std::uint64_t b = 0; b < used; ++b) {
       const auto [disk, track] = location_in_bank(first + i, b, bank);
-      queues[disk].push_back(Op{disk, track, staged + b * block_size_});
+      queues[disk].push_back(Op{disk, track, offset + b * block_size_});
     }
-    staged += used * block_size_;
     if (journaled_) {
       pending_lengths_[first + i] = len;
       dirty_[first + i] = 1;
@@ -130,39 +137,70 @@ void ContextStore::write(std::uint32_t first,
       if (heads[disk] < queues[disk].size()) {
         const Op& op = queues[disk][heads[disk]++];
         ops.push_back({op.disk, op.track,
-                       std::span<const std::byte>(scratch_)
+                       std::span<const std::byte>(io.buf)
                            .subspan(op.offset, block_size_)});
       }
     }
     if (ops.empty()) break;
-    disks_->parallel_write(ops);
+    io.tokens.push_back(disks_->submit_write(ops));
   }
 }
 
-std::vector<std::vector<std::byte>> ContextStore::read(std::uint32_t first,
-                                                       std::uint32_t count) {
+void ContextStore::write_wait(PendingIo& io) {
+  if (!io.active) return;
+  // A token that fails leaves the rest outstanding; the recovery path
+  // settles them via DiskArray::drain() before restoring snapshots.
+  for (const auto t : io.tokens) disks_->wait(t);
+  io.tokens.clear();
+  io.active = false;
+}
+
+void ContextStore::write(std::uint32_t first, std::uint32_t count,
+                         const EmitFn& emit) {
+  write_submit(first, count, emit, sync_io_);
+  write_wait(sync_io_);
+}
+
+void ContextStore::write(std::uint32_t first,
+                         std::span<const std::vector<std::byte>> payloads) {
+  write(first, static_cast<std::uint32_t>(payloads.size()),
+        [&](std::uint32_t ctx, util::Writer& w) {
+          w.write_bytes(payloads[ctx - first]);
+        });
+}
+
+void ContextStore::read_submit(std::uint32_t first, std::uint32_t count,
+                               PendingIo& io) {
   if (first + count > num_contexts_) {
     throw std::out_of_range("ContextStore::read: context range");
   }
   const std::uint64_t d = disks_->num_disks();
+  io.tokens.clear();
+  io.first = first;
+  io.count = count;
+  io.active = true;
   struct Op {
     std::uint32_t disk;
     std::uint64_t track;
     std::size_t offset;
   };
   std::vector<std::vector<Op>> queues(d);
-  std::vector<std::size_t> ctx_offset(count);
+  io.ctx_offset.resize(count);
+  io.expected_len.resize(count);
   std::size_t staged = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint64_t used = blocks_for(lengths_[first + i]);
-    ctx_offset[i] = staged;
+    io.ctx_offset[i] = staged;
+    io.expected_len[i] = lengths_[first + i];
     for (std::uint64_t b = 0; b < used; ++b) {
       const auto [disk, track] = location(first + i, b);
       queues[disk].push_back(Op{disk, track, staged + b * block_size_});
     }
     staged += used * block_size_;
   }
-  scratch_.resize(staged);
+  // Grow-only: every staged byte is overwritten by the reads, so stale
+  // contents need no clearing.
+  if (io.buf.size() < staged) io.buf.resize(staged);
   std::vector<std::size_t> heads(d, 0);
   std::vector<em::ReadOp> ops;
   for (;;) {
@@ -171,26 +209,47 @@ std::vector<std::vector<std::byte>> ContextStore::read(std::uint32_t first,
       if (heads[disk] < queues[disk].size()) {
         const Op& op = queues[disk][heads[disk]++];
         ops.push_back({op.disk, op.track,
-                       std::span<std::byte>(scratch_).subspan(op.offset,
-                                                              block_size_)});
+                       std::span<std::byte>(io.buf).subspan(op.offset,
+                                                            block_size_)});
       }
     }
     if (ops.empty()) break;
-    disks_->parallel_read(ops);
+    io.tokens.push_back(disks_->submit_read(ops));
   }
+}
 
-  std::vector<std::vector<std::byte>> out(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
+void ContextStore::read_wait(PendingIo& io,
+                             std::vector<std::vector<std::byte>>& out) {
+  if (!io.active) {
+    throw std::logic_error("ContextStore::read_wait: no read in flight");
+  }
+  for (const auto t : io.tokens) disks_->wait(t);
+  io.tokens.clear();
+  io.active = false;
+  out.resize(io.count);
+  for (std::uint32_t i = 0; i < io.count; ++i) {
     std::uint32_t len = 0;
-    std::memcpy(&len, scratch_.data() + ctx_offset[i], kLenPrefix);
-    if (len != lengths_[first + i] || len > max_context_bytes_) {
+    std::memcpy(&len, io.buf.data() + io.ctx_offset[i], kLenPrefix);
+    if (len != io.expected_len[i] || len > max_context_bytes_) {
       throw std::runtime_error(
           "ContextStore: corrupted context slot for processor " +
-          std::to_string(first + i));
+          std::to_string(io.first + i));
     }
-    const auto* src = scratch_.data() + ctx_offset[i] + kLenPrefix;
+    const auto* src = io.buf.data() + io.ctx_offset[i] + kLenPrefix;
     out[i].assign(src, src + len);
   }
+}
+
+void ContextStore::read_into(std::uint32_t first, std::uint32_t count,
+                             std::vector<std::vector<std::byte>>& out) {
+  read_submit(first, count, sync_io_);
+  read_wait(sync_io_, out);
+}
+
+std::vector<std::vector<std::byte>> ContextStore::read(std::uint32_t first,
+                                                       std::uint32_t count) {
+  std::vector<std::vector<std::byte>> out;
+  read_into(first, count, out);
   return out;
 }
 

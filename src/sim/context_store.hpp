@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "em/striped_region.hpp"
+#include "util/serialization.hpp"
 
 namespace embsp::sim {
 
@@ -56,15 +58,60 @@ class ContextStore {
   [[nodiscard]] std::pair<std::uint32_t, std::uint64_t> location(
       std::uint32_t ctx, std::uint64_t block) const;
 
+  /// Serializes the context of processor `ctx` into the Writer, which
+  /// appends directly to the block-aligned staging buffer (no intermediate
+  /// per-context vector).
+  using EmitFn = std::function<void(std::uint32_t ctx, util::Writer& w)>;
+
+  /// One in-flight read or write of a contiguous context range: the staged
+  /// bytes, per-context offsets into them, and the completion tokens of the
+  /// submitted parallel I/Os.  Owned by the caller so the pipelined
+  /// simulator can double-buffer; reused across supersteps (grow-only
+  /// buffer).
+  struct PendingIo {
+    std::vector<em::DiskArray::IoToken> tokens;
+    std::vector<std::byte> buf;
+    std::vector<std::size_t> ctx_offset;
+    std::vector<std::uint32_t> expected_len;  ///< read: length at submission
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    bool active = false;
+  };
+
   /// Write contexts [first, first+count); `payloads[i]` is the serialized
   /// context of processor first+i and must fit in mu bytes.
   void write(std::uint32_t first,
              std::span<const std::vector<std::byte>> payloads);
 
+  /// Write contexts [first, first+count), serializing each directly into
+  /// the staging buffer via `emit` (blocking; same I/O schedule as the
+  /// span overload).
+  void write(std::uint32_t first, std::uint32_t count, const EmitFn& emit);
+
   /// Read contexts [first, first+count); returns one byte vector per
   /// context (exactly the bytes previously written).
   [[nodiscard]] std::vector<std::vector<std::byte>> read(std::uint32_t first,
                                                          std::uint32_t count);
+
+  /// Reusable-buffer variant of read(): fills `out[i]` with the payload of
+  /// context first+i, recycling the vectors' capacity.
+  void read_into(std::uint32_t first, std::uint32_t count,
+                 std::vector<std::vector<std::byte>>& out);
+
+  // --- Asynchronous paths (pipelined simulator) ----------------------------
+  //
+  // Submission stages the data and starts every parallel I/O of the range
+  // (same op batching as the blocking calls — one block per disk per
+  // operation, so model cost is identical); the matching wait settles the
+  // tokens in submission order.  `io.buf` must stay untouched between
+  // submit and wait.  Metadata (lengths, journal dirty bits) is updated at
+  // submission, exactly when the blocking calls update it.
+
+  void read_submit(std::uint32_t first, std::uint32_t count, PendingIo& io);
+  void read_wait(PendingIo& io, std::vector<std::vector<std::byte>>& out);
+  void write_submit(std::uint32_t first, std::uint32_t count,
+                    const EmitFn& emit, PendingIo& io);
+  void write_wait(PendingIo& io);
 
   [[nodiscard]] std::uint32_t num_contexts() const { return num_contexts_; }
   [[nodiscard]] bool journaled() const { return journaled_; }
@@ -99,7 +146,7 @@ class ContextStore {
   std::vector<std::uint8_t> bank_;      ///< live bank (journaled mode)
   std::vector<std::uint8_t> dirty_;     ///< written this epoch
   std::vector<std::uint32_t> pending_lengths_;  ///< uncommitted lengths
-  std::vector<std::byte> scratch_;
+  PendingIo sync_io_;  ///< staging slot of the blocking read/write calls
 };
 
 }  // namespace embsp::sim

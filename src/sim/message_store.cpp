@@ -112,6 +112,12 @@ void MessageStore::write_block(std::span<const std::byte> block,
 
 void MessageStore::flush(util::Rng& rng) {
   if (pending_.empty()) return;
+  // In write-behind mode the cycles of this flush are submitted, not
+  // waited: the block payloads migrate into an InFlightCycle record that
+  // keeps them alive until their tokens settle.  Placement (permutation
+  // draws, round-robin cursors, track allocation) happens at submission in
+  // call order either way, so both modes produce the same disk image.
+  std::vector<em::DiskArray::IoToken> tokens;
   if (cfg_.mode == RoutingMode::deterministic) {
     // Round-robin per bucket: each bucket's blocks are spread over the
     // disks exactly evenly, no randomness.  Blocks whose assigned disks
@@ -138,22 +144,81 @@ void MessageStore::flush(util::Rng& rng) {
         cycle_disks.push_back(assigned[i].first);
         cycle_idx.push_back(i);
       }
-      buckets_.write_cycle_assigned(cycle, cycle_disks);
+      if (write_behind_ > 0) {
+        tokens.push_back(
+            buckets_.submit_write_cycle_assigned(cycle, cycle_disks));
+      } else {
+        buckets_.write_cycle_assigned(cycle, cycle_disks);
+      }
       for (auto i : cycle_idx) {
         done[i] = 1;
         --remaining;
       }
     }
+  } else {
+    std::vector<em::LinkedBuckets::OutBlock> out;
+    out.reserve(pending_.size());
+    for (const auto& p : pending_) {
+      out.push_back({p.bucket, p.data});
+    }
+    if (write_behind_ > 0) {
+      tokens.push_back(buckets_.submit_write_cycle(out, rng));
+    } else {
+      buckets_.write_cycle(out, rng);
+    }
+  }
+  if (write_behind_ == 0) {
     pending_.clear();
     return;
   }
-  std::vector<em::LinkedBuckets::OutBlock> out;
-  out.reserve(pending_.size());
-  for (const auto& p : pending_) {
-    out.push_back({p.bucket, p.data});
+  InFlightCycle cycle;
+  cycle.tokens = std::move(tokens);
+  cycle.blocks = std::move(pending_);
+  inflight_.push_back(std::move(cycle));
+  if (!cycle_pool_.empty()) {
+    pending_ = std::move(cycle_pool_.back());
+    cycle_pool_.pop_back();
+  } else {
+    pending_ = {};
   }
-  buckets_.write_cycle(out, rng);
   pending_.clear();
+  while (inflight_.size() > write_behind_) retire_oldest_inflight();
+}
+
+void MessageStore::enable_write_behind(std::size_t max_inflight) {
+  if (max_inflight == 0 && !inflight_.empty()) quiesce();
+  write_behind_ = max_inflight;
+}
+
+void MessageStore::retire_oldest_inflight() {
+  InFlightCycle cycle = std::move(inflight_.front());
+  inflight_.pop_front();
+  // Settle EVERY token before letting the payload buffers die, even when
+  // one throws — a sibling token of the same cycle still references the
+  // blocks until it settles.
+  std::exception_ptr first;
+  for (const auto t : cycle.tokens) {
+    try {
+      disks_->wait(t);
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  cycle.blocks.clear();
+  cycle_pool_.push_back(std::move(cycle.blocks));
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void MessageStore::quiesce() {
+  while (!inflight_.empty()) retire_oldest_inflight();
+}
+
+void MessageStore::abandon_inflight() {
+  for (auto& cycle : inflight_) {
+    cycle.blocks.clear();
+    cycle_pool_.push_back(std::move(cycle.blocks));
+  }
+  inflight_.clear();
 }
 
 RoutingStats MessageStore::reorganize(util::Rng& rng) {
@@ -173,6 +238,9 @@ RoutingStats MessageStore::reorganize(util::Rng& rng) {
     }
   }
   flush(rng);
+  // With write-behind on, flush() may only have SUBMITTED the last cycles;
+  // step 1 below reads those very tracks, so settle them first.
+  if (write_behind_ > 0) quiesce();
 
   for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
     stats.blocks_total += staged_count_[g];
@@ -313,8 +381,9 @@ void MessageStore::fetch_group_blocks(
   const std::uint32_t bucket = bucket_of_group(g);
   const std::uint64_t base = ready_base_[g];
   const std::uint64_t count = ready_count_[g];
-  std::vector<std::byte> buf(static_cast<std::size_t>(num_disks_) *
-                             block_size_);
+  const std::size_t want =
+      static_cast<std::size_t>(num_disks_) * block_size_;
+  if (fetch_buf_.size() < want) fetch_buf_.resize(want);
   std::vector<em::ReadOp> reads;
   std::uint64_t done = 0;
   while (done < count) {
@@ -324,16 +393,62 @@ void MessageStore::fetch_group_blocks(
     for (std::uint64_t i = 0; i < batch; ++i) {
       const auto [disk, track] = arena_location(bucket, base + done + i);
       reads.push_back({disk, track,
-                       std::span<std::byte>(buf).subspan(i * block_size_,
-                                                         block_size_)});
+                       std::span<std::byte>(fetch_buf_)
+                           .subspan(i * block_size_, block_size_)});
     }
     disks_->parallel_read(reads);
     for (std::uint64_t i = 0; i < batch; ++i) {
-      consume(std::span<const std::byte>(buf).subspan(i * block_size_,
-                                                      block_size_));
+      consume(std::span<const std::byte>(fetch_buf_)
+                  .subspan(i * block_size_, block_size_));
     }
     done += batch;
   }
+}
+
+void MessageStore::fetch_group_submit(std::uint32_t g, PendingFetch& pf) {
+  const std::uint32_t bucket = bucket_of_group(g);
+  const std::uint64_t base = ready_base_[g];
+  const std::uint64_t count = ready_count_[g];
+  pf.tokens.clear();
+  pf.group = g;
+  pf.count = count;
+  pf.active = true;
+  const auto want = static_cast<std::size_t>(count) * block_size_;
+  if (pf.buf.size() < want) pf.buf.resize(want);
+  // Same <=D batching as the blocking fetch: each batch is one parallel
+  // I/O, so the prefetch charges exactly the model cost of fetch_group.
+  std::vector<em::ReadOp> reads;
+  std::uint64_t done = 0;
+  while (done < count) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(num_disks_, count - done);
+    reads.clear();
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      const auto [disk, track] = arena_location(bucket, base + done + i);
+      reads.push_back({disk, track,
+                       std::span<std::byte>(pf.buf).subspan(
+                           (done + i) * block_size_, block_size_)});
+    }
+    pf.tokens.push_back(disks_->submit_read(reads));
+    done += batch;
+  }
+}
+
+std::vector<bsp::Message> MessageStore::fetch_group_wait(PendingFetch& pf) {
+  if (!pf.active) {
+    throw std::logic_error(
+        "MessageStore::fetch_group_wait: no fetch in flight");
+  }
+  for (const auto t : pf.tokens) disks_->wait(t);
+  pf.tokens.clear();
+  pf.active = false;
+  Reassembler r(cfg_.max_message_bytes);
+  for (std::uint64_t t = 0; t < pf.count; ++t) {
+    r.absorb(std::span<const std::byte>(pf.buf).subspan(t * block_size_,
+                                                        block_size_),
+             pf.group);
+  }
+  return r.take();
 }
 
 std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {

@@ -26,6 +26,7 @@
 // quantity Theorem 1 bounds.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <functional>
@@ -41,6 +42,7 @@
 #include "sim/obs_hooks.hpp"
 #include "sim/seq_simulator.hpp"
 #include "sim/sim_config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace embsp::sim {
 
@@ -154,36 +156,68 @@ SimResult ParSimulator::run(
       bar.arrive_and_wait();
       if (failed.load()) throw Aborted{};
     };
+    // Pipelined double-buffered context staging.  Declared OUTSIDE the try:
+    // stack unwinding must not destroy buffers that in-flight transfers
+    // still reference — the catch blocks below drain the disk array first.
+    ContextStore::PendingIo ctx_read[2];
+    ContextStore::PendingIo ctx_write[2];
+    std::unique_ptr<util::ComputePool> pool;
     try {
       auto& self = procs[me];
       auto& disks = *disk_arrays_[me];
       obs::Recorder* const rec = cfg_.recorder;
+      const bool pipelined = cfg_.pipeline;
+      if (pipelined) {
+        self.messages->enable_write_behind(4);
+        if (cfg_.compute_threads > 1) {
+          pool = std::make_unique<util::ComputePool>(cfg_.compute_threads - 1);
+        }
+      }
 
       // Initial contexts (local virtual processors i*local_v .. ).
       {
         ObsPhase phase(rec, "init", disks, &self.phase_io.init, me);
-        std::vector<std::vector<std::byte>> payloads;
         for (std::uint32_t r = 0; r < rounds; ++r) {
           const std::uint32_t first = r * k;
           const std::uint32_t count = std::min(k, local_v - first);
-          payloads.clear();
-          for (std::uint32_t i = 0; i < count; ++i) {
-            util::Writer w;
-            make_state(me * local_v + first + i).serialize(w);
-            payloads.push_back(w.take());
-          }
-          self.contexts->write(first, payloads);
+          // Serialize straight into the store's block-aligned staging.
+          self.contexts->write(
+              first, count, [&](std::uint32_t ctx, util::Writer& w) {
+                make_state(me * local_v + ctx).serialize(w);
+              });
         }
       }
       sync();
 
-      bsp::WorkMeter meter;
+      // Buffers reused across rounds and supersteps (no per-round churn).
+      std::vector<std::vector<std::byte>> payloads;
+      std::vector<std::vector<bsp::Message>> inboxes;
+      std::vector<bsp::Message> outgoing;
+      std::vector<State> states;
+      struct VpStats {
+        bool cont = false;
+        std::uint64_t work = 0;
+        std::uint64_t sent_packets = 0;
+        std::uint64_t sent_wire = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t num_messages = 0;
+        std::uint64_t recv_packets = 0;
+        std::uint64_t recv_bytes = 0;
+      };
+      std::vector<VpStats> vp;
+      std::vector<bsp::Outbox> outboxes;
+      auto submit_ctx_read = [&](std::uint32_t r) {
+        const std::uint32_t rf = r * k;
+        const std::uint32_t rc = std::min(k, local_v - rf);
+        self.contexts->read_submit(rf, rc, ctx_read[r & 1]);
+      };
       for (std::size_t step = 0;; ++step) {
         if (step >= cfg_.max_supersteps) {
           throw std::runtime_error("ParSimulator: superstep limit exceeded");
         }
         self.want_continue = false;
         self.comm_bytes_this_step = 0;
+        if (pipelined) submit_ctx_read(0);
 
         for (std::uint32_t round = 0; round < rounds; ++round) {
           // --- Fetch: read local blocks of this batch, forward to owners.
@@ -219,7 +253,8 @@ SimResult ParSimulator::run(
             }
           }
           auto incoming = reasm.take();
-          std::vector<std::vector<bsp::Message>> inboxes(count);
+          if (inboxes.size() < count) inboxes.resize(count);
+          for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
           for (auto& m : incoming) {
             const std::uint32_t local = m.dst - me * local_v;
             if (owner_of(m.dst) != me || local < first ||
@@ -230,64 +265,84 @@ SimResult ParSimulator::run(
             inboxes[local - first].push_back(std::move(m));
           }
 
-          std::vector<std::vector<std::byte>> payloads;
           {
-            ObsPhase phase(rec, "fetch_ctx", disks, &self.phase_io.fetch_ctx,
-                           me);
-            payloads = self.contexts->read(first, count);
+            ObsPhase phase(rec, pipelined ? "prefetch_ctx" : "fetch_ctx",
+                           disks, &self.phase_io.fetch_ctx, me);
+            if (pipelined) {
+              self.contexts->read_wait(ctx_read[round & 1], payloads);
+              // Read-ahead: the next round's contexts stream in while this
+              // round computes.
+              if (round + 1 < rounds) submit_ctx_read(round + 1);
+            } else {
+              self.contexts->read_into(first, count, payloads);
+            }
           }
 
-          std::vector<State> states(count);
-          std::vector<bsp::Message> outgoing;
+          states.clear();
+          states.resize(count);
+          vp.assign(count, VpStats{});
+          outboxes.clear();
+          for (std::uint32_t i = 0; i < count; ++i) {
+            outboxes.emplace_back(me * local_v + first + i, v);
+          }
+          outgoing.clear();
           bsp::SuperstepCost local_cost;
           {
-          ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
-          for (std::uint32_t i = 0; i < count; ++i) {
-            util::Reader r(payloads[i]);
-            states[i].deserialize(r);
-            bsp::Inbox in(std::move(inboxes[i]));
-            bsp::Outbox out(me * local_v + first + i, v);
-            meter.reset();
-            bsp::ProcEnv env{me * local_v + first + i, v, &meter};
-            const bool cont = prog.superstep(step, env, states[i], in, out);
-            self.want_continue = self.want_continue || cont;
-
-            local_cost.max_work = std::max(local_cost.max_work, meter.total());
-            local_cost.total_work += meter.total();
-            std::uint64_t sent_packets = 0;
-            std::uint64_t sent_wire = 0;
-            for (const auto& m : out.messages()) {
-              sent_packets +=
-                  bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
-              sent_wire += bsp::wire_bytes(m.size_bytes());
+            ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
+            // Each task touches only index-i data; costs are reduced below
+            // in vproc order, so the totals match the sequential loop.
+            auto task = [&](std::size_t i) {
+              util::Reader r(payloads[i]);
+              states[i].deserialize(r);
+              bsp::Inbox in(std::move(inboxes[i]));
+              bsp::WorkMeter m;
+              bsp::ProcEnv env{
+                  me * local_v + first + static_cast<std::uint32_t>(i), v, &m};
+              VpStats& s = vp[i];
+              s.cont = prog.superstep(step, env, states[i], in, outboxes[i]);
+              s.work = m.total();
+              for (const auto& msg : outboxes[i].messages()) {
+                s.sent_packets +=
+                    bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+                s.sent_wire += bsp::wire_bytes(msg.size_bytes());
+              }
+              s.bytes_sent = outboxes[i].total_bytes();
+              s.num_messages = outboxes[i].messages().size();
+              for (const auto& msg : in.all()) {
+                s.recv_packets +=
+                    bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+                s.recv_bytes += msg.size_bytes();
+              }
+            };
+            if (pool != nullptr) {
+              pool->run(count, task);
+            } else {
+              for (std::uint32_t i = 0; i < count; ++i) task(i);
             }
-            if (sent_wire > cfg_.gamma) {
+          }  // end compute span
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const VpStats& s = vp[i];
+            self.want_continue = self.want_continue || s.cont;
+            local_cost.max_work = std::max(local_cost.max_work, s.work);
+            local_cost.total_work += s.work;
+            if (s.sent_wire > cfg_.gamma) {
               throw std::runtime_error(
                   "ParSimulator: processor exceeded the declared gamma");
             }
-            local_cost.max_bytes_sent = std::max<std::uint64_t>(
-                local_cost.max_bytes_sent, out.total_bytes());
+            local_cost.max_bytes_sent =
+                std::max(local_cost.max_bytes_sent, s.bytes_sent);
             local_cost.max_packets_sent =
-                std::max(local_cost.max_packets_sent, sent_packets);
+                std::max(local_cost.max_packets_sent, s.sent_packets);
             local_cost.max_wire_sent =
-                std::max(local_cost.max_wire_sent, sent_wire);
-            std::uint64_t recv_packets = 0;
-            std::uint64_t recv_bytes = 0;
-            for (const auto& m : in.all()) {
-              recv_packets +=
-                  bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
-              recv_bytes += m.size_bytes();
-            }
+                std::max(local_cost.max_wire_sent, s.sent_wire);
             local_cost.max_bytes_received =
-                std::max(local_cost.max_bytes_received, recv_bytes);
+                std::max(local_cost.max_bytes_received, s.recv_bytes);
             local_cost.max_packets_received =
-                std::max(local_cost.max_packets_received, recv_packets);
-            local_cost.total_bytes += out.total_bytes();
-            local_cost.num_messages += out.messages().size();
-
-            for (auto& m : out.take()) outgoing.push_back(std::move(m));
+                std::max(local_cost.max_packets_received, s.recv_packets);
+            local_cost.total_bytes += s.bytes_sent;
+            local_cost.num_messages += s.num_messages;
+            for (auto& m : outboxes[i].take()) outgoing.push_back(std::move(m));
           }
-          }  // end compute span
           {
             std::lock_guard<std::mutex> lock(cost_mutex);
             step_cost.max_work = std::max(step_cost.max_work,
@@ -308,15 +363,20 @@ SimResult ParSimulator::run(
 
           // Write contexts back.
           {
-            ObsPhase phase(rec, "write_ctx", disks, &self.phase_io.write_ctx,
-                           me);
-            std::vector<std::vector<std::byte>> out_payloads(count);
-            for (std::uint32_t i = 0; i < count; ++i) {
-              util::Writer w;
-              states[i].serialize(w);
-              out_payloads[i] = w.take();
+            ObsPhase phase(rec, pipelined ? "writeback_ctx" : "write_ctx",
+                           disks, &self.phase_io.write_ctx, me);
+            auto emit = [&](std::uint32_t ctx, util::Writer& w) {
+              states[ctx - first].serialize(w);
+            };
+            if (pipelined) {
+              // Retire round r-2's write-backs, then submit round r's; the
+              // writes overlap the following rounds' compute.
+              self.contexts->write_wait(ctx_write[round & 1]);
+              self.contexts->write_submit(first, count, emit,
+                                          ctx_write[round & 1]);
+            } else {
+              self.contexts->write(first, count, emit);
             }
-            self.contexts->write(first, out_payloads);
           }
 
           // --- Writing: pack per (owner, batch) and scatter randomly.
@@ -379,6 +439,20 @@ SimResult ParSimulator::run(
           sync();
         }
 
+        if (pipelined) {
+          // Drain the pipeline before reorganizing: the last two rounds'
+          // context write-backs and every in-flight message write cycle.
+          {
+            ObsPhase phase(rec, "writeback_ctx", disks,
+                           &self.phase_io.write_ctx, me);
+            self.contexts->write_wait(ctx_write[rounds & 1]);
+            self.contexts->write_wait(ctx_write[(rounds + 1) & 1]);
+          }
+          ObsPhase phase(rec, "writeback_msg", disks,
+                         &self.phase_io.write_msg, me);
+          self.messages->quiesce();
+        }
+
         // --- Step 2: local SimulateRouting.
         {
           ObsPhase phase(rec, "reorganize", disks, &self.phase_io.reorganize,
@@ -408,7 +482,7 @@ SimResult ParSimulator::run(
         for (std::uint32_t r = 0; r < rounds; ++r) {
           const std::uint32_t first = r * k;
           const std::uint32_t count = std::min(k, local_v - first);
-          auto payloads = self.contexts->read(first, count);
+          self.contexts->read_into(first, count, payloads);
           for (std::uint32_t i = 0; i < count; ++i) {
             util::Reader rd(payloads[i]);
             final_states[me * local_v + first + i].deserialize(rd);
@@ -419,10 +493,18 @@ SimResult ParSimulator::run(
       // SeqSimulator::run).
       disks.sync();
     } catch (const Aborted&) {
+      if (cfg_.pipeline) {
+        disk_arrays_[me]->drain();
+        procs[me].messages->abandon_inflight();
+      }
       bar.arrive_and_drop();
     } catch (...) {
       errors[me] = std::current_exception();
       failed.store(true);
+      if (cfg_.pipeline) {
+        disk_arrays_[me]->drain();
+        procs[me].messages->abandon_inflight();
+      }
       bar.arrive_and_drop();
     }
   };
@@ -443,6 +525,15 @@ SimResult ParSimulator::run(
     result.per_proc_io.push_back(disk_arrays_[i]->stats());
     if (disk_arrays_[i]->stats().parallel_ios >= result.total_io.parallel_ios) {
       result.total_io = disk_arrays_[i]->stats();
+    }
+    // Compute/I/O overlap, worst (least overlapped) processor.
+    const auto& eng = disk_arrays_[i]->engine_stats();
+    if (const std::uint64_t busy = eng.max_busy_ns(); busy > 0) {
+      const double r =
+          1.0 - static_cast<double>(eng.stall_ns) / static_cast<double>(busy);
+      const double clamped = std::clamp(r, 0.0, 1.0);
+      result.overlap_ratio =
+          i == 0 ? clamped : std::min(result.overlap_ratio, clamped);
     }
     result.routing_stats += procs[i].routing;
     result.real_comm_bytes =
@@ -477,6 +568,7 @@ SimResult ParSimulator::run(
                   static_cast<double>(result.max_tracks_per_disk));
     reg.set_gauge("sim.real_comm_bytes",
                   static_cast<double>(result.real_comm_bytes));
+    reg.set_gauge("sim.overlap_ratio", result.overlap_ratio);
   }
   return result;
 }

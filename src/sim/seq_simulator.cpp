@@ -30,9 +30,13 @@ SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
   // buckets (one per disk) cannot all be populated and SimulateRouting
   // degenerates to near-serial I/O — this is the practical face of the
   // paper's slackness requirement v >= k*D*log(M/B) (Theorem 1).
+  // Pipelined execution double-buffers the context staging (groups g and
+  // g+1 resident at once), so its memory bound tightens to 2*k*slot <= M.
+  const std::size_t resident = cfg.pipeline ? 2 : 1;
   std::size_t k = cfg.k != 0
                       ? cfg.k
-                      : bsp::default_group_size(em.M, layout.context_slot_bytes);
+                      : bsp::default_group_size(em.M / resident,
+                                                layout.context_slot_bytes);
   if (cfg.k == 0 && local_v >= em.D) {
     k = std::min<std::size_t>(k, local_v / em.D);
   }
@@ -42,11 +46,14 @@ SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
   // the model grants; an explicit cfg.k gets the same bound.  (No slack:
   // the group's message blocks of step 1(b) share the same M, so granting
   // more than M of context would already break the theorem's premise.)
-  if (cfg.k != 0 && cfg.k * layout.context_slot_bytes > em.M) {
+  if (cfg.k != 0 && cfg.k * layout.context_slot_bytes * resident > em.M) {
     throw std::invalid_argument(
         "SimLayout: requested group size k needs " +
-        std::to_string(cfg.k * layout.context_slot_bytes) +
-        " bytes of context memory but M = " + std::to_string(em.M));
+        std::to_string(cfg.k * layout.context_slot_bytes * resident) +
+        " bytes of context memory" +
+        (cfg.pipeline ? " (2 groups resident: pipelined double buffering)"
+                      : "") +
+        " but M = " + std::to_string(em.M));
   }
   layout.k = k;
   layout.num_groups =

@@ -17,6 +17,7 @@
 // the declared gamma, and k*mu must fit the machine's memory M.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "sim/message_store.hpp"
 #include "sim/obs_hooks.hpp"
 #include "sim/sim_config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace embsp::sim {
 
@@ -128,11 +130,83 @@ SimResult SeqSimulator::run(
   // draws and track placements, so its writes overwrite whatever the
   // abandoned attempt left behind — torn blocks included — and a recovered
   // run's disk image is byte-identical to an undisturbed one.
+  // --- Pipelined execution state (tentpole; inert when cfg_.pipeline is
+  // off).  Two groups are resident at once: while group g computes, group
+  // g+1's contexts and message arena blocks stream in and group g-1's
+  // write-backs retire, all through the disk array's async token API.
+  const bool pipelined = cfg_.pipeline;
+  std::unique_ptr<util::ComputePool> pool;
+  if (pipelined && cfg_.compute_threads > 1) {
+    pool = std::make_unique<util::ComputePool>(cfg_.compute_threads - 1);
+  }
+  if (pipelined) {
+    // Bounded write-behind: at most 4 message write cycles (<= 4*D blocks)
+    // ride behind the computing group before write_messages throttles.
+    messages.enable_write_behind(4);
+  }
+  // Double-buffered staging slots, indexed by group parity.  The staging
+  // buffers inside live for the whole run, so in-flight transfers never
+  // reference memory owned by a dead stack frame.
+  ContextStore::PendingIo ctx_read[2];
+  ContextStore::PendingIo ctx_write[2];
+  MessageStore::PendingFetch msg_fetch[2];
+
+  // Buffers reused across groups and supersteps (no per-group churn).
+  std::vector<std::vector<std::byte>> payloads;
+  std::vector<std::vector<bsp::Message>> inboxes;
+  std::vector<bsp::Message> outgoing;
+  std::vector<State> states;
+  states.reserve(layout.k);
+  inboxes.reserve(layout.k);
+
+  // Per-virtual-processor compute results, filled by (possibly concurrent)
+  // superstep() calls and reduced sequentially in vproc order so the cost
+  // totals are independent of thread interleaving.
+  struct VpStats {
+    bool cont = false;
+    std::uint64_t work = 0;
+    std::uint64_t sent_packets = 0;
+    std::uint64_t sent_wire = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t num_messages = 0;
+    std::uint64_t recv_packets = 0;
+    std::uint64_t recv_bytes = 0;
+  };
+  std::vector<VpStats> vp;
+  std::vector<bsp::Outbox> outboxes;
+
+  // Settles every in-flight token and abandons staged message cycles.
+  // Must run before any exception leaves this frame (the transfers point
+  // into the staging buffers above) and before recovery restores snapshots
+  // (a late-landing write would corrupt the restored state).
+  auto pipeline_quiesce = [&] {
+    if (!pipelined) return;
+    disks_->drain();
+    messages.abandon_inflight();
+    for (int s = 0; s < 2; ++s) {
+      ctx_read[s].active = false;
+      ctx_read[s].tokens.clear();
+      ctx_write[s].active = false;
+      ctx_write[s].tokens.clear();
+      msg_fetch[s].active = false;
+      msg_fetch[s].tokens.clear();
+    }
+  };
+
   std::uint64_t superstep_rollbacks = 0;
   std::uint64_t reorganize_rollbacks = 0;
   auto run_protected = [&](std::uint64_t& rollbacks, auto&& body) {
     if (!cfg_.superstep_recovery) {
-      body();
+      if (!pipelined) {
+        body();
+        return;
+      }
+      try {
+        body();
+      } catch (...) {
+        pipeline_quiesce();
+        throw;
+      }
       return;
     }
     for (std::size_t attempt = 0;; ++attempt) {
@@ -144,6 +218,7 @@ SimResult SeqSimulator::run(
         contexts.commit_epoch();
         return;
       } catch (const em::IoError&) {
+        pipeline_quiesce();
         if (attempt >= cfg_.max_superstep_retries) throw;
         rng = rng_ckpt;
         alloc.restore(alloc_ckpt);
@@ -153,6 +228,9 @@ SimResult SeqSimulator::run(
         record_rollback(rec, &rollbacks == &superstep_rollbacks
                                  ? "superstep"
                                  : "reorganize");
+      } catch (...) {
+        pipeline_quiesce();
+        throw;
       }
     }
   };
@@ -161,22 +239,25 @@ SimResult SeqSimulator::run(
   // in memory — the EM discipline applies to setup too).
   run_protected(superstep_rollbacks, [&] {
     ObsPhase phase(rec, "init", *disks_, &result.phase_io.init);
-    std::vector<std::vector<std::byte>> payloads;
     for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
       const std::uint32_t first = gidx * k;
       const std::uint32_t count = std::min(k, v - first);
-      payloads.clear();
-      for (std::uint32_t i = 0; i < count; ++i) {
-        util::Writer w;
-        make_state(first + i).serialize(w);
-        payloads.push_back(w.take());
-      }
-      contexts.write(first, payloads);
+      // Serialize straight into the store's block-aligned staging buffer.
+      contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
+        make_state(ctx).serialize(w);
+      });
     }
   });
 
   const auto group_of = [k](std::uint32_t dst) { return dst / k; };
-  bsp::WorkMeter meter;
+  // Submit group g's context reads and arena fetches into its parity slot.
+  auto submit_prefetch = [&](std::uint32_t g) {
+    const int slot = static_cast<int>(g & 1);
+    const std::uint32_t pf = g * k;
+    const std::uint32_t pc = std::min(k, v - pf);
+    contexts.read_submit(pf, pc, ctx_read[slot]);
+    messages.fetch_group_submit(g, msg_fetch[slot]);
+  };
   std::vector<bool> done(v, false);
   bool all_done = false;
 
@@ -197,24 +278,40 @@ SimResult SeqSimulator::run(
     cost = bsp::SuperstepCost{};
     any_continue = false;
 
+    if (pipelined) submit_prefetch(0);
+
     for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
       const std::uint32_t first = gidx * k;
       const std::uint32_t count = std::min(k, v - first);
+      const int cur = static_cast<int>(gidx & 1);
 
       // --- Fetching Phase: steps 1(a) and 1(b) ---
-      std::vector<std::vector<std::byte>> payloads;
-      {
-        ObsPhase phase(rec, "fetch_ctx", *disks_, &result.phase_io.fetch_ctx);
-        payloads = contexts.read(first, count);
-      }
-
       std::vector<bsp::Message> incoming;
-      {
+      if (pipelined) {
+        {
+          ObsPhase phase(rec, "prefetch_ctx", *disks_,
+                         &result.phase_io.fetch_ctx);
+          contexts.read_wait(ctx_read[cur], payloads);
+        }
+        {
+          ObsPhase phase(rec, "prefetch_msg", *disks_,
+                         &result.phase_io.fetch_msg);
+          incoming = messages.fetch_group_wait(msg_fetch[cur]);
+        }
+        // Read-ahead: group g+1's transfers overlap group g's compute.
+        if (gidx + 1 < num_groups) submit_prefetch(gidx + 1);
+      } else {
+        {
+          ObsPhase phase(rec, "fetch_ctx", *disks_,
+                         &result.phase_io.fetch_ctx);
+          contexts.read_into(first, count, payloads);
+        }
         ObsPhase phase(rec, "fetch_msg", *disks_, &result.phase_io.fetch_msg);
         incoming = messages.fetch_group(gidx);
       }
 
-      std::vector<std::vector<bsp::Message>> inboxes(count);
+      if (inboxes.size() < count) inboxes.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
       for (auto& m : incoming) {
         if (m.dst < first || m.dst >= first + count) {
           throw std::runtime_error(
@@ -224,76 +321,112 @@ SimResult SeqSimulator::run(
       }
 
       // --- Computation Phase: step 1(c) ---
-      std::vector<State> states(count);
-      std::vector<bsp::Message> outgoing;
-      {
-      // Wall-clock-only span: compute does no I/O, so there is no PhaseIo
-      // slot for it.
-      ObsPhase compute_phase(rec, "compute", *disks_, nullptr);
+      states.clear();
+      states.resize(count);
+      vp.assign(count, VpStats{});
+      outboxes.clear();
       for (std::uint32_t i = 0; i < count; ++i) {
-        util::Reader r(payloads[i]);
-        states[i].deserialize(r);
-
-        bsp::Inbox in(std::move(inboxes[i]));
-        bsp::Outbox out(first + i, v);
-        meter.reset();
-        bsp::ProcEnv env{first + i, v, &meter};
-        const bool cont = prog.superstep(step, env, states[i], in, out);
-        any_continue = any_continue || cont;
-
-        // Cost accounting identical to DirectRuntime.
-        cost.max_work = std::max(cost.max_work, meter.total());
-        cost.total_work += meter.total();
-        std::uint64_t sent_packets = 0;
-        std::uint64_t sent_wire = 0;
-        for (const auto& m : out.messages()) {
-          sent_packets += bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
-          sent_wire += bsp::wire_bytes(m.size_bytes());
+        outboxes.emplace_back(first + i, v);
+      }
+      outgoing.clear();
+      {
+        // Wall-clock-only span: compute does no I/O, so there is no PhaseIo
+        // slot for it.
+        ObsPhase compute_phase(rec, "compute", *disks_, nullptr);
+        // Each task touches only index-i data; costs are reduced below in
+        // vproc order, so the totals are identical inline or pooled.
+        auto task = [&](std::size_t i) {
+          util::Reader r(payloads[i]);
+          states[i].deserialize(r);
+          bsp::Inbox in(std::move(inboxes[i]));
+          bsp::WorkMeter m;
+          bsp::ProcEnv env{first + static_cast<std::uint32_t>(i), v, &m};
+          VpStats& s = vp[i];
+          s.cont = prog.superstep(step, env, states[i], in, outboxes[i]);
+          s.work = m.total();
+          for (const auto& msg : outboxes[i].messages()) {
+            s.sent_packets +=
+                bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+            s.sent_wire += bsp::wire_bytes(msg.size_bytes());
+          }
+          s.bytes_sent = outboxes[i].total_bytes();
+          s.num_messages = outboxes[i].messages().size();
+          for (const auto& msg : in.all()) {
+            s.recv_packets +=
+                bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+            s.recv_bytes += msg.size_bytes();
+          }
+        };
+        if (pool != nullptr) {
+          pool->run(count, task);
+        } else {
+          for (std::uint32_t i = 0; i < count; ++i) task(i);
         }
-        if (sent_wire > cfg_.gamma) {
+      }  // end compute span
+
+      // Sequential reduction in vproc order — cost accounting identical to
+      // DirectRuntime (and independent of the compute interleaving).
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const VpStats& s = vp[i];
+        any_continue = any_continue || s.cont;
+        cost.max_work = std::max(cost.max_work, s.work);
+        cost.total_work += s.work;
+        if (s.sent_wire > cfg_.gamma) {
           throw std::runtime_error(
               "SeqSimulator: processor " + std::to_string(first + i) +
-              " sent " + std::to_string(sent_wire) +
+              " sent " + std::to_string(s.sent_wire) +
               " bytes in one superstep, exceeding the declared gamma = " +
               std::to_string(cfg_.gamma));
         }
-        cost.max_bytes_sent =
-            std::max<std::uint64_t>(cost.max_bytes_sent, out.total_bytes());
-        cost.max_packets_sent = std::max(cost.max_packets_sent, sent_packets);
-        cost.max_wire_sent = std::max(cost.max_wire_sent, sent_wire);
-        std::uint64_t recv_packets = 0;
-        std::uint64_t recv_bytes = 0;
-        for (const auto& m : in.all()) {
-          recv_packets += bsp::packets_for(m.size_bytes(), cfg_.machine.bsp.b);
-          recv_bytes += m.size_bytes();
-        }
+        cost.max_bytes_sent = std::max(cost.max_bytes_sent, s.bytes_sent);
+        cost.max_packets_sent =
+            std::max(cost.max_packets_sent, s.sent_packets);
+        cost.max_wire_sent = std::max(cost.max_wire_sent, s.sent_wire);
         cost.max_bytes_received =
-            std::max(cost.max_bytes_received, recv_bytes);
+            std::max(cost.max_bytes_received, s.recv_bytes);
         cost.max_packets_received =
-            std::max(cost.max_packets_received, recv_packets);
-        cost.total_bytes += out.total_bytes();
-        cost.num_messages += out.messages().size();
-
-        for (auto& m : out.take()) outgoing.push_back(std::move(m));
+            std::max(cost.max_packets_received, s.recv_packets);
+        cost.total_bytes += s.bytes_sent;
+        cost.num_messages += s.num_messages;
+        for (auto& m : outboxes[i].take()) outgoing.push_back(std::move(m));
       }
-      }  // end compute span
 
       // --- Writing Phase: steps 1(d) and 1(e) ---
       {
-        ObsPhase phase(rec, "write_msg", *disks_, &result.phase_io.write_msg);
+        ObsPhase phase(rec, pipelined ? "writeback_msg" : "write_msg",
+                       *disks_, &result.phase_io.write_msg);
         messages.write_messages(outgoing, group_of, rng);
       }
 
       {
-        ObsPhase phase(rec, "write_ctx", *disks_, &result.phase_io.write_ctx);
-        std::vector<std::vector<std::byte>> out_payloads(count);
-        for (std::uint32_t i = 0; i < count; ++i) {
-          util::Writer w;
-          states[i].serialize(w);
-          out_payloads[i] = w.take();
+        ObsPhase phase(rec, pipelined ? "writeback_ctx" : "write_ctx",
+                       *disks_, &result.phase_io.write_ctx);
+        auto emit = [&](std::uint32_t ctx, util::Writer& w) {
+          states[ctx - first].serialize(w);
+        };
+        if (pipelined) {
+          // Retire group g-2's context write-backs, then submit group g's;
+          // the writes overlap the following groups' compute.
+          contexts.write_wait(ctx_write[cur]);
+          contexts.write_submit(first, count, emit, ctx_write[cur]);
+        } else {
+          contexts.write(first, count, emit);
         }
-        contexts.write(first, out_payloads);
       }
+    }
+
+    if (pipelined) {
+      // Drain the pipeline: the last two groups' context write-backs and
+      // every in-flight message write cycle.
+      {
+        ObsPhase phase(rec, "writeback_ctx", *disks_,
+                       &result.phase_io.write_ctx);
+        contexts.write_wait(ctx_write[num_groups & 1]);
+        contexts.write_wait(ctx_write[(num_groups + 1) & 1]);
+      }
+      ObsPhase phase(rec, "writeback_msg", *disks_,
+                     &result.phase_io.write_msg);
+      messages.quiesce();
     }
     });  // end superstep-body recovery unit
 
@@ -334,7 +467,7 @@ SimResult SeqSimulator::run(
       for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
         const std::uint32_t first = gidx * k;
         const std::uint32_t count = std::min(k, v - first);
-        auto payloads = contexts.read(first, count);
+        contexts.read_into(first, count, payloads);
         for (std::uint32_t i = 0; i < count; ++i) {
           State s;
           util::Reader r(payloads[i]);
@@ -351,6 +484,19 @@ SimResult SeqSimulator::run(
   disks_->sync();
   result.total_io = disks_->stats();
   result.max_tracks_per_disk = disks_->max_tracks_used();
+  {
+    // Compute/I/O overlap achieved by the engine: the fraction of the
+    // busiest disk's transfer time NOT spent blocking the simulator thread.
+    // (The serial engine executes inline, so its stall equals its busy time
+    // and the ratio reads ~0.)
+    const auto& eng = disks_->engine_stats();
+    const std::uint64_t busy = eng.max_busy_ns();
+    if (busy > 0) {
+      const double r =
+          1.0 - static_cast<double>(eng.stall_ns) / static_cast<double>(busy);
+      result.overlap_ratio = std::clamp(r, 0.0, 1.0);
+    }
+  }
   result.recovery.io_retries = disks_->engine_stats().total_retries();
   result.recovery.io_giveups = disks_->engine_stats().total_giveups();
   result.recovery.superstep_rollbacks = superstep_rollbacks;
@@ -367,6 +513,7 @@ SimResult SeqSimulator::run(
     reg.set_gauge("sim.group_size", static_cast<double>(result.group_size));
     reg.set_gauge("sim.max_tracks_per_disk",
                   static_cast<double>(result.max_tracks_per_disk));
+    reg.set_gauge("sim.overlap_ratio", result.overlap_ratio);
   }
   return result;
 }

@@ -37,6 +37,27 @@ struct SimConfig {
   std::uint64_t seed = 0x5EEDULL;
   std::size_t max_supersteps = 1'000'000;
 
+  // --- Pipelined execution (see DESIGN.md §"Pipelined execution") ---------
+
+  /// Overlap group I/O with compute: while group g computes, prefetch group
+  /// g+1's contexts and message arena and retire group g-1's write-backs
+  /// (double-buffered staging, at most 2 groups resident — SimLayout
+  /// tightens its bound to 2*k*slot <= M).  RNG draws and disk placement
+  /// happen at submission in group order, so for a fixed seed the disk
+  /// image, SimResult costs and fault schedule are byte-identical to the
+  /// serial schedule.  Off by default (the default path is untouched).
+  /// Pair with io_engine = parallel; under the serial engine submission
+  /// itself blocks and pipelining buys nothing.
+  bool pipeline = false;
+
+  /// Compute-phase width when pipelining: total concurrent superstep()
+  /// calls per group, including the coordinating thread (1 = compute stays
+  /// on the coordinator).  Cost aggregation is reduced in virtual-processor
+  /// order, so results do not depend on this value.  Requires superstep()
+  /// implementations without shared mutable state across virtual
+  /// processors (true for Program implementations by construction).
+  std::size_t compute_threads = 1;
+
   // --- Resilience (see DESIGN.md §"Failure model & recovery") -------------
 
   /// Deterministic fault injection over every disk backend.  Disabled by
@@ -117,6 +138,12 @@ struct SimResult {
   std::uint64_t real_comm_bytes = 0;
   /// Retries, rollbacks and injected faults observed during the run.
   RecoveryStats recovery;
+  /// Fraction of the busiest disk's service time hidden from the issuing
+  /// thread: 1 - stall_ns / max_busy_ns, clamped to [0, 1].  ~0 for the
+  /// serial engine (every transfer stalls the issuer); approaches 1 when
+  /// pipelining keeps the disks busy behind compute.  Wall-clock derived —
+  /// excluded from determinism guarantees.
+  double overlap_ratio = 0.0;
 
   [[nodiscard]] std::size_t lambda() const { return costs.num_supersteps(); }
   [[nodiscard]] double io_time(double cost_g) const {

@@ -22,23 +22,48 @@ namespace embsp::util {
 
 /// Appends primitive values / trivially-copyable records to a growable byte
 /// buffer.  The buffer can be inspected or moved out after writing.
+///
+/// Two modes: a default-constructed Writer owns its buffer (move it out
+/// with take()); a Writer constructed over an external buffer appends in
+/// place — the zero-copy path the simulators use to serialize contexts
+/// directly into block-aligned staging memory.  In external mode, size()
+/// reports the bytes written *by this Writer* (the external buffer may
+/// already hold earlier contexts).
 class Writer {
  public:
-  Writer() = default;
+  Writer() : buf_(&owned_) {}
+
+  /// Append to `external` instead of an owned buffer; `external` must
+  /// outlive the Writer.  Existing contents are preserved.
+  explicit Writer(std::vector<std::byte>& external)
+      : buf_(&external), base_(external.size()) {}
+
+  Writer(Writer&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        buf_(other.buf_ == &other.owned_ ? &owned_ : other.buf_),
+        base_(other.base_) {}
+  Writer& operator=(Writer&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    buf_ = other.buf_ == &other.owned_ ? &owned_ : other.buf_;
+    base_ = other.base_;
+    return *this;
+  }
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
 
   /// Reserve capacity up front when the final size is known (avoids
   /// reallocation during context save).
-  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+  void reserve(std::size_t bytes) { buf_->reserve(base_ + bytes); }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void write(const T& value) {
     const auto* p = reinterpret_cast<const std::byte*>(&value);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    buf_->insert(buf_->end(), p, p + sizeof(T));
   }
 
   void write_bytes(std::span<const std::byte> bytes) {
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    buf_->insert(buf_->end(), bytes.begin(), bytes.end());
   }
 
   template <typename T>
@@ -47,22 +72,25 @@ class Writer {
     write<std::uint64_t>(v.size());
     if (!v.empty()) {
       const auto* p = reinterpret_cast<const std::byte*>(v.data());
-      buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+      buf_->insert(buf_->end(), p, p + v.size() * sizeof(T));
     }
   }
 
   void write_string(const std::string& s) {
     write<std::uint64_t>(s.size());
     const auto* p = reinterpret_cast<const std::byte*>(s.data());
-    buf_.insert(buf_.end(), p, p + s.size());
+    buf_->insert(buf_->end(), p, p + s.size());
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] const std::vector<std::byte>& bytes() const { return buf_; }
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_->size() - base_; }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const { return *buf_; }
+  /// Owned mode only: move the buffer out.
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(*buf_); }
 
  private:
-  std::vector<std::byte> buf_;
+  std::vector<std::byte> owned_;
+  std::vector<std::byte>* buf_;
+  std::size_t base_ = 0;
 };
 
 /// Consumes a byte span produced by Writer.  Throws std::out_of_range on

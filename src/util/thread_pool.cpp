@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace embsp::util {
+
+struct ComputePool::Impl {
+  std::mutex m;
+  std::condition_variable work_cv;  // workers wait for a job
+  std::condition_variable done_cv;  // run() waits for the job to finish
+  const std::function<void(std::size_t)>* fn = nullptr;  // guarded by m
+  std::size_t count = 0;     // guarded by m
+  std::size_t next = 0;      // guarded by m
+  std::size_t active = 0;    // workers currently inside fn; guarded by m
+  bool stop = false;         // guarded by m
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;  // lowest-index exception; guarded by m
+  std::vector<std::thread> threads;
+
+  void record_error(std::size_t index, std::exception_ptr e) {
+    // caller holds m
+    if (index < error_index) {
+      error_index = index;
+      error = std::move(e);
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(m);
+    for (;;) {
+      work_cv.wait(lock, [&] { return stop || (fn != nullptr && next < count); });
+      if (stop) return;
+      while (fn != nullptr && next < count) {
+        const std::size_t i = next++;
+        ++active;
+        const auto* f = fn;
+        lock.unlock();
+        std::exception_ptr e;
+        try {
+          (*f)(i);
+        } catch (...) {
+          e = std::current_exception();
+        }
+        lock.lock();
+        if (e != nullptr) record_error(i, std::move(e));
+        --active;
+      }
+      if (next >= count && active == 0) done_cv.notify_all();
+    }
+  }
+};
+
+ComputePool::ComputePool(std::size_t extra_threads) : threads_(extra_threads) {
+  if (extra_threads == 0) return;
+  impl_ = new Impl;
+  impl_->threads.reserve(extra_threads);
+  for (std::size_t t = 0; t < extra_threads; ++t) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ComputePool::~ComputePool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+void ComputePool::run(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (impl_ == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(s.m);
+    s.fn = &fn;
+    s.count = count;
+    s.next = 0;
+    s.error_index = std::numeric_limits<std::size_t>::max();
+    s.error = nullptr;
+  }
+  s.work_cv.notify_all();
+  // The caller participates until the cursor runs dry...
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(s.m);
+      if (s.next >= count) break;
+      i = s.next++;
+    }
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s.m);
+      s.record_error(i, std::current_exception());
+    }
+  }
+  // ...then waits for the workers still inside fn.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(s.m);
+    s.done_cv.wait(lock, [&] { return s.active == 0 && s.next >= count; });
+    s.fn = nullptr;
+    error = std::move(s.error);
+    s.error = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace embsp::util

@@ -1,0 +1,44 @@
+// A small persistent pool for the simulators' parallel compute phase.
+//
+// run(count, fn) executes fn(0..count-1) across the pool's threads *plus
+// the calling thread*, pulling indices from a shared cursor.  This is
+// deliberately minimal — the k superstep() calls of one group are coarse,
+// independent tasks (each owns its state/inbox/outbox), so a mutex-guarded
+// cursor is plenty and keeps the pool trivially race-clean under TSan.
+//
+// Determinism: fn must only touch per-index data; the simulators aggregate
+// costs from a per-index result slot afterwards, in index order, so the
+// numbers (and any overflow/validation error raised during aggregation)
+// are independent of the execution interleaving.  If multiple fn calls
+// throw, run() rethrows the LOWEST index's exception after every task has
+// settled — the same error the sequential loop would have surfaced first.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace embsp::util {
+
+class ComputePool {
+ public:
+  /// Spawns `extra_threads` workers; run() additionally uses the caller,
+  /// so total parallelism is extra_threads + 1.  0 = run() executes inline.
+  explicit ComputePool(std::size_t extra_threads);
+  ~ComputePool();
+
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t width() const { return threads_ + 1; }
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  // null when extra_threads == 0
+  std::size_t threads_ = 0;
+};
+
+}  // namespace embsp::util

@@ -526,6 +526,32 @@ TEST(FaultySimSeq, ParallelEngineSeesSameFaultSchedule) {
   EXPECT_EQ(rs.total_io.parallel_ios, rp.total_io.parallel_ios);
 }
 
+TEST(FaultySimSeq, PipelinedScheduleSeesSameFaultSchedule) {
+  // The injector draws a fixed number of values per backend call, so the
+  // schedule is a pure function of each disk's call index.  Pipelining
+  // front-runs group g+1's prefetch reads past group g's writes, which can
+  // turn call N from a write into a read — a fault re-attributes between
+  // kinds (the rates are kind-symmetric here) — but the faulting call
+  // indices, the retry each one provokes, the model I/O counts and the
+  // recovered results are identical to the serial schedule's.
+  const auto serial_cfg = fault_config(1, 16, IoEngine::serial, 0.02);
+  auto piped_cfg = serial_cfg;
+  piped_cfg.io_engine = IoEngine::parallel;
+  piped_cfg.pipeline = true;
+  piped_cfg.compute_threads = 2;
+  sim::SimResult rs, rp;
+  const auto ss = run_seq(serial_cfg, rs);
+  const auto sp = run_seq(piped_cfg, rp);
+  EXPECT_EQ(ss, sp);
+  EXPECT_GT(rp.recovery.faults.total(), 0u);
+  EXPECT_EQ(rs.recovery.faults.read_errors + rs.recovery.faults.write_errors,
+            rp.recovery.faults.read_errors + rp.recovery.faults.write_errors);
+  EXPECT_EQ(rs.recovery.faults.torn_writes + rs.recovery.faults.bit_flips,
+            rp.recovery.faults.torn_writes + rp.recovery.faults.bit_flips);
+  EXPECT_EQ(rs.recovery.io_retries, rp.recovery.io_retries);
+  EXPECT_EQ(rs.total_io.parallel_ios, rp.total_io.parallel_ios);
+}
+
 TEST(FaultySimSeq, BurstForcesSuperstepRollbackAndRecovers) {
   // Script a burst long enough to exhaust the retry budget mid-run: the
   // simulator must give up on the transfer, roll back to the enclosing

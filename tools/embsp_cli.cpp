@@ -29,6 +29,14 @@
 //     --metrics <path> write a JSON metrics snapshot (per-phase wall/model
 //                      cost, per-disk service-time histograms, routing and
 //                      recovery counters; schema in src/obs/metrics.hpp)
+//     --pipeline       overlap disk I/O with compute: prefetch the next
+//                      group's contexts/messages and retire the previous
+//                      group's write-backs while the current group runs
+//                      (enables the parallel I/O engine; results and disk
+//                      image are byte-identical to the serial schedule)
+//     --compute-threads <count>
+//                      with --pipeline: run each group's superstep() calls
+//                      on this many threads (default 1; deterministic)
 //     --trace-events <path>
 //                      write a Chrome trace-event timeline (open in
 //                      chrome://tracing or https://ui.perfetto.dev)
@@ -58,6 +66,8 @@ struct Options {
   double faults = 0.0;
   std::string metrics;
   std::string trace;
+  bool pipeline = false;
+  std::size_t compute_threads = 1;
 };
 
 int usage() {
@@ -66,6 +76,7 @@ int usage() {
          "             [--M M] [--k K] [--mode compact|padded|deterministic]\n"
          "             [--seed S] [--csv PATH] [--faults RATE]\n"
          "             [--metrics PATH] [--trace-events PATH]\n"
+         "             [--pipeline] [--compute-threads T]\n"
          "workloads: sort permute transpose maxima dominance closest hull\n"
          "           envelope listrank euler cc lca\n";
   return 2;
@@ -74,9 +85,17 @@ int usage() {
 bool parse(int argc, char** argv, Options& opt) {
   if (argc < 2) return false;
   opt.workload = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     const std::string flag = argv[i];
+    // Flags without a value.
+    if (flag == "--pipeline") {
+      opt.pipeline = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
     const std::string val = argv[i + 1];
+    i += 2;
     if (flag == "--n") {
       opt.n = std::stoull(val);
     } else if (flag == "--v") {
@@ -102,6 +121,9 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--faults") {
       opt.faults = std::stod(val);
       if (opt.faults < 0.0 || opt.faults >= 1.0) return false;
+    } else if (flag == "--compute-threads") {
+      opt.compute_threads = std::stoul(val);
+      if (opt.compute_threads == 0) return false;
     } else if (flag == "--mode") {
       if (val == "compact") {
         opt.mode = sim::RoutingMode::compact;
@@ -150,6 +172,10 @@ void report(const Options& opt, const cgm::ExecResult& exec,
     table.add_row({"group size k", std::to_string(r.group_size)});
     table.add_row({"disk tracks used (max)",
                    util::fmt_count(r.max_tracks_per_disk)});
+    if (opt.pipeline) {
+      table.add_row(
+          {"compute/I-O overlap", util::fmt_double(r.overlap_ratio, 3)});
+    }
     if (opt.p > 1) {
       table.add_row({"real comm bytes/superstep (max)",
                      util::fmt_bytes(r.real_comm_bytes)});
@@ -181,6 +207,12 @@ int run_workload(const Options& opt, Fn fn) {
   cfg.k = opt.k;
   cfg.routing = opt.mode;
   cfg.seed = opt.seed;
+  if (opt.pipeline) {
+    // Pipelining needs the parallel engine, or submissions block inline.
+    cfg.pipeline = true;
+    cfg.io_engine = em::IoEngine::parallel;
+    cfg.compute_threads = opt.compute_threads;
+  }
   if (opt.faults > 0.0) {
     cfg.faults.seed = opt.seed;
     cfg.faults.read_error_rate = opt.faults;
