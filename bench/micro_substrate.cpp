@@ -1,10 +1,19 @@
 // [MICRO] google-benchmark microbenchmarks of the EM substrate and the
 // simulator building blocks: wall-clock cost of the pieces every
 // experiment above is built from.
+//
+// A custom main() runs the google-benchmark suite, then takes a handful of
+// deterministic counted measurements — payload bytes copied on the owning
+// vs the arena/MessageRef message path, and backend calls (syscalls on
+// FileBackend) with track coalescing off vs on — and writes them to
+// BENCH_micro_substrate.json so the copy/syscall reductions are plottable
+// without scraping benchmark output.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
 
+#include "bench_util.hpp"
 #include "em/disk_array.hpp"
 #include "em/linked_buckets.hpp"
 #include "em/striped_region.hpp"
@@ -12,6 +21,7 @@
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
 #include "sim/routing.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -191,4 +201,265 @@ void BM_MessageStoreRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageStoreRoundTrip);
 
+// --- Copy-path microbenchmarks ----------------------------------------------
+//
+// The same message set travels pack -> reassemble -> deliver on the two
+// payload representations.  The owning path materializes a std::vector per
+// message at both ends; the ref path bump-allocates from an arena and hands
+// out spans.
+
+std::vector<bsp::Message> make_copy_path_messages(std::size_t n,
+                                                  std::size_t payload) {
+  std::vector<bsp::Message> msgs(n);
+  for (std::uint32_t i = 0; i < msgs.size(); ++i) {
+    msgs[i].src = i % 16;
+    msgs[i].dst = i % 32;
+    msgs[i].seq = i;
+    msgs[i].payload.assign(payload, std::byte{static_cast<unsigned char>(i)});
+  }
+  return msgs;
+}
+
+void BM_MessagePathOwned(benchmark::State& state) {
+  const auto msgs = make_copy_path_messages(256, 512);
+  std::vector<const bsp::Message*> ptrs;
+  for (const auto& m : msgs) ptrs.push_back(&m);
+  std::vector<std::vector<std::byte>> blocks;
+  for (auto _ : state) {
+    blocks.clear();
+    sim::pack_blocks(ptrs, 0, 1024, [&](std::span<const std::byte> b) {
+      blocks.emplace_back(b.begin(), b.end());
+    });
+    sim::Reassembler r;
+    for (const auto& b : blocks) r.absorb(b, 0);
+    auto out = r.take();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          512);
+}
+BENCHMARK(BM_MessagePathOwned);
+
+void BM_MessagePathRefs(benchmark::State& state) {
+  const auto msgs = make_copy_path_messages(256, 512);
+  std::vector<bsp::MessageRef> refs;
+  for (const auto& m : msgs) refs.push_back({m.src, m.dst, m.seq, m.payload});
+  std::vector<std::vector<std::byte>> blocks;
+  util::Arena arena;
+  for (auto _ : state) {
+    blocks.clear();
+    arena.reset();
+    sim::pack_blocks(std::span<const bsp::MessageRef>(refs), 0, 1024,
+                     [&](std::span<const std::byte> b) {
+                       blocks.emplace_back(b.begin(), b.end());
+                     });
+    sim::Reassembler r(/*max_message_bytes=*/0, &arena);
+    for (const auto& b : blocks) r.absorb(b, 0);
+    auto out = r.take_refs();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 256 *
+                          512);
+}
+BENCHMARK(BM_MessagePathRefs);
+
+// Batched file I/O with and without track coalescing: the same 64-track
+// run per disk issued as one vectored pwritev/preadv versus per-track
+// pwrite/pread.
+void BM_FileBatchIo(benchmark::State& state, bool coalesce) {
+  constexpr std::size_t kD = 4;
+  constexpr std::size_t kTracks = 64;
+  constexpr std::size_t kB = 4096;
+  const auto dir = std::filesystem::temp_directory_path();
+  em::DiskArrayOptions opts;
+  opts.coalesce = coalesce;
+  auto arr = em::make_disk_array(
+      em::IoEngine::serial, kD, kB,
+      [&](std::size_t d) {
+        const auto path =
+            dir / ("embsp_micro_coal_" + std::to_string(d) + ".bin");
+        return em::make_file_backend(path.string(), /*keep=*/false);
+      },
+      0, opts);
+  std::vector<std::byte> buf(kD * kTracks * kB, std::byte{7});
+  for (auto _ : state) {
+    std::vector<em::WriteOp> writes;
+    std::vector<em::ReadOp> reads;
+    for (std::uint32_t d = 0; d < kD; ++d) {
+      for (std::uint64_t t = 0; t < kTracks; ++t) {
+        const auto off = (d * kTracks + t) * kB;
+        writes.push_back(
+            {d, t, std::span<const std::byte>(buf).subspan(off, kB)});
+        reads.push_back({d, t, std::span<std::byte>(buf).subspan(off, kB)});
+      }
+    }
+    arr->parallel_write_batch(writes, kTracks);
+    arr->parallel_read_batch(reads, kTracks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(kD * kTracks * kB));
+}
+void BM_FileBatchIoScalar(benchmark::State& state) {
+  BM_FileBatchIo(state, false);
+}
+void BM_FileBatchIoCoalesced(benchmark::State& state) {
+  BM_FileBatchIo(state, true);
+}
+BENCHMARK(BM_FileBatchIoScalar);
+BENCHMARK(BM_FileBatchIoCoalesced);
+
+// --- BENCH_micro_substrate.json artifact -------------------------------------
+
+/// Counts backend entry points: each read/write/read_vec/write_vec is one
+/// call — on FileBackend each such call is one pread/pwrite/preadv/pwritev
+/// syscall, so the counter is the syscall count of the transfer schedule.
+class CountingBackend final : public em::Backend {
+ public:
+  CountingBackend(std::unique_ptr<em::Backend> inner, std::uint64_t* calls)
+      : inner_(std::move(inner)), calls_(calls) {}
+  void read(std::uint64_t offset, std::span<std::byte> dst) override {
+    ++*calls_;
+    inner_->read(offset, dst);
+  }
+  void write(std::uint64_t offset, std::span<const std::byte> src) override {
+    ++*calls_;
+    inner_->write(offset, src);
+  }
+  void read_vec(std::uint64_t offset,
+                std::span<const std::span<std::byte>> dsts) override {
+    ++*calls_;
+    inner_->read_vec(offset, dsts);
+  }
+  void write_vec(std::uint64_t offset,
+                 std::span<const std::span<const std::byte>> srcs) override {
+    ++*calls_;
+    inner_->write_vec(offset, srcs);
+  }
+  void flush() override { inner_->flush(); }
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+
+ private:
+  std::unique_ptr<em::Backend> inner_;
+  std::uint64_t* calls_;
+};
+
+double timed_ns(const std::function<void()>& fn, int reps) {
+  fn();  // warm up (allocator, page cache)
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / reps;
+}
+
+void emit_artifact() {
+  embsp::bench::JsonArtifact artifact("micro_substrate");
+
+  // Copy path: payload bytes copied per superstep handoff, and wall clock.
+  {
+    const auto msgs = make_copy_path_messages(256, 512);
+    std::vector<const bsp::Message*> ptrs;
+    std::vector<bsp::MessageRef> refs;
+    for (const auto& m : msgs) {
+      ptrs.push_back(&m);
+      refs.push_back({m.src, m.dst, m.seq, m.payload});
+    }
+    const double payload_bytes = 256.0 * 512.0;
+    std::vector<std::vector<std::byte>> blocks;
+    const double owned_ns = timed_ns(
+        [&] {
+          blocks.clear();
+          sim::pack_blocks(ptrs, 0, 1024, [&](std::span<const std::byte> b) {
+            blocks.emplace_back(b.begin(), b.end());
+          });
+          sim::Reassembler r;
+          for (const auto& b : blocks) r.absorb(b, 0);
+          auto out = r.take();
+          benchmark::DoNotOptimize(out);
+        },
+        200);
+    util::Arena arena;
+    const double ref_ns = timed_ns(
+        [&] {
+          blocks.clear();
+          arena.reset();
+          sim::pack_blocks(std::span<const bsp::MessageRef>(refs), 0, 1024,
+                           [&](std::span<const std::byte> b) {
+                             blocks.emplace_back(b.begin(), b.end());
+                           });
+          sim::Reassembler r(0, &arena);
+          for (const auto& b : blocks) r.absorb(b, 0);
+          auto out = r.take_refs();
+          benchmark::DoNotOptimize(out);
+        },
+        200);
+    artifact.begin_case("copy_path");
+    // take() copies every payload byte out of reassembly; take_refs() hands
+    // out arena spans and copies none.
+    artifact.metric("payload_bytes", payload_bytes);
+    artifact.metric("bytes_copied_owned", payload_bytes);
+    artifact.metric("bytes_copied_refs", 0.0);
+    artifact.metric("owned_ns", owned_ns);
+    artifact.metric("refs_ns", ref_ns);
+    artifact.metric("speedup", owned_ns / ref_ns);
+  }
+
+  // Syscall count: the same batched 64-track-per-disk transfer schedule
+  // with coalescing off (one backend call per track) vs on (one vectored
+  // call per adjacent run).
+  for (const bool coalesce : {false, true}) {
+    constexpr std::size_t kD = 4;
+    constexpr std::size_t kTracks = 64;
+    constexpr std::size_t kB = 1024;
+    std::uint64_t calls = 0;
+    em::DiskArrayOptions opts;
+    opts.coalesce = coalesce;
+    auto arr = em::make_disk_array(
+        em::IoEngine::serial, kD, kB,
+        [&](std::size_t) {
+          return std::make_unique<CountingBackend>(
+              std::make_unique<em::MemoryBackend>(), &calls);
+        },
+        0, opts);
+    std::vector<std::byte> buf(kD * kTracks * kB, std::byte{5});
+    std::vector<em::WriteOp> writes;
+    std::vector<em::ReadOp> reads;
+    for (std::uint32_t d = 0; d < kD; ++d) {
+      for (std::uint64_t t = 0; t < kTracks; ++t) {
+        const auto off = (d * kTracks + t) * kB;
+        writes.push_back(
+            {d, t, std::span<const std::byte>(buf).subspan(off, kB)});
+        reads.push_back({d, t, std::span<std::byte>(buf).subspan(off, kB)});
+      }
+    }
+    arr->parallel_write_batch(writes, kTracks);
+    arr->parallel_read_batch(reads, kTracks);
+    std::uint64_t coalesced_tracks = 0;
+    for (const auto& ds : arr->engine_stats().per_disk) {
+      coalesced_tracks += ds.coalesced_tracks;
+    }
+    artifact.begin_case(coalesce ? "vectored_io_coalesced"
+                                 : "vectored_io_scalar");
+    artifact.metric("tracks_moved", 2.0 * kD * kTracks);
+    artifact.metric("backend_calls", static_cast<double>(calls));
+    artifact.metric("coalesced_tracks",
+                    static_cast<double>(coalesced_tracks));
+    artifact.metric("parallel_ios",
+                    static_cast<double>(arr->stats().parallel_ios));
+  }
+
+  const auto path = artifact.write();
+  if (!path.empty()) {
+    std::cout << "artifact written to " << path << "\n";
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_artifact();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "em/backend.hpp"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -173,6 +175,95 @@ void FileBackend::write(std::uint64_t offset, std::span<const std::byte> src) {
     done += static_cast<std::size_t>(put);
   }
   const std::uint64_t end = offset + src.size();
+  std::uint64_t seen = size_.load(std::memory_order_relaxed);
+  while (seen < end &&
+         !size_.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {
+  }
+}
+
+void FileBackend::read_vec(std::uint64_t offset,
+                           std::span<const std::span<std::byte>> dsts) {
+  std::vector<iovec> iov;
+  iov.reserve(dsts.size());
+  for (const auto& d : dsts) {
+    if (!d.empty()) iov.push_back(iovec{d.data(), d.size()});
+  }
+  std::size_t idx = 0;  // first iovec not yet fully transferred
+  std::uint64_t pos = offset;
+  while (idx < iov.size()) {
+    const int cnt = static_cast<int>(
+        std::min<std::size_t>(iov.size() - idx, std::size_t{IOV_MAX}));
+    const ssize_t got =
+        ::preadv(fd_, iov.data() + idx, cnt, static_cast<off_t>(pos));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      throw IoError(classify_errno(err), "FileBackend: preadv failed on " +
+                                             path_ + ": " +
+                                             std::strerror(err));
+    }
+    if (got == 0) {
+      // Past EOF: unwritten tracks read as zero, same as the scalar path.
+      for (; idx < iov.size(); ++idx) {
+        std::memset(iov[idx].iov_base, 0, iov[idx].iov_len);
+      }
+      return;
+    }
+    pos += static_cast<std::uint64_t>(got);
+    auto remaining = static_cast<std::size_t>(got);
+    while (remaining > 0 && idx < iov.size()) {
+      if (remaining >= iov[idx].iov_len) {
+        remaining -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + remaining;
+        iov[idx].iov_len -= remaining;
+        remaining = 0;
+      }
+    }
+  }
+}
+
+void FileBackend::write_vec(std::uint64_t offset,
+                            std::span<const std::span<const std::byte>> srcs) {
+  std::vector<iovec> iov;
+  iov.reserve(srcs.size());
+  std::uint64_t total = 0;
+  for (const auto& s : srcs) {
+    total += s.size();
+    if (!s.empty()) {
+      // pwritev never modifies the buffers; iovec just lacks a const view.
+      iov.push_back(iovec{const_cast<std::byte*>(s.data()), s.size()});
+    }
+  }
+  std::size_t idx = 0;
+  std::uint64_t pos = offset;
+  while (idx < iov.size()) {
+    const int cnt = static_cast<int>(
+        std::min<std::size_t>(iov.size() - idx, std::size_t{IOV_MAX}));
+    const ssize_t put =
+        ::pwritev(fd_, iov.data() + idx, cnt, static_cast<off_t>(pos));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      throw IoError(classify_errno(err), "FileBackend: pwritev failed on " +
+                                             path_ + ": " +
+                                             std::strerror(err));
+    }
+    pos += static_cast<std::uint64_t>(put);
+    auto remaining = static_cast<std::size_t>(put);
+    while (remaining > 0 && idx < iov.size()) {
+      if (remaining >= iov[idx].iov_len) {
+        remaining -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + remaining;
+        iov[idx].iov_len -= remaining;
+        remaining = 0;
+      }
+    }
+  }
+  const std::uint64_t end = offset + total;
   std::uint64_t seen = size_.load(std::memory_order_relaxed);
   while (seen < end &&
          !size_.compare_exchange_weak(seen, end, std::memory_order_relaxed)) {

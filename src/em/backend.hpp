@@ -45,6 +45,32 @@ class Backend {
   /// Write `src.size()` bytes starting at `offset`, growing as needed.
   virtual void write(std::uint64_t offset, std::span<const std::byte> src) = 0;
 
+  /// Vectored read: fill `dsts[0]`, `dsts[1]`, ... from consecutive byte
+  /// ranges starting at `offset` (gather into scattered buffers).  The
+  /// default decomposes into one read() per buffer, in order — decorators
+  /// that count or perturb calls (FaultInjectingBackend) therefore see
+  /// exactly the same call sequence as the scalar path.  FileBackend
+  /// overrides this with preadv so a coalesced run of adjacent tracks
+  /// costs one syscall.
+  virtual void read_vec(std::uint64_t offset,
+                        std::span<const std::span<std::byte>> dsts) {
+    for (const auto& d : dsts) {
+      read(offset, d);
+      offset += d.size();
+    }
+  }
+
+  /// Vectored write: store `srcs[0]`, `srcs[1]`, ... to consecutive byte
+  /// ranges starting at `offset` (scatter from gathered buffers).  Default
+  /// and override contract mirror read_vec.
+  virtual void write_vec(std::uint64_t offset,
+                         std::span<const std::span<const std::byte>> srcs) {
+    for (const auto& s : srcs) {
+      write(offset, s);
+      offset += s.size();
+    }
+  }
+
   /// Make all completed writes durable on the backing medium (no-op for
   /// memory backends).  Called from DiskArray::sync().
   virtual void flush() {}
@@ -103,6 +129,10 @@ class FileBackend final : public Backend {
 
   void read(std::uint64_t offset, std::span<std::byte> dst) override;
   void write(std::uint64_t offset, std::span<const std::byte> src) override;
+  void read_vec(std::uint64_t offset,
+                std::span<const std::span<std::byte>> dsts) override;
+  void write_vec(std::uint64_t offset,
+                 std::span<const std::span<const std::byte>> srcs) override;
   void flush() override;
   [[nodiscard]] std::uint64_t size() const override {
     return size_.load(std::memory_order_relaxed);

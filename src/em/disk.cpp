@@ -64,4 +64,48 @@ void Disk::write_track(std::uint64_t track, std::span<const std::byte> src) {
   }
 }
 
+void Disk::read_tracks(std::uint64_t first_track,
+                       std::span<const std::span<std::byte>> dsts) {
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    check(first_track + i, dsts[i].size());
+  }
+  backend_->read_vec(first_track * block_size_, dsts);
+  reads_ += dsts.size();
+  if (!verify_) return;
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    const std::uint64_t track = first_track + i;
+    if (track < has_sum_.size() && has_sum_[track] != 0) {
+      const std::uint64_t sum = util::checksum64(dsts[i]);
+      if (sum != sums_[track]) {
+        ++checksum_failures_;
+        throw CorruptBlockError("Disk: checksum mismatch on track " +
+                                std::to_string(track) +
+                                " (silent corruption detected)");
+      }
+    }
+  }
+}
+
+void Disk::write_tracks(std::uint64_t first_track,
+                        std::span<const std::span<const std::byte>> srcs) {
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    check(first_track + i, srcs[i].size());
+  }
+  backend_->write_vec(first_track * block_size_, srcs);
+  writes_ += srcs.size();
+  if (!srcs.empty()) {
+    tracks_used_ = std::max(tracks_used_, first_track + srcs.size());
+  }
+  if (!verify_) return;
+  const std::uint64_t last = first_track + srcs.size() - 1;
+  if (last >= has_sum_.size()) {
+    has_sum_.resize(last + 1, 0);
+    sums_.resize(last + 1, 0);
+  }
+  for (std::size_t i = 0; i < srcs.size(); ++i) {
+    sums_[first_track + i] = util::checksum64(srcs[i]);
+    has_sum_[first_track + i] = 1;
+  }
+}
+
 }  // namespace embsp::em

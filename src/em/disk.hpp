@@ -29,6 +29,19 @@ class Disk {
   void read_track(std::uint64_t track, std::span<std::byte> dst);
   void write_track(std::uint64_t track, std::span<const std::byte> src);
 
+  /// Read `dsts.size()` consecutive tracks starting at `first_track` with a
+  /// single vectored backend transfer.  Per-track accounting is unchanged:
+  /// reads() advances by dsts.size() and each track's checksum is verified
+  /// individually, so the only observable difference from a read_track loop
+  /// is the number of backend calls.
+  void read_tracks(std::uint64_t first_track,
+                   std::span<const std::span<std::byte>> dsts);
+
+  /// Write `srcs.size()` consecutive tracks starting at `first_track`;
+  /// mirror of read_tracks.
+  void write_tracks(std::uint64_t first_track,
+                    std::span<const std::span<const std::byte>> srcs);
+
   /// Flush buffered writes to the backend's medium (DiskArray::sync).
   void flush() { backend_->flush(); }
 

@@ -76,13 +76,38 @@ void DiskArray::check_distinct(std::span<const std::uint32_t> disks) const {
 void DiskArray::run_transfer(const Transfer& t) {
   auto& ds = engine_.per_disk[t.disk];
   const RetryPolicy& policy = options_.retry;
+  const std::size_t n = t.tracks();
+  // Span tables for the vectored path, built once per transfer (a retry
+  // reuses them — it replays the whole run, which is why the simulators
+  // disable coalescing when deterministic fault schedules are active).
+  std::vector<std::span<std::byte>> read_spans;
+  std::vector<std::span<const std::byte>> write_spans;
+  if (n > 1) {
+    if (t.dst != nullptr) {
+      read_spans.reserve(n);
+      read_spans.emplace_back(t.dst, t.len);
+      for (std::byte* p : t.more_dst) read_spans.emplace_back(p, t.len);
+    } else {
+      write_spans.reserve(n);
+      write_spans.emplace_back(t.src, t.len);
+      for (const std::byte* p : t.more_src) write_spans.emplace_back(p, t.len);
+    }
+  }
   for (std::uint32_t attempt = 1;; ++attempt) {
     const std::uint64_t t0 = now_ns();
     try {
       if (t.dst != nullptr) {
-        disks_[t.disk]->read_track(t.track, {t.dst, t.len});
+        if (n == 1) {
+          disks_[t.disk]->read_track(t.track, {t.dst, t.len});
+        } else {
+          disks_[t.disk]->read_tracks(t.track, read_spans);
+        }
       } else {
-        disks_[t.disk]->write_track(t.track, {t.src, t.len});
+        if (n == 1) {
+          disks_[t.disk]->write_track(t.track, {t.src, t.len});
+        } else {
+          disks_[t.disk]->write_tracks(t.track, write_spans);
+        }
       }
       const std::uint64_t dt = now_ns() - t0;
       ds.busy_ns += dt;
@@ -104,8 +129,9 @@ void DiskArray::run_transfer(const Transfer& t) {
       }
     }
   }
-  ds.ops += 1;
-  ds.bytes += t.len;
+  ds.ops += n;
+  ds.bytes += t.len * n;
+  if (n > 1) ds.coalesced_tracks += n - 1;
 }
 
 void DiskArray::PendingOp::complete(std::size_t index,
@@ -144,6 +170,19 @@ void DiskArray::start(const std::shared_ptr<PendingOp>& op) {
   op->done = true;
 }
 
+DiskArray::IoToken DiskArray::launch(std::shared_ptr<PendingOp> op,
+                                     std::size_t width) {
+  op->remaining = op->transfers.size();
+  op->errors.resize(op->transfers.size());
+  engine_.max_queue_depth =
+      std::max<std::uint64_t>(engine_.max_queue_depth, width);
+  engine_.queue_depth.record(width);
+  const IoToken token = next_token_++;
+  pending_.emplace(token, op);
+  start(op);
+  return token;
+}
+
 template <class Op>
 DiskArray::IoToken DiskArray::submit(std::span<const Op> ops, bool is_read) {
   std::vector<std::uint32_t> ids;
@@ -165,15 +204,79 @@ DiskArray::IoToken DiskArray::submit(std::span<const Op> ops, bool is_read) {
     }
   }
   op->blocks = ops.size();
-  op->remaining = ops.size();
-  op->errors.resize(ops.size());
-  engine_.max_queue_depth =
-      std::max<std::uint64_t>(engine_.max_queue_depth, ops.size());
-  engine_.queue_depth.record(ops.size());
-  const IoToken token = next_token_++;
-  pending_.emplace(token, op);
-  start(op);
-  return token;
+  return launch(std::move(op), ops.size());
+}
+
+template <class Op>
+DiskArray::IoToken DiskArray::submit_batch(std::span<const Op> ops,
+                                           std::uint64_t cycles,
+                                           bool is_read) {
+  if (ops.empty()) {
+    throw std::invalid_argument("DiskArray: empty batched I/O");
+  }
+  // Partition op indices per disk, preserving op order — the per-disk
+  // execution order (and therefore any per-disk deterministic fault
+  // schedule) is exactly the order the caller listed the ops in.
+  std::vector<std::vector<std::size_t>> per_disk(disks_.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].disk >= disks_.size()) {
+      throw std::out_of_range("DiskArray: disk index " +
+                              std::to_string(ops[i].disk));
+    }
+    per_disk[ops[i].disk].push_back(i);
+  }
+  std::size_t deepest = 0;
+  std::size_t width = 0;
+  for (const auto& v : per_disk) {
+    deepest = std::max(deepest, v.size());
+    if (!v.empty()) ++width;
+  }
+  if (cycles < deepest) {
+    throw std::invalid_argument(
+        "DiskArray: batch declares " + std::to_string(cycles) +
+        " cycles but some disk needs " + std::to_string(deepest) +
+        " (one track per disk per parallel I/O)");
+  }
+  auto op = std::make_shared<PendingOp>();
+  op->is_read = is_read;
+  op->cycles = cycles;
+  op->blocks = ops.size();
+  for (std::size_t d = 0; d < per_disk.size(); ++d) {
+    const auto& idxs = per_disk[d];
+    for (std::size_t j = 0; j < idxs.size();) {
+      const Op& first = ops[idxs[j]];
+      Transfer t{};
+      t.disk = first.disk;
+      t.track = first.track;
+      if constexpr (std::is_same_v<Op, ReadOp>) {
+        t.dst = first.dst.data();
+        t.len = first.dst.size();
+      } else {
+        t.src = first.src.data();
+        t.len = first.src.size();
+      }
+      op->bytes += t.len;
+      std::size_t k = j + 1;
+      // Extend the run while the next op on this disk targets the very
+      // next track (physical adjacency is what preadv/pwritev require).
+      while (options_.coalesce && k < idxs.size() &&
+             ops[idxs[k]].track == ops[idxs[k - 1]].track + 1) {
+        const Op& next = ops[idxs[k]];
+        if constexpr (std::is_same_v<Op, ReadOp>) {
+          if (next.dst.size() != t.len) break;
+          t.more_dst.push_back(next.dst.data());
+        } else {
+          if (next.src.size() != t.len) break;
+          t.more_src.push_back(next.src.data());
+        }
+        op->bytes += t.len;
+        ++k;
+      }
+      op->transfers.push_back(std::move(t));
+      j = k;
+    }
+  }
+  return launch(std::move(op), width);
 }
 
 void DiskArray::settle(PendingOp& op, bool swallow) {
@@ -199,7 +302,7 @@ void DiskArray::settle(PendingOp& op, bool swallow) {
     if (!swallow) std::rethrow_exception(first);
     return;
   }
-  stats_.parallel_ios += 1;
+  stats_.parallel_ios += op.cycles;
   if (op.is_read) {
     stats_.blocks_read += op.blocks;
     stats_.bytes_read += op.bytes;
@@ -215,6 +318,26 @@ DiskArray::IoToken DiskArray::submit_read(std::span<const ReadOp> ops) {
 
 DiskArray::IoToken DiskArray::submit_write(std::span<const WriteOp> ops) {
   return submit(ops, /*is_read=*/false);
+}
+
+DiskArray::IoToken DiskArray::submit_read_batch(std::span<const ReadOp> ops,
+                                                std::uint64_t cycles) {
+  return submit_batch(ops, cycles, /*is_read=*/true);
+}
+
+DiskArray::IoToken DiskArray::submit_write_batch(std::span<const WriteOp> ops,
+                                                 std::uint64_t cycles) {
+  return submit_batch(ops, cycles, /*is_read=*/false);
+}
+
+void DiskArray::parallel_read_batch(std::span<const ReadOp> ops,
+                                    std::uint64_t cycles) {
+  wait(submit_read_batch(ops, cycles));
+}
+
+void DiskArray::parallel_write_batch(std::span<const WriteOp> ops,
+                                     std::uint64_t cycles) {
+  wait(submit_write_batch(ops, cycles));
 }
 
 void DiskArray::wait(IoToken token) {

@@ -90,6 +90,14 @@ struct DiskArrayOptions {
   /// read surface as CorruptBlockError (and are retried like any other
   /// transient fault, which heals read-path bit flips).
   bool verify_checksums = false;
+  /// Merge runs of adjacent tracks inside a *batched* submission into one
+  /// vectored backend transfer per run (preadv/pwritev on FileBackend).
+  /// Purely physical: model IoStats, per-track checksums, and Disk
+  /// read/write counters are charged per track either way.  The simulators
+  /// turn this off when fault injection is active, because retrying a
+  /// multi-track run would replay backend calls for tracks that already
+  /// succeeded and shift the deterministic fault schedule.
+  bool coalesce = true;
 };
 
 class DiskArray {
@@ -127,6 +135,28 @@ class DiskArray {
   /// Start one parallel write without waiting for it.  The source buffers
   /// must stay alive (and unmodified) until the token is settled.
   IoToken submit_write(std::span<const WriteOp> ops);
+
+  /// Start a *batched* read: `ops` may name the same disk several times
+  /// (per-disk execution order = op order), and the batch is pre-declared
+  /// to cost `cycles` parallel I/O operations — the number of D-block
+  /// cycles Algorithm 1 would schedule for it, which must be at least the
+  /// per-disk op count (one track per disk per cycle; validated).  Model
+  /// IoStats charge exactly `cycles` parallel_ios when the token settles
+  /// successfully.  With options.coalesce, runs of adjacent tracks on one
+  /// disk execute as a single vectored backend transfer; per-track
+  /// accounting (Disk counters, checksums, IoStats blocks/bytes) is
+  /// unchanged, so the disk image and model costs are byte-identical to
+  /// submitting the equivalent sequence of ≤D-op cycles.
+  IoToken submit_read_batch(std::span<const ReadOp> ops, std::uint64_t cycles);
+
+  /// Batched write; mirror of submit_read_batch.
+  IoToken submit_write_batch(std::span<const WriteOp> ops,
+                             std::uint64_t cycles);
+
+  /// Blocking forms of the batched submissions (submit + wait).
+  void parallel_read_batch(std::span<const ReadOp> ops, std::uint64_t cycles);
+  void parallel_write_batch(std::span<const WriteOp> ops,
+                            std::uint64_t cycles);
 
   /// Block until the given operation has settled.  On success charges one
   /// parallel I/O to IoStats; on failure rethrows the error of the lowest
@@ -168,13 +198,21 @@ class DiskArray {
 
  protected:
   /// One per-disk transfer of a parallel I/O operation; exactly one of
-  /// `dst` / `src` is non-null.
+  /// `dst` / `src` is non-null.  A coalesced transfer carries extra
+  /// buffers in `more_dst`/`more_src`: buffer i holds track `track + 1 + i`
+  /// (all `len` bytes each), and the whole run executes as one vectored
+  /// backend call.
   struct Transfer {
     std::uint32_t disk;
     std::uint64_t track;
     std::byte* dst = nullptr;
     const std::byte* src = nullptr;
     std::size_t len = 0;
+    std::vector<std::byte*> more_dst;
+    std::vector<const std::byte*> more_src;
+    [[nodiscard]] std::size_t tracks() const {
+      return 1 + (dst != nullptr ? more_dst.size() : more_src.size());
+    }
   };
 
   /// One in-flight parallel I/O operation.  Transfer completions are
@@ -183,6 +221,7 @@ class DiskArray {
   struct PendingOp {
     std::vector<Transfer> transfers;
     bool is_read = false;
+    std::uint64_t cycles = 1;  ///< parallel I/Os charged when it settles
     std::uint64_t blocks = 0;
     std::uint64_t bytes = 0;
     std::mutex m;
@@ -214,6 +253,10 @@ class DiskArray {
   void check_distinct(std::span<const std::uint32_t> disks) const;
   template <class Op>
   IoToken submit(std::span<const Op> ops, bool is_read);
+  template <class Op>
+  IoToken submit_batch(std::span<const Op> ops, std::uint64_t cycles,
+                       bool is_read);
+  IoToken launch(std::shared_ptr<PendingOp> op, std::size_t width);
   /// Block until `op` settles; charge stats / rethrow per the wait()
   /// contract.  With `swallow` set, errors are discarded instead.
   void settle(PendingOp& op, bool swallow);

@@ -129,6 +129,12 @@ class FaultInjectingBackend final : public Backend {
                         std::uint64_t sim_seed, std::uint32_t disk_index,
                         std::shared_ptr<FaultCounters> counters = nullptr);
 
+  // read_vec/write_vec are deliberately NOT overridden: the Backend
+  // defaults decompose a vectored transfer into one read()/write() per
+  // buffer, in order, so the fault schedule sees exactly the same per-disk
+  // call sequence as the scalar path.  (The simulators additionally disable
+  // track coalescing when faults are enabled, because retrying a coalesced
+  // run would replay calls for buffers that already succeeded.)
   void read(std::uint64_t offset, std::span<std::byte> dst) override;
   void write(std::uint64_t offset, std::span<const std::byte> src) override;
   void flush() override { inner_->flush(); }

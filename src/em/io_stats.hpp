@@ -78,6 +78,11 @@ struct DiskIoStats {
   std::uint64_t retries = 0;  ///< transfer attempts repeated after IoError
   std::uint64_t giveups = 0;  ///< transfers abandoned (retry budget spent
                               ///< or persistent failure)
+  /// Tracks that rode along in a coalesced vectored transfer instead of
+  /// costing their own backend call: a run of n adjacent tracks adds n - 1.
+  /// ops still counts every track, so ops - coalesced_tracks approximates
+  /// the drive's backend call count.
+  std::uint64_t coalesced_tracks = 0;
   /// Per-attempt service time (every backend transfer attempt, successful
   /// or not) — busy_ns is this histogram's sum.
   obs::LogHistogram service_ns;
@@ -134,6 +139,12 @@ struct EngineStats {
   [[nodiscard]] std::uint64_t total_giveups() const {
     std::uint64_t n = 0;
     for (const auto& d : per_disk) n += d.giveups;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t total_coalesced_tracks() const {
+    std::uint64_t n = 0;
+    for (const auto& d : per_disk) n += d.coalesced_tracks;
     return n;
   }
 };

@@ -129,20 +129,23 @@ void ContextStore::write_submit(std::uint32_t first, std::uint32_t count,
       lengths_[first + i] = len;
     }
   }
-  std::vector<std::size_t> heads(d, 0);
+  // One batched submission, pre-declared at the cost the old round-robin
+  // drain charged: max per-disk queue depth parallel I/Os (one track per
+  // disk per round).  Per-disk op order stays the queue order, and a
+  // context's blocks on one disk sit on consecutive tracks, so runs
+  // coalesce into vectored backend transfers.
+  std::uint64_t deepest = 0;
   std::vector<em::WriteOp> ops;
-  for (;;) {
-    ops.clear();
-    for (std::uint64_t disk = 0; disk < d; ++disk) {
-      if (heads[disk] < queues[disk].size()) {
-        const Op& op = queues[disk][heads[disk]++];
-        ops.push_back({op.disk, op.track,
-                       std::span<const std::byte>(io.buf)
-                           .subspan(op.offset, block_size_)});
-      }
+  for (const auto& q : queues) {
+    deepest = std::max<std::uint64_t>(deepest, q.size());
+    for (const Op& op : q) {
+      ops.push_back({op.disk, op.track,
+                     std::span<const std::byte>(io.buf)
+                         .subspan(op.offset, block_size_)});
     }
-    if (ops.empty()) break;
-    io.tokens.push_back(disks_->submit_write(ops));
+  }
+  if (!ops.empty()) {
+    io.tokens.push_back(disks_->submit_write_batch(ops, deepest));
   }
 }
 
@@ -201,20 +204,20 @@ void ContextStore::read_submit(std::uint32_t first, std::uint32_t count,
   // Grow-only: every staged byte is overwritten by the reads, so stale
   // contents need no clearing.
   if (io.buf.size() < staged) io.buf.resize(staged);
-  std::vector<std::size_t> heads(d, 0);
+  // Mirror of write_submit's batching: one submission, cycles = max
+  // per-disk queue depth, per-disk order = queue order.
+  std::uint64_t deepest = 0;
   std::vector<em::ReadOp> ops;
-  for (;;) {
-    ops.clear();
-    for (std::uint64_t disk = 0; disk < d; ++disk) {
-      if (heads[disk] < queues[disk].size()) {
-        const Op& op = queues[disk][heads[disk]++];
-        ops.push_back({op.disk, op.track,
-                       std::span<std::byte>(io.buf).subspan(op.offset,
-                                                            block_size_)});
-      }
+  for (const auto& q : queues) {
+    deepest = std::max<std::uint64_t>(deepest, q.size());
+    for (const Op& op : q) {
+      ops.push_back({op.disk, op.track,
+                     std::span<std::byte>(io.buf).subspan(op.offset,
+                                                          block_size_)});
     }
-    if (ops.empty()) break;
-    io.tokens.push_back(disks_->submit_read(ops));
+  }
+  if (!ops.empty()) {
+    io.tokens.push_back(disks_->submit_read_batch(ops, deepest));
   }
 }
 

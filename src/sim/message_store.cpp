@@ -31,6 +31,25 @@ MessageStore::MessageStore(em::DiskArray& disks, em::TrackAllocators& alloc,
     throw std::invalid_argument("MessageStore: block size below minimum (" +
                                 std::to_string(kMinBlockSize) + " bytes)");
   }
+  // RoutingMode::automatic: when every group's worst-case receive volume
+  // provably fits in the staging budget, routing never needs the disk at
+  // all — Algorithm 2 exists only because buckets exceed M (Fig. 2).
+  // Insufficient budget degrades to compact behavior (the default branches
+  // below), so requesting automatic is always safe.
+  if (cfg_.mode == RoutingMode::automatic) {
+    const std::uint64_t worst_case =
+        static_cast<std::uint64_t>(cfg_.num_groups) *
+        cfg_.group_capacity_blocks * block_size_;
+    mem_mode_ = cfg_.memory_budget_bytes >= worst_case;
+  }
+  if (mem_mode_) {
+    // No disk regions needed: staging and delivery both live in memory.
+    mem_staged_.resize(cfg_.num_groups);
+    mem_ready_.resize(cfg_.num_groups);
+    consolidation_start_.assign(num_disks_, 0);
+    arena_start_.assign(num_disks_, 0);
+    return;
+  }
   // Consolidation region: bucket d gathers on disk d (step 1 of Alg. 2).
   consolidation_start_.resize(num_disks_);
   for (std::uint32_t d = 0; d < num_disks_; ++d) {
@@ -58,8 +77,7 @@ std::pair<std::uint32_t, std::uint64_t> MessageStore::arena_location(
   return {disk, track};
 }
 
-void MessageStore::stage(std::uint32_t group, std::span<const std::byte> block,
-                         util::Rng& rng) {
+void MessageStore::stage_account(std::uint32_t group, bool dummy) {
   if (group >= cfg_.num_groups) {
     throw std::out_of_range("MessageStore: destination group " +
                             std::to_string(group));
@@ -72,11 +90,37 @@ void MessageStore::stage(std::uint32_t group, std::span<const std::byte> block,
         " blocks — the program communicates more than the declared gamma");
   }
   ++staged_count_[group];
-  if (!is_dummy_block(block)) ++staged_real_[group];
+  if (!dummy) ++staged_real_[group];
+}
+
+void MessageStore::stage(std::uint32_t group, std::span<const std::byte> block,
+                         util::Rng& rng) {
+  stage_account(group, is_dummy_block(block));
+  bytes_copied_ += block.size();
+  if (mem_mode_) {
+    mem_staged_[group].emplace_back(block.begin(), block.end());
+    return;
+  }
   pending_.push_back(
       {bucket_of_group(group),
        std::vector<std::byte>(block.begin(), block.end())});
   if (pending_.size() == num_disks_) flush(rng);
+}
+
+std::span<std::byte> MessageStore::stage_alloc(std::uint32_t group,
+                                               util::Rng& rng) {
+  // Completing the previous block may have filled the write cycle; flush
+  // BEFORE accounting the next block so the RNG-draw order matches the
+  // copying path (which flushes inside stage(), right after its push).
+  if (!mem_mode_ && pending_.size() == num_disks_) flush(rng);
+  stage_account(group, /*dummy=*/false);
+  if (mem_mode_) {
+    mem_staged_[group].emplace_back(block_size_);
+    return {mem_staged_[group].back().data(), block_size_};
+  }
+  pending_.push_back(
+      {bucket_of_group(group), std::vector<std::byte>(block_size_)});
+  return {pending_.back().data.data(), block_size_};
 }
 
 void MessageStore::write_messages(
@@ -104,10 +148,46 @@ void MessageStore::write_messages(
   }
 }
 
+void MessageStore::write_message_refs(
+    std::span<const bsp::MessageRef> messages,
+    const std::function<std::uint32_t(std::uint32_t)>& group_of,
+    util::Rng& rng) {
+  std::vector<std::vector<bsp::MessageRef>> per_group;
+  for (const auto& m : messages) {
+    const std::uint32_t g = group_of(m.dst);
+    if (g >= cfg_.num_groups) {
+      throw std::out_of_range("MessageStore: message to unknown group " +
+                              std::to_string(g));
+    }
+    if (per_group.size() <= g) per_group.resize(g + 1);
+    per_group[g].push_back(m);
+  }
+  for (std::uint32_t g = 0; g < per_group.size(); ++g) {
+    if (per_group[g].empty()) continue;
+    pack_blocks_into(per_group[g], g, block_size_,
+                     [&]() { return stage_alloc(g, rng); });
+    // The copying path flushes inside stage() the moment a cycle fills;
+    // mirror that here in case this group's last block completed one.
+    if (!mem_mode_ && pending_.size() == num_disks_) flush(rng);
+  }
+}
+
 void MessageStore::write_block(std::span<const std::byte> block,
                                util::Rng& rng) {
   const BlockHeader h = parse_header(block);
   stage(h.dst_group, block, rng);
+}
+
+void MessageStore::write_block(std::vector<std::byte>&& block,
+                               util::Rng& rng) {
+  const BlockHeader h = parse_header(block);
+  stage_account(h.dst_group, is_dummy_block(block));
+  if (mem_mode_) {
+    mem_staged_[h.dst_group].push_back(std::move(block));
+    return;
+  }
+  pending_.push_back({bucket_of_group(h.dst_group), std::move(block)});
+  if (pending_.size() == num_disks_) flush(rng);
 }
 
 void MessageStore::flush(util::Rng& rng) {
@@ -223,6 +303,23 @@ void MessageStore::abandon_inflight() {
 
 RoutingStats MessageStore::reorganize(util::Rng& rng) {
   RoutingStats stats;
+
+  // In-memory fast path: the staged blocks already sit in memory, grouped
+  // by destination, so "reorganization" is a pointer handoff — Algorithm
+  // 2's two passes (and their I/O) vanish, which is exactly the win the
+  // automatic mode is after.
+  if (mem_mode_) {
+    for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+      stats.blocks_total += staged_count_[g];
+    }
+    std::swap(mem_ready_, mem_staged_);
+    for (auto& blocks : mem_staged_) blocks.clear();
+    ready_count_ = staged_count_;
+    ready_real_ = staged_real_;
+    std::fill(staged_count_.begin(), staged_count_.end(), 0);
+    std::fill(staged_real_.begin(), staged_real_.end(), 0);
+    return stats;
+  }
 
   // Padded mode realizes the paper's "introduce dummy blocks" device: every
   // group is filled to capacity so each superstep's routing cost is the
@@ -375,66 +472,60 @@ std::uint64_t MessageStore::group_real_blocks(std::uint32_t g) const {
   return ready_real_[g];
 }
 
-void MessageStore::fetch_group_blocks(
-    std::uint32_t g,
-    const std::function<void(std::span<const std::byte>)>& consume) {
+void MessageStore::submit_group_reads(
+    std::uint32_t g, std::vector<std::byte>& buf,
+    std::vector<em::DiskArray::IoToken>& tokens) {
   const std::uint32_t bucket = bucket_of_group(g);
   const std::uint64_t base = ready_base_[g];
   const std::uint64_t count = ready_count_[g];
-  const std::size_t want =
-      static_cast<std::size_t>(num_disks_) * block_size_;
-  if (fetch_buf_.size() < want) fetch_buf_.resize(want);
+  if (count == 0) return;
+  const auto want = static_cast<std::size_t>(count) * block_size_;
+  if (buf.size() < want) buf.resize(want);
+  // One batched submission for the whole group, pre-declared at the model
+  // cost the old <=D-batch loop charged: ceil(count/D) parallel I/Os (each
+  // cycle reads one track per disk).  arena_location makes consecutive t on
+  // one disk consecutive tracks, so the per-disk t-ascending op order below
+  // coalesces into a single vectored backend transfer per drive.
   std::vector<em::ReadOp> reads;
-  std::uint64_t done = 0;
-  while (done < count) {
-    const std::uint64_t batch =
-        std::min<std::uint64_t>(num_disks_, count - done);
-    reads.clear();
-    for (std::uint64_t i = 0; i < batch; ++i) {
-      const auto [disk, track] = arena_location(bucket, base + done + i);
-      reads.push_back({disk, track,
-                       std::span<std::byte>(fetch_buf_)
-                           .subspan(i * block_size_, block_size_)});
-    }
-    disks_->parallel_read(reads);
-    for (std::uint64_t i = 0; i < batch; ++i) {
-      consume(std::span<const std::byte>(fetch_buf_)
-                  .subspan(i * block_size_, block_size_));
-    }
-    done += batch;
+  reads.reserve(count);
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const auto [disk, track] = arena_location(bucket, base + t);
+    reads.push_back({disk, track,
+                     std::span<std::byte>(buf).subspan(t * block_size_,
+                                                       block_size_)});
+  }
+  const std::uint64_t cycles = (count + num_disks_ - 1) / num_disks_;
+  tokens.push_back(disks_->submit_read_batch(reads, cycles));
+}
+
+void MessageStore::fetch_group_blocks(
+    std::uint32_t g,
+    const std::function<void(std::span<const std::byte>)>& consume) {
+  if (mem_mode_) {
+    for (const auto& block : mem_ready_[g]) consume(block);
+    return;
+  }
+  const std::uint64_t count = ready_count_[g];
+  std::vector<em::DiskArray::IoToken> tokens;
+  submit_group_reads(g, fetch_buf_, tokens);
+  for (const auto t : tokens) disks_->wait(t);
+  for (std::uint64_t t = 0; t < count; ++t) {
+    consume(std::span<const std::byte>(fetch_buf_)
+                .subspan(t * block_size_, block_size_));
   }
 }
 
 void MessageStore::fetch_group_submit(std::uint32_t g, PendingFetch& pf) {
-  const std::uint32_t bucket = bucket_of_group(g);
-  const std::uint64_t base = ready_base_[g];
-  const std::uint64_t count = ready_count_[g];
   pf.tokens.clear();
   pf.group = g;
-  pf.count = count;
+  pf.count = ready_count_[g];
   pf.active = true;
-  const auto want = static_cast<std::size_t>(count) * block_size_;
-  if (pf.buf.size() < want) pf.buf.resize(want);
-  // Same <=D batching as the blocking fetch: each batch is one parallel
-  // I/O, so the prefetch charges exactly the model cost of fetch_group.
-  std::vector<em::ReadOp> reads;
-  std::uint64_t done = 0;
-  while (done < count) {
-    const std::uint64_t batch =
-        std::min<std::uint64_t>(num_disks_, count - done);
-    reads.clear();
-    for (std::uint64_t i = 0; i < batch; ++i) {
-      const auto [disk, track] = arena_location(bucket, base + done + i);
-      reads.push_back({disk, track,
-                       std::span<std::byte>(pf.buf).subspan(
-                           (done + i) * block_size_, block_size_)});
-    }
-    pf.tokens.push_back(disks_->submit_read(reads));
-    done += batch;
-  }
+  // In-memory routing: the blocks are already resident; nothing to submit.
+  if (mem_mode_) return;
+  submit_group_reads(g, pf.buf, pf.tokens);
 }
 
-std::vector<bsp::Message> MessageStore::fetch_group_wait(PendingFetch& pf) {
+void MessageStore::absorb_fetch(PendingFetch& pf, Reassembler& r) {
   if (!pf.active) {
     throw std::logic_error(
         "MessageStore::fetch_group_wait: no fetch in flight");
@@ -442,13 +533,28 @@ std::vector<bsp::Message> MessageStore::fetch_group_wait(PendingFetch& pf) {
   for (const auto t : pf.tokens) disks_->wait(t);
   pf.tokens.clear();
   pf.active = false;
-  Reassembler r(cfg_.max_message_bytes);
+  if (mem_mode_) {
+    for (const auto& block : mem_ready_[pf.group]) r.absorb(block, pf.group);
+    return;
+  }
   for (std::uint64_t t = 0; t < pf.count; ++t) {
     r.absorb(std::span<const std::byte>(pf.buf).subspan(t * block_size_,
                                                         block_size_),
              pf.group);
   }
+}
+
+std::vector<bsp::Message> MessageStore::fetch_group_wait(PendingFetch& pf) {
+  Reassembler r(cfg_.max_message_bytes);
+  absorb_fetch(pf, r);
   return r.take();
+}
+
+std::vector<bsp::MessageRef> MessageStore::fetch_group_wait_refs(
+    PendingFetch& pf, util::Arena& arena) {
+  Reassembler r(cfg_.max_message_bytes, &arena);
+  absorb_fetch(pf, r);
+  return r.take_refs();
 }
 
 std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {
@@ -456,6 +562,14 @@ std::vector<bsp::Message> MessageStore::fetch_group(std::uint32_t g) {
   fetch_group_blocks(
       g, [&](std::span<const std::byte> block) { r.absorb(block, g); });
   return r.take();
+}
+
+std::vector<bsp::MessageRef> MessageStore::fetch_group_refs(
+    std::uint32_t g, util::Arena& arena) {
+  Reassembler r(cfg_.max_message_bytes, &arena);
+  fetch_group_blocks(
+      g, [&](std::span<const std::byte> block) { r.absorb(block, g); });
+  return r.take_refs();
 }
 
 MessageStore::Snapshot MessageStore::snapshot() const {
@@ -468,6 +582,10 @@ MessageStore::Snapshot MessageStore::snapshot() const {
   s.ready_real = ready_real_;
   s.ready_base = ready_base_;
   s.chains = buckets_.snapshot_chains();
+  if (mem_mode_) {
+    s.mem_staged = mem_staged_;
+    s.mem_ready = mem_ready_;
+  }
   return s;
 }
 
@@ -480,6 +598,10 @@ void MessageStore::restore(const Snapshot& s) {
   ready_real_ = s.ready_real;
   ready_base_ = s.ready_base;
   buckets_.restore_chains(s.chains);
+  if (mem_mode_) {
+    mem_staged_ = s.mem_staged;
+    mem_ready_ = s.mem_ready;
+  }
 }
 
 }  // namespace embsp::sim

@@ -13,6 +13,9 @@ ParSimulator::ParSimulator(
   em::DiskArrayOptions opts;
   opts.retry = cfg_.retry;
   opts.verify_checksums = cfg_.block_checksums;
+  // Coalescing must not shift the deterministic fault schedule (a retried
+  // run would replay calls for tracks that already succeeded).
+  opts.coalesce = cfg_.coalesce_io && !cfg_.faults.enabled();
   // `global` takes a machine-wide drive index: the fault schedule is keyed
   // by that index, so every drive of every processor gets its own
   // decorrelated stream.  With faults disabled this is `backend` unchanged.

@@ -104,6 +104,8 @@ SimResult ParSimulator::run(
     RoutingStats routing;
     std::uint64_t comm_bytes_this_step = 0;
     std::uint64_t max_comm_bytes_step = 0;
+    std::uint64_t outbox_copied = 0;  ///< take() traffic (legacy path only)
+    std::uint64_t arena_peak = 0;     ///< peak arena residency
     bool want_continue = false;
   };
   std::vector<Proc> procs(p);
@@ -117,7 +119,9 @@ SimResult ParSimulator::run(
       procs[i].messages = std::make_unique<MessageStore>(
           *disk_arrays_[i], *procs[i].alloc,
           MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
-                             /*max_message_bytes=*/cfg_.gamma});
+                             /*max_message_bytes=*/cfg_.gamma,
+                             /*memory_budget_bytes=*/
+                             layout.routing_mem_budget});
       procs[i].rng = master.fork(i + 1);
     }
   }
@@ -194,6 +198,12 @@ SimResult ParSimulator::run(
       std::vector<std::vector<bsp::Message>> inboxes;
       std::vector<bsp::Message> outgoing;
       std::vector<State> states;
+      // Zero-copy path: reassembled payloads live in this arena (reset per
+      // round — the previous round's compute has consumed its refs).
+      const bool zero_copy = cfg_.zero_copy;
+      util::Arena inbox_arena;
+      std::vector<std::vector<bsp::MessageRef>> inbox_refs;
+      std::vector<bsp::MessageRef> outgoing_refs;
       struct VpStats {
         bool cont = false;
         std::uint64_t work = 0;
@@ -246,23 +256,39 @@ SimResult ParSimulator::run(
           // --- Compute: reassemble inboxes, run the k virtual supersteps.
           const std::uint32_t first = round * k;
           const std::uint32_t count = std::min(k, local_v - first);
-          Reassembler reasm(cfg_.gamma);
+          if (zero_copy) inbox_arena.reset();
+          Reassembler reasm(cfg_.gamma,
+                            zero_copy ? &inbox_arena : nullptr);
           for (std::uint32_t src = 0; src < p; ++src) {
             for (auto& block : forward_mail[src][me]) {
               reasm.absorb(block, round);
             }
           }
-          auto incoming = reasm.take();
-          if (inboxes.size() < count) inboxes.resize(count);
-          for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
-          for (auto& m : incoming) {
-            const std::uint32_t local = m.dst - me * local_v;
-            if (owner_of(m.dst) != me || local < first ||
-                local >= first + count) {
-              throw std::runtime_error(
-                  "ParSimulator: block forwarded to the wrong processor");
+          if (zero_copy) {
+            if (inbox_refs.size() < count) inbox_refs.resize(count);
+            for (std::uint32_t i = 0; i < count; ++i) inbox_refs[i].clear();
+            for (const auto& m : reasm.take_refs()) {
+              const std::uint32_t local = m.dst - me * local_v;
+              if (owner_of(m.dst) != me || local < first ||
+                  local >= first + count) {
+                throw std::runtime_error(
+                    "ParSimulator: block forwarded to the wrong processor");
+              }
+              inbox_refs[local - first].push_back(m);
             }
-            inboxes[local - first].push_back(std::move(m));
+          } else {
+            auto incoming = reasm.take();
+            if (inboxes.size() < count) inboxes.resize(count);
+            for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
+            for (auto& m : incoming) {
+              const std::uint32_t local = m.dst - me * local_v;
+              if (owner_of(m.dst) != me || local < first ||
+                  local >= first + count) {
+                throw std::runtime_error(
+                    "ParSimulator: block forwarded to the wrong processor");
+              }
+              inboxes[local - first].push_back(std::move(m));
+            }
           }
 
           {
@@ -286,6 +312,7 @@ SimResult ParSimulator::run(
             outboxes.emplace_back(me * local_v + first + i, v);
           }
           outgoing.clear();
+          outgoing_refs.clear();
           bsp::SuperstepCost local_cost;
           {
             ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
@@ -294,7 +321,9 @@ SimResult ParSimulator::run(
             auto task = [&](std::size_t i) {
               util::Reader r(payloads[i]);
               states[i].deserialize(r);
-              bsp::Inbox in(std::move(inboxes[i]));
+              bsp::Inbox in = zero_copy
+                                  ? bsp::Inbox(std::move(inbox_refs[i]))
+                                  : bsp::Inbox(std::move(inboxes[i]));
               bsp::WorkMeter m;
               bsp::ProcEnv env{
                   me * local_v + first + static_cast<std::uint32_t>(i), v, &m};
@@ -341,8 +370,23 @@ SimResult ParSimulator::run(
                 std::max(local_cost.max_packets_received, s.recv_packets);
             local_cost.total_bytes += s.bytes_sent;
             local_cost.num_messages += s.num_messages;
-            for (auto& m : outboxes[i].take()) outgoing.push_back(std::move(m));
+            if (zero_copy) {
+              // Refs stay valid through the scatter packing below: the
+              // outboxes (and their arenas) outlive this round's writing.
+              for (const auto& m : outboxes[i].messages()) {
+                outgoing_refs.push_back(m);
+              }
+              self.arena_peak = std::max<std::uint64_t>(
+                  self.arena_peak, outboxes[i].arena_high_water());
+            } else {
+              for (auto& m : outboxes[i].take()) {
+                outgoing.push_back(std::move(m));
+              }
+              self.outbox_copied += outboxes[i].bytes_copied();
+            }
           }
+          self.arena_peak = std::max<std::uint64_t>(
+              self.arena_peak, inbox_arena.high_water());
           {
             std::lock_guard<std::mutex> lock(cost_mutex);
             step_cost.max_work = std::max(step_cost.max_work,
@@ -381,45 +425,60 @@ SimResult ParSimulator::run(
 
           // --- Writing: pack per (owner, batch) and scatter randomly.
           {
-            std::vector<std::vector<const bsp::Message*>> by_dest;
-            std::vector<std::uint64_t> dest_keys;
             // Group messages by (owner, batch) pairs; small per round.
+            std::vector<std::uint64_t> dest_keys;
             std::vector<std::pair<std::uint64_t, std::size_t>> index;
-            for (const auto& m : outgoing) {
+            const auto slot_of = [&](std::uint32_t dst) {
               const std::uint64_t key =
-                  (static_cast<std::uint64_t>(owner_of(m.dst)) << 32) |
-                  batch_of(m.dst);
-              std::size_t slot = by_dest.size();
+                  (static_cast<std::uint64_t>(owner_of(dst)) << 32) |
+                  batch_of(dst);
               for (const auto& [kk, s] : index) {
-                if (kk == key) {
-                  slot = s;
-                  break;
-                }
+                if (kk == key) return s;
               }
-              if (slot == by_dest.size()) {
-                index.emplace_back(key, slot);
-                by_dest.emplace_back();
-                dest_keys.push_back(key);
+              const std::size_t slot = index.size();
+              index.emplace_back(key, slot);
+              dest_keys.push_back(key);
+              return slot;
+            };
+            // Random intermediate (Lemma 10) — or round robin when the
+            // routing is deterministic.
+            const auto scatter_block = [&](std::span<const std::byte> block) {
+              const auto target = static_cast<std::uint32_t>(
+                  cfg_.routing == RoutingMode::deterministic
+                      ? (me + self.rr_scatter++) % p
+                      : self.rng.below(p));
+              scatter_mail[me][target].emplace_back(block.begin(),
+                                                    block.end());
+              if (target != me) {
+                self.comm_bytes_this_step += block.size();
               }
-              by_dest[slot].push_back(&m);
-            }
-            for (std::size_t s = 0; s < by_dest.size(); ++s) {
-              const auto batch =
-                  static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
-              pack_blocks(by_dest[s], batch, disks.block_size(),
-                          [&](std::span<const std::byte> block) {
-                            // Random intermediate (Lemma 10) — or round
-                            // robin when the routing is deterministic.
-                            const auto target = static_cast<std::uint32_t>(
-                                cfg_.routing == RoutingMode::deterministic
-                                    ? (me + self.rr_scatter++) % p
-                                    : self.rng.below(p));
-                            scatter_mail[me][target].emplace_back(
-                                block.begin(), block.end());
-                            if (target != me) {
-                              self.comm_bytes_this_step += block.size();
-                            }
-                          });
+            };
+            if (zero_copy) {
+              std::vector<std::vector<bsp::MessageRef>> by_dest;
+              for (const auto& m : outgoing_refs) {
+                const std::size_t slot = slot_of(m.dst);
+                if (by_dest.size() <= slot) by_dest.resize(slot + 1);
+                by_dest[slot].push_back(m);
+              }
+              for (std::size_t s = 0; s < by_dest.size(); ++s) {
+                const auto batch =
+                    static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
+                pack_blocks(std::span<const bsp::MessageRef>(by_dest[s]),
+                            batch, disks.block_size(), scatter_block);
+              }
+            } else {
+              std::vector<std::vector<const bsp::Message*>> by_dest;
+              for (const auto& m : outgoing) {
+                const std::size_t slot = slot_of(m.dst);
+                if (by_dest.size() <= slot) by_dest.resize(slot + 1);
+                by_dest[slot].push_back(&m);
+              }
+              for (std::size_t s = 0; s < by_dest.size(); ++s) {
+                const auto batch =
+                    static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
+                pack_blocks(by_dest[s], batch, disks.block_size(),
+                            scatter_block);
+              }
             }
           }
           sync();
@@ -430,7 +489,12 @@ SimResult ParSimulator::run(
                            me);
             for (std::uint32_t src = 0; src < p; ++src) {
               for (auto& block : scatter_mail[src][me]) {
-                self.messages->write_block(block, self.rng);
+                if (zero_copy) {
+                  // Adopt the mailbox buffer instead of copying it.
+                  self.messages->write_block(std::move(block), self.rng);
+                } else {
+                  self.messages->write_block(block, self.rng);
+                }
               }
               scatter_mail[src][me].clear();
               forward_mail[src][me].clear();
@@ -569,6 +633,19 @@ SimResult ParSimulator::run(
     reg.set_gauge("sim.real_comm_bytes",
                   static_cast<double>(result.real_comm_bytes));
     reg.set_gauge("sim.overlap_ratio", result.overlap_ratio);
+    // Copy discipline: staging/mailbox bytes that crossed a memcpy and the
+    // worst per-processor peak arena residency.
+    std::uint64_t copied = 0;
+    std::uint64_t arena_peak = 0;
+    bool mem_routing = true;
+    for (std::uint32_t i = 0; i < p; ++i) {
+      copied += procs[i].messages->bytes_copied() + procs[i].outbox_copied;
+      arena_peak = std::max(arena_peak, procs[i].arena_peak);
+      mem_routing = mem_routing && procs[i].messages->in_memory_routing();
+    }
+    reg.add("sim.bytes_copied", copied);
+    reg.set_gauge("sim.arena_bytes", static_cast<double>(arena_peak));
+    reg.set_gauge("sim.in_memory_routing", mem_routing ? 1.0 : 0.0);
   }
   return result;
 }

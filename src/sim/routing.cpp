@@ -23,54 +23,68 @@ std::uint16_t get_u16(const std::byte* p) {
   return v;
 }
 
-}  // namespace
-
-std::size_t pack_blocks(
-    std::span<const bsp::Message* const> messages, std::uint32_t dst_group,
-    std::size_t block_size,
-    const std::function<void(std::span<const std::byte>)>& emit) {
+// Shared packing core.  `get(i)` yields anything with src/dst/seq fields
+// and a payload supporting data()/size() (bsp::Message or bsp::MessageRef),
+// so the copying and zero-copy entry points run the identical algorithm and
+// produce bit-identical blocks.  Blocks are written in place into spans
+// handed out by `alloc`; the previously returned span is fully written
+// (header, chunks, zero pad) before the next alloc call.
+template <typename GetMsg>
+std::size_t pack_core(std::size_t count, GetMsg&& get,
+                      std::uint32_t dst_group, std::size_t block_size,
+                      const std::function<std::span<std::byte>()>& alloc) {
   if (block_size < kMinBlockSize) {
     throw std::invalid_argument("pack_blocks: block size below minimum");
   }
-  std::vector<std::byte> block(block_size);
+  std::span<std::byte> block{};
   std::size_t pos = kBlockHeaderBytes;
   std::uint16_t chunks = 0;
   std::size_t produced = 0;
 
-  auto flush = [&]() {
+  auto complete = [&]() {
     if (chunks == 0) return;
     std::memset(block.data() + pos, 0, block_size - pos);
     put_u32(block.data(), dst_group);
     put_u16(block.data() + 4, chunks);
     put_u16(block.data() + 6, 0);
-    emit(block);
     ++produced;
+    block = {};
     pos = kBlockHeaderBytes;
     chunks = 0;
   };
+  auto acquire = [&]() {
+    block = alloc();
+    if (block.size() != block_size) {
+      throw std::invalid_argument(
+          "pack_blocks: alloc returned a span of wrong size");
+    }
+  };
 
-  for (const bsp::Message* m : messages) {
-    const auto total = static_cast<std::uint32_t>(m->payload.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& m = get(i);
+    const auto total = static_cast<std::uint32_t>(m.payload.size());
     std::uint32_t offset = 0;
     // Emit at least one chunk even for empty messages.
     do {
       std::size_t space = block_size - pos;
-      if (space < kChunkHeaderBytes + (total > offset ? 1u : 0u)) {
-        flush();
+      if (block.empty() ||
+          space < kChunkHeaderBytes + (total > offset ? 1u : 0u)) {
+        complete();
+        acquire();
         space = block_size - pos;
       }
       const auto chunk_len = static_cast<std::uint16_t>(std::min<std::size_t>(
           {space - kChunkHeaderBytes, static_cast<std::size_t>(total - offset),
            std::size_t{0xFFFF}}));
       std::byte* p = block.data() + pos;
-      put_u32(p, m->src);
-      put_u32(p + 4, m->dst);
-      put_u32(p + 8, m->seq);
+      put_u32(p, m.src);
+      put_u32(p + 4, m.dst);
+      put_u32(p + 8, m.seq);
       put_u32(p + 12, total);
       put_u32(p + 16, offset);
       put_u16(p + 20, chunk_len);
       if (chunk_len > 0) {
-        std::memcpy(p + kChunkHeaderBytes, m->payload.data() + offset,
+        std::memcpy(p + kChunkHeaderBytes, m.payload.data() + offset,
                     chunk_len);
       }
       pos += kChunkHeaderBytes + chunk_len;
@@ -78,8 +92,62 @@ std::size_t pack_blocks(
       offset += chunk_len;
     } while (offset < total);
   }
-  flush();
+  complete();
   return produced;
+}
+
+// Adapts the emit-style interface onto the alloc core: one bounce buffer,
+// emitted when the core completes it (i.e. just before the next alloc and
+// once more after the core returns — every alloc'd block gets >= 1 chunk,
+// so the counts always match).
+template <typename GetMsg>
+std::size_t pack_emit(std::size_t count, GetMsg&& get, std::uint32_t dst_group,
+                      std::size_t block_size,
+                      const std::function<void(std::span<const std::byte>)>&
+                          emit) {
+  std::vector<std::byte> buf(block_size >= kMinBlockSize ? block_size : 0);
+  bool have = false;
+  const std::size_t produced = pack_core(
+      count, std::forward<GetMsg>(get), dst_group, block_size, [&]() {
+        if (have) emit(buf);
+        have = true;
+        return std::span<std::byte>(buf);
+      });
+  if (have) emit(buf);
+  return produced;
+}
+
+}  // namespace
+
+std::size_t pack_blocks(
+    std::span<const bsp::Message* const> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<void(std::span<const std::byte>)>& emit) {
+  return pack_emit(
+      messages.size(), [&](std::size_t i) -> const bsp::Message& {
+        return *messages[i];
+      },
+      dst_group, block_size, emit);
+}
+
+std::size_t pack_blocks(
+    std::span<const bsp::MessageRef> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<void(std::span<const std::byte>)>& emit) {
+  return pack_emit(
+      messages.size(),
+      [&](std::size_t i) -> const bsp::MessageRef& { return messages[i]; },
+      dst_group, block_size, emit);
+}
+
+std::size_t pack_blocks_into(
+    std::span<const bsp::MessageRef> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<std::span<std::byte>()>& alloc) {
+  return pack_core(
+      messages.size(),
+      [&](std::size_t i) -> const bsp::MessageRef& { return messages[i]; },
+      dst_group, block_size, alloc);
 }
 
 void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
@@ -113,16 +181,21 @@ Reassembler::Partial* Reassembler::find_or_create(std::uint32_t src,
     p.msg.src = src;
     p.msg.dst = dst;
     p.msg.seq = seq;
-    p.msg.payload.resize(total_len);
-  } else if (p.msg.payload.size() != total_len) {
+    if (arena_ != nullptr) {
+      p.buf = arena_->allocate(total_len);
+    } else {
+      p.msg.payload.resize(total_len);
+    }
+  } else if (p.total(arena_ != nullptr) != total_len) {
     // Chunks of one message must agree on its total length; a mismatch
     // means a garbled header, and trusting the larger value would let the
     // memcpy below run past the buffer sized by the first chunk.
     throw em::CorruptBlockError(
         "Reassembler: total_len mismatch across chunks of message (src " +
         std::to_string(src) + ", dst " + std::to_string(dst) + ", seq " +
-        std::to_string(seq) + "): " + std::to_string(p.msg.payload.size()) +
-        " vs " + std::to_string(total_len));
+        std::to_string(seq) + "): " +
+        std::to_string(p.total(arena_ != nullptr)) + " vs " +
+        std::to_string(total_len));
   }
   return &p;
 }
@@ -175,7 +248,10 @@ void Reassembler::absorb(std::span<const std::byte> block,
     }
     Partial* part = find_or_create(src, dst, seq, total);
     if (len > 0) {
-      std::memcpy(part->msg.payload.data() + offset, block.data() + pos, len);
+      std::byte* dst_bytes = arena_ != nullptr
+                                 ? part->buf.data()
+                                 : part->msg.payload.data();
+      std::memcpy(dst_bytes + offset, block.data() + pos, len);
     }
     part->received += len;
     pos += len;
@@ -186,17 +262,40 @@ std::vector<bsp::Message> Reassembler::take() {
   std::vector<bsp::Message> out;
   out.reserve(partial_.size());
   for (auto& [key, p] : partial_) {
-    if (p.received != p.msg.payload.size()) {
-      throw std::runtime_error(
-          "Reassembler: incomplete message (src " +
-          std::to_string(p.msg.src) + ", seq " + std::to_string(p.msg.seq) +
-          "): got " + std::to_string(p.received) + " of " +
-          std::to_string(p.msg.payload.size()) + " bytes");
+    check_complete(p);
+    if (arena_ != nullptr) {
+      p.msg.payload.assign(p.buf.begin(), p.buf.end());
     }
     out.push_back(std::move(p.msg));
   }
   partial_.clear();
   return out;
+}
+
+std::vector<bsp::MessageRef> Reassembler::take_refs() {
+  if (arena_ == nullptr) {
+    throw std::logic_error(
+        "Reassembler::take_refs requires arena mode (payloads would dangle)");
+  }
+  std::vector<bsp::MessageRef> out;
+  out.reserve(partial_.size());
+  for (auto& [key, p] : partial_) {
+    check_complete(p);
+    out.push_back(bsp::MessageRef{p.msg.src, p.msg.dst, p.msg.seq,
+                                  {p.buf.data(), p.buf.size()}});
+  }
+  partial_.clear();
+  return out;
+}
+
+void Reassembler::check_complete(const Partial& p) const {
+  if (p.received != p.total(arena_ != nullptr)) {
+    throw std::runtime_error(
+        "Reassembler: incomplete message (src " + std::to_string(p.msg.src) +
+        ", seq " + std::to_string(p.msg.seq) + "): got " +
+        std::to_string(p.received) + " of " +
+        std::to_string(p.total(arena_ != nullptr)) + " bytes");
+  }
 }
 
 }  // namespace embsp::sim

@@ -42,7 +42,15 @@ namespace embsp::sim {
 ///              deterministic".  Per-bucket balance is exact by
 ///              construction; a write cycle whose blocks collide on a disk
 ///              splits into several parallel I/Os.
-enum class RoutingMode { padded, compact, deterministic };
+///  * automatic — compact placement, but when every destination group's
+///              buckets provably fit in the simulator's staging budget the
+///              MessageStore keeps staged blocks in memory and skips
+///              Algorithm 2's two-pass reorganization entirely.  The
+///              reorganization exists only because buckets exceed M
+///              (Fig. 2); when they don't, delivery is a zero-I/O handoff.
+///              Falls back to compact behavior when the budget is too
+///              small, so it is always safe to request.
+enum class RoutingMode { padded, compact, deterministic, automatic };
 
 inline constexpr std::uint32_t kDummyGroup = 0xFFFFFFFFu;
 
@@ -65,6 +73,24 @@ std::size_t pack_blocks(
     std::span<const bsp::Message* const> messages, std::uint32_t dst_group,
     std::size_t block_size,
     const std::function<void(std::span<const std::byte>)>& emit);
+
+/// Zero-copy overload: packs MessageRef views (arena-backed payloads)
+/// through the identical algorithm, so both overloads produce bit-identical
+/// blocks for the same message sequence.
+std::size_t pack_blocks(
+    std::span<const bsp::MessageRef> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<void(std::span<const std::byte>)>& emit);
+
+/// Alloc-style packing that writes blocks in place (no bounce buffer).
+/// Each call to `alloc` must return a writable span of exactly `block_size`
+/// bytes; the previously returned span is fully written — header, chunks,
+/// zero padding — before the next call, so the callback may ship or enqueue
+/// it.  Returns the number of blocks produced (== number of alloc calls).
+std::size_t pack_blocks_into(
+    std::span<const bsp::MessageRef> messages, std::uint32_t dst_group,
+    std::size_t block_size,
+    const std::function<std::span<std::byte>()>& alloc);
 
 /// Builds one dummy block (for padding) in `out` (resized to block_size).
 void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
@@ -90,8 +116,14 @@ class Reassembler {
   /// giant allocation.  0 disables the cap.  The simulators pass gamma
   /// (the per-processor message-size bound the BSP* model already
   /// enforces on send).
-  explicit Reassembler(std::uint64_t max_message_bytes = 0)
-      : max_message_bytes_(max_message_bytes) {}
+  ///
+  /// When `arena` is non-null the reassembler runs in zero-copy mode:
+  /// payload buffers are bump-allocated from the arena and take_refs()
+  /// returns span views into it (valid until the arena resets).  take()
+  /// remains available for callers that need owning messages.
+  explicit Reassembler(std::uint64_t max_message_bytes = 0,
+                       util::Arena* arena = nullptr)
+      : max_message_bytes_(max_message_bytes), arena_(arena) {}
 
   /// Parse one block and absorb its chunks.  `expected_group` validates the
   /// block's header (pass kDummyGroup to skip validation).
@@ -100,12 +132,21 @@ class Reassembler {
   /// All fully reassembled messages; throws if any message is incomplete.
   [[nodiscard]] std::vector<bsp::Message> take();
 
+  /// Zero-copy variant of take(): views into the arena passed at
+  /// construction.  Only valid in arena mode.
+  [[nodiscard]] std::vector<bsp::MessageRef> take_refs();
+
   [[nodiscard]] std::size_t pending() const { return partial_.size(); }
 
  private:
   struct Partial {
-    bsp::Message msg;
+    bsp::Message msg;            ///< owning buffer (msg.payload) when
+                                 ///< arena_ == nullptr
+    std::span<std::byte> buf;    ///< arena buffer when arena_ != nullptr
     std::uint64_t received = 0;
+    [[nodiscard]] std::size_t total(bool arena_mode) const {
+      return arena_mode ? buf.size() : msg.payload.size();
+    }
   };
   // Key is the full (src, dst, seq) triple: seq numbers only order messages
   // with the same (src, dst) pair (bsp::Message), so two messages from one
@@ -131,8 +172,10 @@ class Reassembler {
   };
   std::unordered_map<ChunkKey, Partial, ChunkKeyHash> partial_;
   std::uint64_t max_message_bytes_ = 0;
+  util::Arena* arena_ = nullptr;
   Partial* find_or_create(std::uint32_t src, std::uint32_t dst,
                           std::uint32_t seq, std::uint32_t total_len);
+  void check_complete(const Partial& p) const;
 };
 
 /// Per-invocation statistics of SimulateRouting, used by bench/fig2_routing

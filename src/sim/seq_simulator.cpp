@@ -69,6 +69,9 @@ SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
   layout.group_capacity =
       (static_cast<std::uint64_t>(k) * cfg.gamma + usable - 1) / usable +
       layout.num_groups + 1;
+  const std::uint64_t ctx_resident =
+      static_cast<std::uint64_t>(resident) * k * layout.context_slot_bytes;
+  layout.routing_mem_budget = em.M > ctx_resident ? em.M - ctx_resident : 0;
   return layout;
 }
 
@@ -85,6 +88,9 @@ SeqSimulator::SeqSimulator(
   em::DiskArrayOptions opts;
   opts.retry = cfg_.retry;
   opts.verify_checksums = cfg_.block_checksums;
+  // Coalescing must not shift the deterministic fault schedule (a retried
+  // run would replay calls for tracks that already succeeded).
+  opts.coalesce = cfg_.coalesce_io && !cfg_.faults.enabled();
   disks_ = em::make_disk_array(cfg_.io_engine, cfg_.machine.em.D,
                                cfg_.machine.em.B, std::move(make_backend),
                                /*capacity_tracks_per_disk=*/0, opts);

@@ -41,6 +41,9 @@ struct SimLayout {
   std::uint32_t num_groups = 1;       ///< destination groups per processor
   std::uint64_t group_capacity = 1;   ///< blocks a group may receive
   std::size_t context_slot_bytes = 0; ///< mu rounded up to blocks
+  /// What M leaves after the resident context groups — the staging budget
+  /// offered to RoutingMode::automatic's in-memory fast path.
+  std::uint64_t routing_mem_budget = 0;
 
   /// Computes the layout for `local_v` virtual processors on one real
   /// processor.  Throws if the config violates the model (k*mu > M, B too
@@ -112,7 +115,8 @@ SimResult SeqSimulator::run(
   MessageStore messages(
       *disks_, alloc,
       MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing,
-                         /*max_message_bytes=*/cfg_.gamma});
+                         /*max_message_bytes=*/cfg_.gamma,
+                         /*memory_budget_bytes=*/layout.routing_mem_budget});
   util::Rng rng(cfg_.seed);
 
   SimResult result;
@@ -158,6 +162,18 @@ SimResult SeqSimulator::run(
   std::vector<State> states;
   states.reserve(layout.k);
   inboxes.reserve(layout.k);
+
+  // Zero-copy path state: fetched payloads live in this arena (reset per
+  // group — the previous group's compute has consumed its refs by then),
+  // and outgoing refs point into the per-vproc outbox arenas, which stay
+  // alive until the write phase has packed them.
+  const bool zero_copy = cfg_.zero_copy;
+  util::Arena inbox_arena;
+  std::vector<bsp::MessageRef> incoming_refs;
+  std::vector<std::vector<bsp::MessageRef>> inbox_refs;
+  std::vector<bsp::MessageRef> outgoing_refs;
+  std::uint64_t outbox_copied = 0;  // take() traffic (legacy path only)
+  std::uint64_t arena_peak = 0;     // peak arena residency, all arenas
 
   // Per-virtual-processor compute results, filled by (possibly concurrent)
   // superstep() calls and reduced sequentially in vproc order so the cost
@@ -286,6 +302,9 @@ SimResult SeqSimulator::run(
       const int cur = static_cast<int>(gidx & 1);
 
       // --- Fetching Phase: steps 1(a) and 1(b) ---
+      // Zero-copy: the previous group's compute has consumed its refs, so
+      // the inbox arena can recycle before this group's fetch fills it.
+      if (zero_copy) inbox_arena.reset();
       std::vector<bsp::Message> incoming;
       if (pipelined) {
         {
@@ -296,7 +315,12 @@ SimResult SeqSimulator::run(
         {
           ObsPhase phase(rec, "prefetch_msg", *disks_,
                          &result.phase_io.fetch_msg);
-          incoming = messages.fetch_group_wait(msg_fetch[cur]);
+          if (zero_copy) {
+            incoming_refs =
+                messages.fetch_group_wait_refs(msg_fetch[cur], inbox_arena);
+          } else {
+            incoming = messages.fetch_group_wait(msg_fetch[cur]);
+          }
         }
         // Read-ahead: group g+1's transfers overlap group g's compute.
         if (gidx + 1 < num_groups) submit_prefetch(gidx + 1);
@@ -307,17 +331,33 @@ SimResult SeqSimulator::run(
           contexts.read_into(first, count, payloads);
         }
         ObsPhase phase(rec, "fetch_msg", *disks_, &result.phase_io.fetch_msg);
-        incoming = messages.fetch_group(gidx);
+        if (zero_copy) {
+          incoming_refs = messages.fetch_group_refs(gidx, inbox_arena);
+        } else {
+          incoming = messages.fetch_group(gidx);
+        }
       }
 
-      if (inboxes.size() < count) inboxes.resize(count);
-      for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
-      for (auto& m : incoming) {
-        if (m.dst < first || m.dst >= first + count) {
-          throw std::runtime_error(
-              "SeqSimulator: message routed to the wrong group");
+      if (zero_copy) {
+        if (inbox_refs.size() < count) inbox_refs.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) inbox_refs[i].clear();
+        for (const auto& m : incoming_refs) {
+          if (m.dst < first || m.dst >= first + count) {
+            throw std::runtime_error(
+                "SeqSimulator: message routed to the wrong group");
+          }
+          inbox_refs[m.dst - first].push_back(m);
         }
-        inboxes[m.dst - first].push_back(std::move(m));
+      } else {
+        if (inboxes.size() < count) inboxes.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
+        for (auto& m : incoming) {
+          if (m.dst < first || m.dst >= first + count) {
+            throw std::runtime_error(
+                "SeqSimulator: message routed to the wrong group");
+          }
+          inboxes[m.dst - first].push_back(std::move(m));
+        }
       }
 
       // --- Computation Phase: step 1(c) ---
@@ -329,6 +369,7 @@ SimResult SeqSimulator::run(
         outboxes.emplace_back(first + i, v);
       }
       outgoing.clear();
+      outgoing_refs.clear();
       {
         // Wall-clock-only span: compute does no I/O, so there is no PhaseIo
         // slot for it.
@@ -338,7 +379,8 @@ SimResult SeqSimulator::run(
         auto task = [&](std::size_t i) {
           util::Reader r(payloads[i]);
           states[i].deserialize(r);
-          bsp::Inbox in(std::move(inboxes[i]));
+          bsp::Inbox in = zero_copy ? bsp::Inbox(std::move(inbox_refs[i]))
+                                    : bsp::Inbox(std::move(inboxes[i]));
           bsp::WorkMeter m;
           bsp::ProcEnv env{first + static_cast<std::uint32_t>(i), v, &m};
           VpStats& s = vp[i];
@@ -388,14 +430,31 @@ SimResult SeqSimulator::run(
             std::max(cost.max_packets_received, s.recv_packets);
         cost.total_bytes += s.bytes_sent;
         cost.num_messages += s.num_messages;
-        for (auto& m : outboxes[i].take()) outgoing.push_back(std::move(m));
+        if (zero_copy) {
+          // Refs stay valid through the write phase below: the outboxes
+          // (and their arenas) outlive this group's write_message_refs.
+          for (const auto& m : outboxes[i].messages()) {
+            outgoing_refs.push_back(m);
+          }
+          arena_peak = std::max<std::uint64_t>(
+              arena_peak, outboxes[i].arena_high_water());
+        } else {
+          for (auto& m : outboxes[i].take()) outgoing.push_back(std::move(m));
+          outbox_copied += outboxes[i].bytes_copied();
+        }
       }
+      arena_peak = std::max<std::uint64_t>(arena_peak,
+                                           inbox_arena.high_water());
 
       // --- Writing Phase: steps 1(d) and 1(e) ---
       {
         ObsPhase phase(rec, pipelined ? "writeback_msg" : "write_msg",
                        *disks_, &result.phase_io.write_msg);
-        messages.write_messages(outgoing, group_of, rng);
+        if (zero_copy) {
+          messages.write_message_refs(outgoing_refs, group_of, rng);
+        } else {
+          messages.write_messages(outgoing, group_of, rng);
+        }
       }
 
       {
@@ -514,6 +573,12 @@ SimResult SeqSimulator::run(
     reg.set_gauge("sim.max_tracks_per_disk",
                   static_cast<double>(result.max_tracks_per_disk));
     reg.set_gauge("sim.overlap_ratio", result.overlap_ratio);
+    // Copy discipline: staging bytes that crossed a memcpy (block staging
+    // plus legacy outbox materialization) and peak arena residency.
+    reg.add("sim.bytes_copied", messages.bytes_copied() + outbox_copied);
+    reg.set_gauge("sim.arena_bytes", static_cast<double>(arena_peak));
+    reg.set_gauge("sim.in_memory_routing",
+                  messages.in_memory_routing() ? 1.0 : 0.0);
   }
   return result;
 }

@@ -29,6 +29,22 @@ struct SimConfig {
   std::size_t gamma = 0;       ///< declared max comm bytes per vproc/superstep
   std::size_t k = 0;           ///< group size; 0 = auto floor(M / context slot)
   RoutingMode routing = RoutingMode::compact;
+
+  /// Zero-copy message path: pack outbox messages (arena-backed spans)
+  /// straight into staged block buffers and deliver fetched messages as
+  /// MessageRef views over an arena, skipping the per-message and per-block
+  /// bounce copies of the legacy path.  Disk image, costs and fault
+  /// schedule are byte-identical either way for a fixed seed; off restores
+  /// the copying path (kept for parity tests and as a fallback).
+  bool zero_copy = true;
+
+  /// Merge runs of adjacent tracks inside one batched submission into a
+  /// single vectored backend transfer per disk (preadv/pwritev).  Purely
+  /// physical — model costs and the disk image are unchanged.  Forced off
+  /// when fault injection is active: retrying a coalesced run would replay
+  /// backend calls for tracks that already succeeded and shift the
+  /// deterministic fault schedule.
+  bool coalesce_io = true;
   /// How the D per-disk transfers of each parallel I/O are executed:
   /// serial (issuing thread, default) or parallel (per-disk worker pool —
   /// overlaps real device I/O on file backends).  Model cost is identical;

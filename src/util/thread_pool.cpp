@@ -77,7 +77,10 @@ ComputePool::~ComputePool() {
 void ComputePool::run(std::size_t count,
                       const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  if (impl_ == nullptr) {
+  // No workers (extra_threads == 0, i.e. compute_threads == 1) or a single
+  // task: execute entirely on the calling thread.  No locks are taken and
+  // no worker is woken, so a width-1 "pool" is exactly the sequential loop.
+  if (impl_ == nullptr || count == 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }

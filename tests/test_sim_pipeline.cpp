@@ -15,6 +15,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <vector>
 
 #include "em/fault_backend.hpp"
@@ -317,6 +318,94 @@ TEST(SimPipeline, RoutingModesStayDeterministic) {
   }
 }
 
+// --- Zero-copy / coalescing parity -------------------------------------------
+
+TEST(SimPipeline, ZeroCopyOffMatchesOnByteForByte) {
+  // The arena/MessageRef path must be indistinguishable from the legacy
+  // copying path: same program results, same model costs, and bit-for-bit
+  // the same disk images for a fixed seed.
+  scrub_images("zc_on");
+  scrub_images("zc_off");
+  IrregularProgram prog;
+  prog.rounds = 4;
+  auto on_cfg = base_config(1, 24);  // zero_copy defaults to true
+  auto off_cfg = on_cfg;
+  off_cfg.zero_copy = false;
+  sim::SimResult on_res, off_res;
+  const auto on = run_seq_collect(prog, on_cfg, on_res, "zc_on");
+  const auto off = run_seq_collect(prog, off_cfg, off_res, "zc_off");
+  EXPECT_EQ(on, off);
+  expect_same_costs(on_res, off_res);
+  for (std::size_t d = 0; d < 4; ++d) {
+    const auto a = image_bytes("zc_on", d);
+    const auto b = image_bytes("zc_off", d);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "disk image " << d
+                    << " differs between zero-copy and copying path";
+  }
+  scrub_images("zc_on");
+  scrub_images("zc_off");
+}
+
+TEST(SimPipeline, CoalesceOffMatchesOnByteForByte) {
+  // Track coalescing is purely physical: with it disabled the same batched
+  // submissions run track-by-track, and nothing model-visible may change.
+  scrub_images("co_on");
+  scrub_images("co_off");
+  IrregularProgram prog;
+  auto on_cfg = pipelined(base_config(1, 16));  // coalesce_io defaults true
+  auto off_cfg = on_cfg;
+  off_cfg.coalesce_io = false;
+  sim::SimResult on_res, off_res;
+  const auto on = run_seq_collect(prog, on_cfg, on_res, "co_on");
+  const auto off = run_seq_collect(prog, off_cfg, off_res, "co_off");
+  EXPECT_EQ(on, off);
+  expect_same_costs(on_res, off_res);
+  for (std::size_t d = 0; d < 4; ++d) {
+    const auto a = image_bytes("co_on", d);
+    const auto b = image_bytes("co_off", d);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "disk image " << d << " differs with coalescing";
+  }
+  scrub_images("co_on");
+  scrub_images("co_off");
+}
+
+TEST(SimPipeline, AutoRoutingMatchesCompactWithFewerIos) {
+  // base_config's groups fit the staging budget, so `automatic` must take
+  // the in-memory delivery path: identical program results, strictly fewer
+  // parallel I/Os than compact (no Algorithm 2 reorganization, no fetch
+  // reads).  Equality of I/O counts would mean the fast path never engaged.
+  IrregularProgram prog;
+  prog.rounds = 4;
+  auto compact_cfg = base_config(1, 24);
+  compact_cfg.routing = sim::RoutingMode::compact;
+  auto auto_cfg = compact_cfg;
+  auto_cfg.routing = sim::RoutingMode::automatic;
+  sim::SimResult rc, ra;
+  EXPECT_EQ(run_seq_collect(prog, compact_cfg, rc),
+            run_seq_collect(prog, auto_cfg, ra));
+  ASSERT_EQ(rc.costs.supersteps.size(), ra.costs.supersteps.size());
+  for (std::size_t s = 0; s < rc.costs.supersteps.size(); ++s) {
+    // Transport-independent communication costs are unchanged...
+    EXPECT_EQ(rc.costs.supersteps[s].total_bytes,
+              ra.costs.supersteps[s].total_bytes)
+        << s;
+    EXPECT_EQ(rc.costs.supersteps[s].num_messages,
+              ra.costs.supersteps[s].num_messages)
+        << s;
+  }
+  // ...but the routing I/O is gone.
+  EXPECT_LT(ra.total_io.parallel_ios, rc.total_io.parallel_ios);
+  EXPECT_LT(ra.total_io.blocks_read, rc.total_io.blocks_read);
+
+  // Pipelined schedule agrees with the blocking one in auto mode too.
+  sim::SimResult rp;
+  EXPECT_EQ(run_seq_collect(prog, pipelined(auto_cfg, 2), rp),
+            run_seq_collect(prog, auto_cfg, ra));
+  expect_same_costs(ra, rp);
+}
+
 // --- Fault injection and recovery under pipelining ---------------------------
 
 sim::SimConfig faulty(sim::SimConfig cfg, double rate) {
@@ -421,6 +510,18 @@ TEST(SimPipeline, ParPipelinedMatchesBaseline) {
   expect_same_costs(base, piped);
 }
 
+TEST(SimPipeline, ParZeroCopyOffMatchesOn) {
+  IrregularProgram prog;
+  auto on_cfg = base_config(2, 32);  // zero_copy defaults to true
+  auto off_cfg = on_cfg;
+  off_cfg.zero_copy = false;
+  sim::SimResult on_res, off_res;
+  const auto a = run_par_collect(prog, on_cfg, on_res);
+  const auto b = run_par_collect(prog, off_cfg, off_res);
+  EXPECT_EQ(a, b);
+  expect_same_costs(on_res, off_res);
+}
+
 TEST(SimPipeline, ParAbortPathStaysClean) {
   // A program that trips the gamma budget mid-superstep while transfers
   // are in flight: the cooperative abort must drain before unwinding (no
@@ -505,6 +606,26 @@ TEST(ComputePool, ZeroThreadsRunsInline) {
   std::vector<int> order;
   pool.run(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ComputePool, DegenerateRunsStayOnCallerThread) {
+  // A width-1 pool, and any single-task run, must execute entirely on the
+  // calling thread — no wakeup, no handoff.  compute_threads=1 configs hit
+  // this on every superstep, so the fast path is the common path.
+  const auto caller = std::this_thread::get_id();
+  {
+    util::ComputePool pool(0);
+    std::vector<std::thread::id> ran;
+    pool.run(4, [&](std::size_t) { ran.push_back(std::this_thread::get_id()); });
+    ASSERT_EQ(ran.size(), 4u);
+    for (const auto& id : ran) EXPECT_EQ(id, caller);
+  }
+  {
+    util::ComputePool pool(3);  // workers exist but must not be woken
+    std::thread::id ran;
+    pool.run(1, [&](std::size_t) { ran = std::this_thread::get_id(); });
+    EXPECT_EQ(ran, caller);
+  }
 }
 
 }  // namespace

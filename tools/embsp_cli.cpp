@@ -17,7 +17,13 @@
 //     --B <bytes>      block size                    (default 512)
 //     --M <bytes>      memory per processor          (default 4194304)
 //     --k <count>      group size (0 = auto)         (default 0)
-//     --mode <m>       compact | padded | deterministic
+//     --mode <m>       compact | padded | deterministic | auto
+//                      (--routing is an alias; auto keeps routing in memory
+//                      and skips Algorithm 2 when the staging budget fits,
+//                      falling back to compact otherwise)
+//     --no-zero-copy   route message payloads through the legacy copying
+//                      path (same results; for comparison/debugging)
+//     --no-coalesce    disable vectored coalescing of adjacent-track runs
 //     --seed <u64>     workload + placement seed     (default 42)
 //     --csv <path>     write the per-superstep cost trace (p=1 only)
 //     --faults <rate>  inject transient I/O faults at this per-call rate
@@ -67,16 +73,20 @@ struct Options {
   std::string metrics;
   std::string trace;
   bool pipeline = false;
+  bool zero_copy = true;
+  bool coalesce = true;
   std::size_t compute_threads = 1;
 };
 
 int usage() {
   std::cerr
       << "usage: embsp <workload> [--n N] [--v V] [--p P] [--D D] [--B B]\n"
-         "             [--M M] [--k K] [--mode compact|padded|deterministic]\n"
+         "             [--M M] [--k K]\n"
+         "             [--mode compact|padded|deterministic|auto]\n"
          "             [--seed S] [--csv PATH] [--faults RATE]\n"
          "             [--metrics PATH] [--trace-events PATH]\n"
          "             [--pipeline] [--compute-threads T]\n"
+         "             [--no-zero-copy] [--no-coalesce]\n"
          "workloads: sort permute transpose maxima dominance closest hull\n"
          "           envelope listrank euler cc lca\n";
   return 2;
@@ -90,6 +100,16 @@ bool parse(int argc, char** argv, Options& opt) {
     // Flags without a value.
     if (flag == "--pipeline") {
       opt.pipeline = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--no-zero-copy") {
+      opt.zero_copy = false;
+      ++i;
+      continue;
+    }
+    if (flag == "--no-coalesce") {
+      opt.coalesce = false;
       ++i;
       continue;
     }
@@ -124,13 +144,15 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--compute-threads") {
       opt.compute_threads = std::stoul(val);
       if (opt.compute_threads == 0) return false;
-    } else if (flag == "--mode") {
+    } else if (flag == "--mode" || flag == "--routing") {
       if (val == "compact") {
         opt.mode = sim::RoutingMode::compact;
       } else if (val == "padded") {
         opt.mode = sim::RoutingMode::padded;
       } else if (val == "deterministic") {
         opt.mode = sim::RoutingMode::deterministic;
+      } else if (val == "auto" || val == "automatic") {
+        opt.mode = sim::RoutingMode::automatic;
       } else {
         return false;
       }
@@ -206,6 +228,8 @@ int run_workload(const Options& opt, Fn fn) {
   cfg.machine.em = {opt.M, opt.D, opt.B, 1.0};
   cfg.k = opt.k;
   cfg.routing = opt.mode;
+  cfg.zero_copy = opt.zero_copy;
+  cfg.coalesce_io = opt.coalesce;
   cfg.seed = opt.seed;
   if (opt.pipeline) {
     // Pipelining needs the parallel engine, or submissions block inline.
