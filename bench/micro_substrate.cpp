@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "em/disk_array.hpp"
+#include "em/uring_backend.hpp"
 #include "em/linked_buckets.hpp"
 #include "em/striped_region.hpp"
 #include "em/track_allocator.hpp"
@@ -117,6 +118,49 @@ void BM_FileTrackIoParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_FileTrackIoSerial)->Arg(1)->Arg(4)->Arg(8);
 BENCHMARK(BM_FileTrackIoParallel)->Arg(1)->Arg(4)->Arg(8);
+
+// Same schedule on the kernel-native engine: each drive's worker drives an
+// io_uring ring (SQE/CQE waves) instead of blocking p{read,write}.  Falls
+// back to plain file backends when the kernel lacks io_uring, in which
+// case these report worker-pool numbers.
+void BM_FileTrackIoUringCfg(benchmark::State& state, bool direct) {
+  const std::size_t D = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kB = 1 << 16;
+  const auto dir = std::filesystem::temp_directory_path();
+  em::UringConfig cfg;
+  cfg.direct = direct;
+  cfg.sync_writes = true;
+  auto arr = em::make_disk_array(em::IoEngine::uring, D, kB, [&](std::size_t d) {
+    const auto path =
+        dir / ("embsp_micro_uio_" + std::to_string(d) + ".bin");
+    return em::make_uring_file_backend(path.string(), /*keep=*/false, cfg);
+  });
+  std::vector<std::byte> buf(D * kB, std::byte{9});
+  std::uint64_t track = 0;
+  for (auto _ : state) {
+    std::vector<em::WriteOp> writes;
+    std::vector<em::ReadOp> reads;
+    for (std::uint32_t d = 0; d < D; ++d) {
+      writes.push_back(
+          {d, track % 64, std::span<const std::byte>(buf).subspan(d * kB, kB)});
+      reads.push_back(
+          {d, track % 64, std::span<std::byte>(buf).subspan(d * kB, kB)});
+    }
+    arr->parallel_write(writes);
+    arr->parallel_read(reads);
+    ++track;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(D * kB));
+}
+void BM_FileTrackIoUring(benchmark::State& state) {
+  BM_FileTrackIoUringCfg(state, /*direct=*/false);
+}
+void BM_FileTrackIoUringDirect(benchmark::State& state) {
+  BM_FileTrackIoUringCfg(state, /*direct=*/true);
+}
+BENCHMARK(BM_FileTrackIoUring)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_FileTrackIoUringDirect)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_ContextSwap(benchmark::State& state) {
   em::DiskArray disks(4, 1024);
@@ -445,6 +489,80 @@ void emit_artifact() {
                     static_cast<double>(coalesced_tracks));
     artifact.metric("parallel_ios",
                     static_cast<double>(arr->stats().parallel_ios));
+  }
+
+  // I/O engine matrix: the same 64-track-per-disk batched schedule on the
+  // worker-pool file engine and on the io_uring engine — buffered, with
+  // O_DIRECT, and with registered (fixed) buffers.  `uring_rings == 0` in a
+  // uring row means the kernel lacks io_uring and the run silently fell
+  // back to worker-pool file I/O (the honest column, not a failure).
+  {
+    struct EngineCase {
+      const char* name;
+      bool uring;
+      bool direct;
+      bool registered;
+    };
+    const EngineCase engine_cases[] = {
+        {"engine_worker_pool", false, false, false},
+        {"engine_uring", true, false, false},
+        {"engine_uring_direct", true, true, false},
+        {"engine_uring_fixed", true, false, true},
+    };
+    constexpr std::size_t kD = 4;
+    constexpr std::size_t kTracks = 64;
+    constexpr std::size_t kB = 4096;
+    const auto dir = std::filesystem::temp_directory_path();
+    for (const auto& c : engine_cases) {
+      std::vector<std::byte> buf(kD * kTracks * kB, std::byte{8});
+      em::UringConfig ucfg;
+      ucfg.direct = c.direct;
+      auto arr = em::make_disk_array(
+          c.uring ? em::IoEngine::uring : em::IoEngine::parallel, kD, kB,
+          [&](std::size_t d) -> std::unique_ptr<em::Backend> {
+            const auto path =
+                dir / ("embsp_micro_eng_" + std::to_string(d) + ".bin");
+            if (c.uring) {
+              return em::make_uring_file_backend(path.string(),
+                                                 /*keep=*/false, ucfg);
+            }
+            return em::make_file_backend(path.string(), /*keep=*/false);
+          });
+      if (c.registered) {
+        const std::span<std::byte> region[] = {buf};
+        (void)arr->register_io_buffers(region);
+      }
+      std::vector<em::WriteOp> writes;
+      std::vector<em::ReadOp> reads;
+      for (std::uint32_t d = 0; d < kD; ++d) {
+        for (std::uint64_t t = 0; t < kTracks; ++t) {
+          const auto off = (d * kTracks + t) * kB;
+          writes.push_back(
+              {d, t, std::span<const std::byte>(buf).subspan(off, kB)});
+          reads.push_back({d, t, std::span<std::byte>(buf).subspan(off, kB)});
+        }
+      }
+      const double ns = timed_ns(
+          [&] {
+            arr->parallel_write_batch(writes, kTracks);
+            arr->parallel_read_batch(reads, kTracks);
+          },
+          20);
+      if (c.registered) {
+        (void)arr->register_io_buffers({});
+      }
+      arr->harvest_backend_stats();
+      const auto& u = arr->engine_stats().uring;
+      artifact.begin_case(c.name);
+      artifact.metric("tracks_moved", 2.0 * kD * kTracks);
+      artifact.metric("wall_ns", ns);
+      artifact.metric("uring_rings", static_cast<double>(u.rings));
+      artifact.metric("direct_rings", static_cast<double>(u.direct_rings));
+      artifact.metric("sqes", static_cast<double>(u.sqes));
+      artifact.metric("enters", static_cast<double>(u.enters));
+      artifact.metric("fixed_ops", static_cast<double>(u.fixed_ops));
+      artifact.metric("bounced_bytes", static_cast<double>(u.bounced_bytes));
+    }
   }
 
   const auto path = artifact.write();

@@ -73,8 +73,9 @@ void MemoryBackend::write(std::uint64_t offset,
 
 namespace {
 
-// Live backing files in this process: a second FileBackend on the same path
-// would silently clobber the first, so the constructor rejects it.
+// Live backing files in this process: a second backend on the same path
+// would silently clobber the first, so constructors reject it (shared by
+// FileBackend and UringBackend through detail::claim_backend_path).
 std::mutex g_open_paths_mutex;
 std::unordered_set<std::string>& open_paths() {
   static std::unordered_set<std::string> set;
@@ -90,17 +91,29 @@ std::string registry_key_for(const std::string& path) {
 
 }  // namespace
 
+namespace detail {
+
+std::string claim_backend_path(const std::string& path) {
+  std::string key = registry_key_for(path);
+  std::lock_guard<std::mutex> lock(g_open_paths_mutex);
+  if (!open_paths().insert(key).second) {
+    throw PersistentIoError(path +
+                            " is already open in this process (double-open "
+                            "would clobber the backing file)");
+  }
+  return key;
+}
+
+void release_backend_path(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_open_paths_mutex);
+  open_paths().erase(key);
+}
+
+}  // namespace detail
+
 FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
     : path_(std::move(path)), keep_(keep) {
-  registry_key_ = registry_key_for(path_);
-  {
-    std::lock_guard<std::mutex> lock(g_open_paths_mutex);
-    if (!open_paths().insert(registry_key_).second) {
-      throw PersistentIoError("FileBackend: " + path_ +
-                              " is already open in this process (double-open "
-                              "would clobber the backing file)");
-    }
-  }
+  registry_key_ = detail::claim_backend_path(path_);
   // Truncate only files we create: with `keep`, an existing backing file is
   // data the caller asked to preserve across runs.  Scratch files
   // (!keep) are always started fresh.
@@ -115,8 +128,7 @@ FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
   fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) {
     const int err = errno;
-    std::lock_guard<std::mutex> lock(g_open_paths_mutex);
-    open_paths().erase(registry_key_);
+    detail::release_backend_path(registry_key_);
     throw IoError(classify_errno(err), "FileBackend: cannot open " + path_ +
                                            ": " + std::strerror(err));
   }
@@ -132,8 +144,7 @@ FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
 FileBackend::~FileBackend() {
   if (fd_ >= 0) ::close(fd_);
   if (!keep_) ::unlink(path_.c_str());
-  std::lock_guard<std::mutex> lock(g_open_paths_mutex);
-  open_paths().erase(registry_key_);
+  detail::release_backend_path(registry_key_);
 }
 
 void FileBackend::read(std::uint64_t offset, std::span<std::byte> dst) {

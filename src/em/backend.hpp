@@ -77,7 +77,30 @@ class Backend {
 
   /// High-water mark of bytes ever touched (for disk-space reporting).
   [[nodiscard]] virtual std::uint64_t size() const = 0;
+
+  /// Offer long-lived memory regions (bump-allocated arenas, staging pools)
+  /// for backend-side acceleration.  UringBackend registers them as kernel
+  /// fixed buffers (IORING_REGISTER_BUFFERS); every other backend ignores
+  /// the hint and returns false.  Must be called while no I/O is in flight;
+  /// a later call replaces the previous registration.
+  virtual bool register_buffers(
+      std::span<const std::span<std::byte>> /*regions*/) {
+    return false;
+  }
 };
+
+namespace detail {
+
+/// Process-wide double-open guard shared by file-backed backends: claims
+/// `path` (normalized to an absolute key, which is returned) and throws
+/// PersistentIoError if a live backend already owns it — two backends
+/// writing one file would silently clobber each other.
+std::string claim_backend_path(const std::string& path);
+
+/// Releases a key previously returned by claim_backend_path.
+void release_backend_path(const std::string& key);
+
+}  // namespace detail
 
 /// In-memory backend over fixed-size segments.  Segments make concurrent
 /// growth safe: a plain growable vector would reallocate (or zero-fill)

@@ -45,6 +45,12 @@ class Disk {
   /// Flush buffered writes to the backend's medium (DiskArray::sync).
   void flush() { backend_->flush(); }
 
+  /// The storage substrate behind this drive — used by DiskArray to pass
+  /// through buffer registrations and to harvest engine-specific stats
+  /// (e.g. UringBackend ring counters).
+  [[nodiscard]] Backend& backend() { return *backend_; }
+  [[nodiscard]] const Backend& backend() const { return *backend_; }
+
   [[nodiscard]] std::size_t block_size() const { return block_size_; }
   [[nodiscard]] std::uint64_t capacity_tracks() const { return capacity_; }
   [[nodiscard]] bool verify_checksums() const { return verify_; }

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "em/parallel_disk_array.hpp"
+#include "em/uring_backend.hpp"
 
 namespace embsp::em {
 
@@ -300,6 +301,25 @@ void DiskArray::settle(PendingOp& op, bool swallow) {
     // nothing, or recovery paths double-count bytes for I/O that never
     // completed.
     if (!swallow) std::rethrow_exception(first);
+    // Swallowed ≠ invisible: quiescence points (drain) discard the error to
+    // keep rollback noexcept, but the obs snapshot must still show that a
+    // recovery-path I/O failed — record every swallow and keep the first
+    // error's classification.
+    engine_.drain_errors += 1;
+    if (engine_.last_drain_error_kind < 0) {
+      try {
+        std::rethrow_exception(first);
+      } catch (const IoError& e) {
+        engine_.last_drain_error_kind = static_cast<int>(e.kind());
+        engine_.last_drain_error = e.what();
+      } catch (const std::exception& e) {
+        engine_.last_drain_error_kind = static_cast<int>(IoError::Kind::persistent);
+        engine_.last_drain_error = e.what();
+      } catch (...) {
+        engine_.last_drain_error_kind = static_cast<int>(IoError::Kind::persistent);
+        engine_.last_drain_error = "unknown error";
+      }
+    }
     return;
   }
   stats_.parallel_ios += op.cycles;
@@ -385,11 +405,47 @@ std::uint64_t DiskArray::max_tracks_used() const {
   return used;
 }
 
+std::size_t DiskArray::register_io_buffers(
+    std::span<const std::span<std::byte>> regions) {
+  std::size_t accepted = 0;
+  for (auto& d : disks_) {
+    if (d->backend().register_buffers(regions)) ++accepted;
+  }
+  return accepted;
+}
+
+void DiskArray::harvest_backend_stats() {
+  // Re-snapshot (assign, not accumulate) so calling at every superstep
+  // boundary never double-counts.  When a decorator (FaultInjectingBackend)
+  // wraps the UringBackend the dynamic_cast misses and the ring counters
+  // stay zero — fault runs care about schedules, not hardware telemetry.
+  UringEngineStats u{};
+  for (auto& d : disks_) {
+    const auto* ub = dynamic_cast<const UringBackend*>(&d->backend());
+    if (ub == nullptr) continue;
+    const UringBackendStats& s = ub->uring_stats();
+    u.rings += 1;
+    if (ub->direct_io()) u.direct_rings += 1;
+    u.sqes += s.sqes;
+    u.enters += s.enters;
+    u.fixed_ops += s.fixed_ops;
+    u.bounced_bytes += s.bounced_bytes;
+    u.ring_depth.merge(s.ring_depth);
+    u.completion_ns.merge(s.completion_ns);
+  }
+  engine_.uring = std::move(u);
+}
+
 std::unique_ptr<DiskArray> make_disk_array(
     IoEngine engine, std::size_t num_disks, std::size_t block_size,
     std::function<std::unique_ptr<Backend>(std::size_t)> make_backend,
     std::uint64_t capacity_tracks_per_disk, DiskArrayOptions options) {
-  if (engine == IoEngine::parallel) {
+  if (engine == IoEngine::parallel || engine == IoEngine::uring) {
+    // The uring engine reuses the per-drive worker scheduling; what changes
+    // is the backend each drive talks to (UringBackend — the simulators
+    // default make_backend to make_uring_scratch_factory when the caller
+    // supplied none).  Keeping one scheduler preserves per-disk FIFO order
+    // and therefore byte/cost/fault parity across engines.
     return std::make_unique<ParallelDiskArray>(
         num_disks, block_size, std::move(make_backend),
         capacity_tracks_per_disk, options);

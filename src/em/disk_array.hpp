@@ -79,6 +79,10 @@ struct WriteOp {
 enum class IoEngine {
   serial,    ///< issuing thread performs transfers back-to-back
   parallel,  ///< persistent per-disk workers execute them concurrently
+  uring,     ///< per-disk workers issuing kernel-native io_uring transfers
+             ///< (scheduling as `parallel`; drives default to UringBackend
+             ///< scratch files, with runtime fallback to FileBackend —
+             ///< see uring_backend.hpp)
 };
 
 /// Resilience knobs of a disk array, applied identically by both engines.
@@ -171,8 +175,28 @@ class DiskArray {
   /// Quiesce: settle every outstanding token, swallowing errors (successful
   /// operations are still charged).  Rollback paths call this before
   /// restoring snapshots so no in-flight transfer can touch a staging
-  /// buffer — or the disk image — after the restore.
+  /// buffer — or the disk image — after the restore.  Swallowed errors are
+  /// not lost: each one bumps EngineStats::drain_errors and the first is
+  /// kept as EngineStats::last_drain_error{_kind}, so recovery-path I/O
+  /// failures stay visible in the obs snapshot.
   void drain() noexcept;
+
+  /// Tokens submitted but not yet settled.  Quiescence invariant checks
+  /// (tests, simulator abort paths) assert this returns 0 after drain().
+  [[nodiscard]] std::size_t pending_ops() const { return pending_.size(); }
+
+  /// Offer long-lived buffer regions (e.g. the simulator's bump-allocated
+  /// staging arenas) to every drive's backend for registration as kernel
+  /// fixed buffers.  Returns the number of drives whose backend accepted
+  /// (0 for memory/file backends — the hint is free).  Call while no I/O
+  /// is in flight.
+  std::size_t register_io_buffers(
+      std::span<const std::span<std::byte>> regions);
+
+  /// Fold backend-level execution stats (UringBackend ring counters) into
+  /// EngineStats::uring.  Call at a quiescence point before reading
+  /// engine_stats(); repeated calls re-snapshot rather than double-count.
+  void harvest_backend_stats();
 
   /// Barrier: returns once every transfer issued so far has completed and
   /// the backends have flushed buffered data to their medium.  Implies

@@ -32,6 +32,24 @@ void export_metrics(const EngineStats& stats, obs::Registry& registry,
   registry.set_gauge(at("", "max_queue_depth"),
                      static_cast<double>(stats.max_queue_depth));
   registry.merge_histogram(at("", "queue_depth"), stats.queue_depth);
+  // Quiescence-point failures: always exported (a zero is the signal that
+  // the recovery paths stayed clean); the kind gauge only when one occurred.
+  registry.add(at("", "drain_errors"), stats.drain_errors);
+  if (stats.last_drain_error_kind >= 0) {
+    registry.set_gauge(at("", "last_drain_error_kind"),
+                       static_cast<double>(stats.last_drain_error_kind));
+  }
+  if (stats.uring.active()) {
+    const UringEngineStats& u = stats.uring;
+    registry.add(at("uring.", "rings"), u.rings);
+    registry.add(at("uring.", "direct_rings"), u.direct_rings);
+    registry.add(at("uring.", "sqes"), u.sqes);
+    registry.add(at("uring.", "enters"), u.enters);
+    registry.add(at("uring.", "fixed_ops"), u.fixed_ops);
+    registry.add(at("uring.", "bounced_bytes"), u.bounced_bytes);
+    registry.merge_histogram(at("uring.", "ring_depth"), u.ring_depth);
+    registry.merge_histogram(at("uring.", "completion_ns"), u.completion_ns);
+  }
 }
 
 }  // namespace embsp::em

@@ -91,6 +91,21 @@ struct DiskIoStats {
   obs::LogHistogram retry_delay_ns;
 };
 
+/// Ring-level execution stats aggregated over the UringBackends of a disk
+/// array (zero/inactive when no drive runs on io_uring).  Harvested at
+/// quiescence points by DiskArray::harvest_backend_stats().
+struct UringEngineStats {
+  std::uint64_t rings = 0;         ///< drives backed by an io_uring instance
+  std::uint64_t direct_rings = 0;  ///< of those, rings with O_DIRECT in effect
+  std::uint64_t sqes = 0;          ///< SQEs submitted across all rings
+  std::uint64_t enters = 0;        ///< io_uring_enter syscalls
+  std::uint64_t fixed_ops = 0;     ///< READ_FIXED/WRITE_FIXED SQEs
+  std::uint64_t bounced_bytes = 0; ///< bytes copied through O_DIRECT staging
+  obs::LogHistogram ring_depth;    ///< SQEs in flight per submission wave
+  obs::LogHistogram completion_ns; ///< submit-to-reap latency per wave
+  [[nodiscard]] bool active() const { return rings != 0; }
+};
+
 /// Engine-level execution stats of a whole disk array.
 struct EngineStats {
   std::vector<DiskIoStats> per_disk;
@@ -110,12 +125,28 @@ struct EngineStats {
   /// Distribution of per-operation batch width (same per-engine caveat as
   /// max_queue_depth): how often the caller actually filled all D slots.
   obs::LogHistogram queue_depth;
+  /// Errors swallowed by drain() at quiescence points (rollback paths).
+  /// drain() is noexcept by contract, but the failures must stay visible:
+  /// the counter and the first error's classification surface in the obs
+  /// snapshot (see export_metrics).
+  std::uint64_t drain_errors = 0;
+  /// IoError::Kind of the first swallowed drain error as an int
+  /// (transient=0, persistent=1, corrupt=2); -1 when none occurred.
+  int last_drain_error_kind = -1;
+  /// what() of the first swallowed drain error; empty when none occurred.
+  std::string last_drain_error;
+  /// io_uring ring counters; inactive() unless drives run on UringBackend.
+  UringEngineStats uring;
 
   void reset() {
     for (auto& d : per_disk) d = DiskIoStats{};
     stall_ns = 0;
     max_queue_depth = 0;
     queue_depth = obs::LogHistogram{};
+    drain_errors = 0;
+    last_drain_error_kind = -1;
+    last_drain_error.clear();
+    uring = UringEngineStats{};
   }
 
   [[nodiscard]] std::uint64_t total_ops() const {

@@ -35,6 +35,12 @@
 //    per transfer index and the lowest-index error is rethrown at wait(),
 //    after the whole operation has settled, leaving the array usable;
 //  * sync() waits out every token and flushes every backend to its medium.
+//
+// IoEngine::uring reuses this scheduler unchanged: each drive's worker is
+// the single issuer of its UringBackend's ring (uring_backend.hpp), so the
+// kernel-native engine inherits every ordering and parity guarantee above —
+// what changes is only how a transfer reaches the device (SQE/CQE waves
+// instead of blocking p{read,write}v).
 #pragma once
 
 #include <condition_variable>

@@ -1,5 +1,7 @@
 #include "sim/par_simulator.hpp"
 
+#include "em/uring_backend.hpp"
+
 namespace embsp::sim {
 
 ParSimulator::ParSimulator(
@@ -9,6 +11,15 @@ ParSimulator::ParSimulator(
   cfg_.machine.validate();
   if (cfg_.faults.enabled()) {
     fault_counters_ = std::make_shared<em::FaultCounters>();
+  }
+  // Default the uring engine to kernel-native scratch files, keyed by the
+  // machine-wide drive index below so every (proc, disk) pair gets its own
+  // file.  A caller-supplied factory always wins; the fault decorator wraps
+  // either, keeping the per-disk call schedule engine-independent.
+  if (cfg_.io_engine == em::IoEngine::uring && !backend) {
+    em::UringConfig ucfg;
+    ucfg.direct = cfg_.direct_io;
+    backend = em::make_uring_scratch_factory(cfg_.disk_dir, "par", ucfg);
   }
   em::DiskArrayOptions opts;
   opts.retry = cfg_.retry;

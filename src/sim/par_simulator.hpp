@@ -165,6 +165,15 @@ SimResult ParSimulator::run(
     // still reference — the catch blocks below drain the disk array first.
     ContextStore::PendingIo ctx_read[2];
     ContextStore::PendingIo ctx_write[2];
+    // Unregisters kernel fixed buffers on any exit; declared after the
+    // slots so it runs before their destruction (the catch blocks have
+    // drained by then).
+    struct RegGuard {
+      em::DiskArray* d = nullptr;
+      ~RegGuard() {
+        if (d != nullptr) d->register_io_buffers({});
+      }
+    } reg_guard;
     std::unique_ptr<util::ComputePool> pool;
     try {
       auto& self = procs[me];
@@ -176,6 +185,19 @@ SimResult ParSimulator::run(
         if (cfg_.compute_threads > 1) {
           pool = std::make_unique<util::ComputePool>(cfg_.compute_threads - 1);
         }
+        // Kernel fixed buffers (uring engine): pre-size this worker's
+        // double-buffered context staging and register it with its private
+        // disk array (see SeqSimulator::run for the contract).
+        const std::size_t ctx_bytes = layout.k * layout.context_slot_bytes;
+        std::vector<std::span<std::byte>> regions;
+        for (int s = 0; s < 2; ++s) {
+          ctx_read[s].buf.resize(ctx_bytes);
+          ctx_write[s].buf.resize(ctx_bytes);
+          regions.push_back({ctx_read[s].buf.data(), ctx_read[s].buf.size()});
+          regions.push_back(
+              {ctx_write[s].buf.data(), ctx_write[s].buf.size()});
+        }
+        if (disks.register_io_buffers(regions) > 0) reg_guard.d = &disks;
       }
 
       // Initial contexts (local virtual processors i*local_v .. ).
@@ -557,18 +579,19 @@ SimResult ParSimulator::run(
       // SeqSimulator::run).
       disks.sync();
     } catch (const Aborted&) {
-      if (cfg_.pipeline) {
-        disk_arrays_[me]->drain();
-        procs[me].messages->abandon_inflight();
-      }
+      // Quiesce unconditionally (not just under cfg_.pipeline): tokens can
+      // be in flight whenever the throw unwinds past a submitted-but-not-
+      // settled operation, and a drained array is a no-op to drain.  The
+      // staging buffers the tokens target live in this frame — unwinding
+      // with transfers in flight would be a use-after-free.
+      disk_arrays_[me]->drain();
+      procs[me].messages->abandon_inflight();
       bar.arrive_and_drop();
     } catch (...) {
       errors[me] = std::current_exception();
       failed.store(true);
-      if (cfg_.pipeline) {
-        disk_arrays_[me]->drain();
-        procs[me].messages->abandon_inflight();
-      }
+      disk_arrays_[me]->drain();
+      procs[me].messages->abandon_inflight();
       bar.arrive_and_drop();
     }
   };
@@ -586,6 +609,7 @@ SimResult ParSimulator::run(
   // Aggregate: total_io is the max over processors (the model's t_IO is a
   // max), per_proc_io keeps the full picture.
   for (std::uint32_t i = 0; i < p; ++i) {
+    disk_arrays_[i]->harvest_backend_stats();  // ring counters → engine stats
     result.per_proc_io.push_back(disk_arrays_[i]->stats());
     if (disk_arrays_[i]->stats().parallel_ios >= result.total_io.parallel_ios) {
       result.total_io = disk_arrays_[i]->stats();

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "em/uring_backend.hpp"
+
 namespace embsp::sim {
 
 SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
@@ -82,6 +84,16 @@ SeqSimulator::SeqSimulator(
   cfg_.machine.validate();
   if (cfg_.faults.enabled()) {
     fault_counters_ = std::make_shared<em::FaultCounters>();
+  }
+  // The uring engine's drives live on kernel-native scratch files unless
+  // the caller brought their own backends (a caller-supplied factory always
+  // wins — parity tests run uring scheduling over memory backends that
+  // way).  Fault injection composes as a decorator ABOVE the ring, so the
+  // per-disk call schedule is identical across engines.
+  if (cfg_.io_engine == em::IoEngine::uring && !backend) {
+    em::UringConfig ucfg;
+    ucfg.direct = cfg_.direct_io;
+    backend = em::make_uring_scratch_factory(cfg_.disk_dir, "seq", ucfg);
   }
   auto make_backend = em::wrap_with_faults(std::move(backend), cfg_.faults,
                                            cfg_.seed, fault_counters_);

@@ -154,6 +154,35 @@ SimResult SeqSimulator::run(
   ContextStore::PendingIo ctx_read[2];
   ContextStore::PendingIo ctx_write[2];
   MessageStore::PendingFetch msg_fetch[2];
+  // Kernel fixed buffers (uring engine): the slots above are the run's
+  // long-lived I/O staging — size them to their steady-state maximum up
+  // front and offer them to the backends, so context and message transfers
+  // go out as READ_FIXED/WRITE_FIXED SQEs.  Non-uring backends decline the
+  // hint (free); a buffer that later outgrows its registration silently
+  // falls back to plain SQEs.  The guard unregisters before the slots are
+  // destroyed — a stale registration could otherwise alias a future run's
+  // allocations at the same addresses.
+  struct RegGuard {
+    em::DiskArray* d = nullptr;
+    ~RegGuard() {
+      if (d != nullptr) d->register_io_buffers({});
+    }
+  } reg_guard;
+  if (pipelined) {
+    const std::size_t ctx_bytes = layout.k * layout.context_slot_bytes;
+    const std::size_t msg_bytes =
+        static_cast<std::size_t>(layout.group_capacity) * cfg_.machine.em.B;
+    std::vector<std::span<std::byte>> regions;
+    for (int s = 0; s < 2; ++s) {
+      ctx_read[s].buf.resize(ctx_bytes);
+      ctx_write[s].buf.resize(ctx_bytes);
+      msg_fetch[s].buf.resize(msg_bytes);
+      regions.push_back({ctx_read[s].buf.data(), ctx_read[s].buf.size()});
+      regions.push_back({ctx_write[s].buf.data(), ctx_write[s].buf.size()});
+      regions.push_back({msg_fetch[s].buf.data(), msg_fetch[s].buf.size()});
+    }
+    if (disks_->register_io_buffers(regions) > 0) reg_guard.d = disks_.get();
+  }
 
   // Buffers reused across groups and supersteps (no per-group churn).
   std::vector<std::vector<std::byte>> payloads;
@@ -541,6 +570,7 @@ SimResult SeqSimulator::run(
   // per operation); this pushes file-backend buffers to the medium so the
   // backing files are externally consistent when run() returns.
   disks_->sync();
+  disks_->harvest_backend_stats();  // fold ring counters into engine stats
   result.total_io = disks_->stats();
   result.max_tracks_per_disk = disks_->max_tracks_used();
   {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bsp/cost_model.hpp"
@@ -46,10 +47,25 @@ struct SimConfig {
   /// deterministic fault schedule.
   bool coalesce_io = true;
   /// How the D per-disk transfers of each parallel I/O are executed:
-  /// serial (issuing thread, default) or parallel (per-disk worker pool —
-  /// overlaps real device I/O on file backends).  Model cost is identical;
-  /// results are byte-identical for a fixed seed.
+  /// serial (issuing thread, default), parallel (per-disk worker pool —
+  /// overlaps real device I/O on file backends), or uring (per-disk workers
+  /// over kernel-native io_uring backends; when no backend factory is
+  /// supplied the simulator creates per-drive UringBackend scratch files,
+  /// falling back to FileBackend on kernels without io_uring).  Model cost
+  /// is identical; results are byte-identical for a fixed seed.
   em::IoEngine io_engine = em::IoEngine::serial;
+
+  /// With io_engine == uring (and no caller-supplied backend factory): open
+  /// the scratch files O_DIRECT so transfers bypass the page cache and
+  /// benches measure device behavior.  Filesystems that refuse O_DIRECT
+  /// (tmpfs) degrade gracefully to buffered I/O.  Ignored by the other
+  /// engines (their default backends are in-memory).
+  bool direct_io = false;
+
+  /// Directory for the uring engine's per-drive scratch files; empty means
+  /// std::filesystem::temp_directory_path().  Point it at a real block
+  /// device's filesystem when measuring with direct_io.
+  std::string disk_dir;
   std::uint64_t seed = 0x5EEDULL;
   std::size_t max_supersteps = 1'000'000;
 

@@ -10,10 +10,12 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "em/io_stats.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -251,6 +253,89 @@ TEST(Registry, EmptySnapshotIsStillValidJson) {
   std::ostringstream out;
   reg.write_json(out);
   expect_golden_snapshot(out.str());
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderAsNull) {
+  // NaN and ±Inf are not JSON; a snapshot containing one must stay
+  // parseable, so the writer maps every non-finite double to null.
+  std::ostringstream out;
+  {
+    obs::JsonWriter w(out, /*indent=*/0);
+    w.begin_object();
+    w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+    w.kv("inf", std::numeric_limits<double>::infinity());
+    w.kv("ninf", -std::numeric_limits<double>::infinity());
+    w.kv("finite", 1.5);
+    w.end_object();
+  }
+  const std::string json = out.str();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ninf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"finite\": 1.5"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan("), std::string::npos) << json;
+}
+
+TEST(Registry, NonFiniteGaugeSnapshotStaysValidJson) {
+  // End to end through the registry: a gauge that divides by zero upstream
+  // (e.g. a ratio over an empty run) must not corrupt the metrics file.
+  obs::Registry reg;
+  reg.set_gauge("sim.overlap_ratio", std::numeric_limits<double>::quiet_NaN());
+  reg.set_gauge("sim.speedup", std::numeric_limits<double>::infinity());
+  reg.add("engine.calls", 1);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  expect_golden_snapshot(json);
+  EXPECT_NE(json.find("\"sim.overlap_ratio\": null"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"sim.speedup\": null"), std::string::npos) << json;
+}
+
+TEST(Registry, EngineStatsExportCoversDrainErrorsAndUring) {
+  // The drain-error record (swallowed async errors) and the uring ring
+  // counters surface in the metrics snapshot; the gauge for the error kind
+  // appears only once an error has actually been swallowed.
+  em::EngineStats stats;
+  stats.per_disk.resize(1);
+  {
+    obs::Registry reg;
+    em::export_metrics(stats, reg, "engine.");
+    EXPECT_EQ(reg.counter("engine.drain_errors"), 0u);
+    std::ostringstream out;
+    reg.write_json(out);
+    EXPECT_EQ(out.str().find("engine.last_drain_error_kind"),
+              std::string::npos);
+    // No rings → no uring block.
+    EXPECT_EQ(out.str().find("engine.uring.sqes"), std::string::npos);
+  }
+  stats.drain_errors = 3;
+  stats.last_drain_error_kind = 1;  // persistent
+  stats.last_drain_error = "disk 0 track 7: I/O error";
+  stats.uring.rings = 4;
+  stats.uring.direct_rings = 4;
+  stats.uring.sqes = 128;
+  stats.uring.enters = 32;
+  stats.uring.fixed_ops = 100;
+  stats.uring.bounced_bytes = 4096;
+  stats.uring.ring_depth.record(8);
+  stats.uring.completion_ns.record(25000);
+  {
+    obs::Registry reg;
+    em::export_metrics(stats, reg, "engine.");
+    EXPECT_EQ(reg.counter("engine.drain_errors"), 3u);
+    EXPECT_DOUBLE_EQ(reg.gauge("engine.last_drain_error_kind"), 1.0);
+    EXPECT_EQ(reg.counter("engine.uring.rings"), 4u);
+    EXPECT_EQ(reg.counter("engine.uring.sqes"), 128u);
+    EXPECT_EQ(reg.counter("engine.uring.fixed_ops"), 100u);
+    EXPECT_EQ(reg.counter("engine.uring.bounced_bytes"), 4096u);
+    EXPECT_EQ(reg.histogram("engine.uring.ring_depth").count(), 1u);
+    EXPECT_EQ(reg.histogram("engine.uring.completion_ns").count(), 1u);
+    std::ostringstream out;
+    reg.write_json(out);
+    EXPECT_TRUE(json_valid(out.str()));
+  }
 }
 
 TEST(JsonWriter, EscapesAndNesting) {

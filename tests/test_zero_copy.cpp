@@ -405,8 +405,12 @@ TEST_P(CoalescedDiskArray, BatchedIoPreservesImageStatsAndCounters) {
   // same file images, the same model IoStats and the same per-disk track
   // counters; only engine.coalesced_tracks may differ.
   const auto dir = fs::temp_directory_path();
+  // Key the scratch paths on the engine parameter: ctest runs each
+  // parameterization as its own test, possibly concurrently, and shared
+  // paths would let one instance's cleanup race the other's run.
   auto tag_path = [&](const char* tag, std::size_t d) {
-    return dir / ("embsp_zc_coal_" + std::string(tag) + "_" +
+    return dir / ("embsp_zc_coal_" + std::string(tag) + "_e" +
+                  std::to_string(static_cast<int>(GetParam())) + "_" +
                   std::to_string(d) + ".bin");
   };
   struct Probe {
