@@ -38,6 +38,7 @@ int main() {
 
   util::Table table({"fault rate", "injected", "retries", "giveups",
                      "rollbacks", "parallel IOs", "time (s)", "overhead"});
+  JsonArtifact art("fault_soak");
   bool ok = true;
   std::vector<std::uint64_t> baseline_out;
   std::uint64_t baseline_ios = 0;
@@ -79,12 +80,24 @@ int main() {
                    util::fmt_count(sim.recovery.total_rollbacks()),
                    util::fmt_count(sim.total_io.parallel_ios),
                    util::fmt_double(secs, 3), util::fmt_ratio(overhead)});
+    art.begin_case("rate_" + util::fmt_double(rate, 4));
+    art.metric("fault_rate", rate);
+    art.metric("injected", double(sim.recovery.faults.total()));
+    art.metric("io_retries", double(sim.recovery.io_retries));
+    art.metric("io_giveups", double(sim.recovery.io_giveups));
+    art.metric("rollbacks", double(sim.recovery.total_rollbacks()));
+    art.metric("parallel_ios", double(sim.total_io.parallel_ios));
+    art.metric("secs", secs);
+    art.metric("overhead", overhead);
+    art.metric("output_identical", identical ? 1.0 : 0.0);
     if (rate > 0.0 && sim.recovery.faults.total() == 0) {
       // A soak that injected nothing proves nothing.
       ok = false;
     }
   }
   std::cout << table.render();
+  const auto path = art.write();
+  if (!path.empty()) std::cout << "  artifact: " << path << "\n";
   verdict(ok,
           "injected transient faults are absorbed by retry/recovery: "
           "output and parallel-I/O count identical to the fault-free run");

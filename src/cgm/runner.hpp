@@ -69,6 +69,11 @@ class SeqEmExec {
       const std::function<typename P::State(std::uint32_t)>& make_state,
       const std::function<void(std::uint32_t, typename P::State&)>& collect) {
     auto cfg = autoconfigure(cfg_, prog, v, make_state);
+    // Multi-run workloads (e.g. euler_tour) call run() several times; the
+    // checkpoint manifest records which invocation a checkpoint belongs to,
+    // so a resumed process re-executes completed runs deterministically and
+    // resumes only the interrupted one.
+    cfg.checkpoint.run_index = runs_started_++;
     sim::SeqSimulator s(cfg);
     auto r = s.run(prog, make_state, collect);
     ExecResult out{r.lambda(), r.costs, std::nullopt};
@@ -78,6 +83,7 @@ class SeqEmExec {
 
  private:
   sim::SimConfig cfg_;
+  std::size_t runs_started_ = 0;
 };
 
 class ParEmExec {
@@ -90,6 +96,7 @@ class ParEmExec {
       const std::function<typename P::State(std::uint32_t)>& make_state,
       const std::function<void(std::uint32_t, typename P::State&)>& collect) {
     auto cfg = autoconfigure(cfg_, prog, v, make_state);
+    cfg.checkpoint.run_index = runs_started_++;  // see SeqEmExec::run
     sim::ParSimulator s(cfg);
     auto r = s.run(prog, make_state, collect);
     ExecResult out{r.lambda(), r.costs, std::nullopt};
@@ -99,6 +106,7 @@ class ParEmExec {
 
  private:
   sim::SimConfig cfg_;
+  std::size_t runs_started_ = 0;
 };
 
 // --- Block distribution helpers --------------------------------------------

@@ -9,12 +9,14 @@
 // image byte-identical.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "em/backend.hpp"
+#include "util/checksum.hpp"
 
 namespace embsp::em {
 
@@ -67,6 +69,40 @@ class Disk {
   /// that then pass do not undo the count).
   [[nodiscard]] std::uint64_t checksum_failures() const {
     return checksum_failures_;
+  }
+
+  /// Off-model track access for the checkpoint subsystem: reads/writes the
+  /// medium without touching reads_/writes_ counters or checksum
+  /// verification (restore_track still refreshes the checksum table so
+  /// later verified reads pass).  Callers must hand these the *unwrapped*
+  /// backend path — see FaultInjectingBackend::inner() — so checkpoint
+  /// traffic consumes no fault-schedule draws.  Model IoStats are charged
+  /// by the DiskArray layer, which these bypass entirely: checkpointing is
+  /// outside the EM-BSP cost model, like the allocator's metadata.
+  void peek_track(std::uint64_t track, std::span<std::byte> dst,
+                  Backend& raw) {
+    check(track, dst.size());
+    raw.read(track * block_size_, dst);
+  }
+  void restore_track(std::uint64_t track, std::span<const std::byte> src,
+                     Backend& raw) {
+    check(track, src.size());
+    raw.write(track * block_size_, src);
+    tracks_used_ = std::max(tracks_used_, track + 1);
+    if (verify_) {
+      if (track >= has_sum_.size()) {
+        has_sum_.resize(track + 1, 0);
+        sums_.resize(track + 1, 0);
+      }
+      sums_[track] = util::checksum64(src);
+      has_sum_[track] = 1;
+    }
+  }
+
+  /// Restore the tracks_used() high-water mark on resume (the checkpoint
+  /// records it; a fresh Disk starts at 0).
+  void note_tracks_used(std::uint64_t used) {
+    tracks_used_ = std::max(tracks_used_, used);
   }
 
  private:

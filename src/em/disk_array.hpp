@@ -216,6 +216,10 @@ class DiskArray {
     stats_ = IoStats{};
     engine_.reset();
   }
+  /// Pre-load the model-cost accumulator with the stats a checkpointed run
+  /// had accrued, so a resumed run's stats()/since() deltas and final
+  /// totals match an uninterrupted run's.  Call before any I/O is issued.
+  void seed_stats(const IoStats& s) { stats_ = s; }
 
   /// Max tracks used over all drives — the per-disk space bound of Lemma 1.
   [[nodiscard]] std::uint64_t max_tracks_used() const;

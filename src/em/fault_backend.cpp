@@ -1,6 +1,7 @@
 #include "em/fault_backend.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -69,6 +70,24 @@ void FaultInjectingBackend::check_burst(std::uint64_t call,
   }
 }
 
+void FaultInjectingBackend::check_scripted(std::uint64_t call,
+                                           const char* what) {
+  for (const auto& f : spec_.scripted) {
+    if (f.disk != disk_ || f.call != call) continue;
+    if (f.kind == FaultKind::crash) {
+      // A scripted crash is the deterministic analogue of kill -9: die
+      // right here, mid-superstep, with no unwinding — only durable
+      // checkpoint state survives.  137 = 128 + SIGKILL, the exit code a
+      // real kill -9 produces, so harnesses treat both paths alike.
+      std::_Exit(137);
+    }
+    throw TransientIoError("fault injection: scripted fault fails " +
+                           std::string(what) + " call " +
+                           std::to_string(call) + " on disk " +
+                           std::to_string(disk_));
+  }
+}
+
 void FaultInjectingBackend::maybe_latency_spike(double draw) {
   if (draw < spec_.latency_spike_rate) {
     if (counters_) {
@@ -91,6 +110,7 @@ void FaultInjectingBackend::read(std::uint64_t offset,
 
   check_dead_range(offset, dst.size(), "read");
   check_burst(call, "read");
+  check_scripted(call, "read");
   maybe_latency_spike(d_latency);
   if (d_error < spec_.read_error_rate) {
     if (counters_) {
@@ -122,6 +142,7 @@ void FaultInjectingBackend::write(std::uint64_t offset,
 
   check_dead_range(offset, src.size(), "write");
   check_burst(call, "write");
+  check_scripted(call, "write");
   maybe_latency_spike(d_latency);
   if (d_error < spec_.write_error_rate) {
     if (counters_) {
@@ -160,6 +181,21 @@ std::function<std::unique_ptr<Backend>(std::size_t)> wrap_with_faults(
         std::move(inner), spec, sim_seed, static_cast<std::uint32_t>(d),
         counters);
   };
+}
+
+bool install_crash_hook_from_env() {
+  static bool armed = false;
+  if (armed) return true;
+  const char* ms_str = std::getenv("EMBSP_CRASH_AFTER_MS");
+  if (ms_str == nullptr || *ms_str == '\0') return false;
+  const long ms = std::strtol(ms_str, nullptr, 10);
+  if (ms < 0) return false;
+  armed = true;
+  std::thread([ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    std::_Exit(137);
+  }).detach();
+  return true;
 }
 
 }  // namespace embsp::em

@@ -70,6 +70,25 @@ struct FaultBurst {
   std::uint64_t count = 0;
 };
 
+/// What a scripted fault does when its call number comes up.
+enum class FaultKind {
+  transient,  ///< throw TransientIoError (like a one-call FaultBurst)
+  crash,      ///< kill the process immediately (std::_Exit) — the durability
+              ///< story's "pull the plug here" point; only a checkpoint on
+              ///< stable storage survives it
+};
+
+/// One scripted fault at an exact per-disk call number.  Unlike FaultBurst
+/// (a range of transient errors), a ScriptedFault can also be a crash point:
+/// the deterministic schedule makes "the process dies at backend call #N of
+/// disk d" a reproducible event, which the checkpoint/restart tests use to
+/// prove crash consistency at arbitrary points of the superstep schedule.
+struct ScriptedFault {
+  FaultKind kind = FaultKind::transient;
+  std::uint32_t disk = 0;
+  std::uint64_t call = 0;
+};
+
 /// Per-disk fault model, configured in SimConfig.  All rates are
 /// probabilities per backend call in [0, 1].
 struct FaultSpec {
@@ -84,11 +103,13 @@ struct FaultSpec {
 
   std::vector<FaultRange> dead_ranges;
   std::vector<FaultBurst> bursts;
+  std::vector<ScriptedFault> scripted;
 
   [[nodiscard]] bool enabled() const {
     return read_error_rate > 0 || write_error_rate > 0 ||
            torn_write_rate > 0 || bit_flip_rate > 0 ||
-           latency_spike_rate > 0 || !dead_ranges.empty() || !bursts.empty();
+           latency_spike_rate > 0 || !dead_ranges.empty() ||
+           !bursts.empty() || !scripted.empty();
   }
 };
 
@@ -117,6 +138,18 @@ struct FaultCounts {
     return read_errors + write_errors + torn_writes + bit_flips +
            latency_spikes + dead_range_hits;
   }
+
+  /// Fold another tally in — a resumed run adds the checkpointed run's
+  /// pre-boundary tally to its own so the totals match an uninterrupted run.
+  FaultCounts& operator+=(const FaultCounts& o) {
+    read_errors += o.read_errors;
+    write_errors += o.write_errors;
+    torn_writes += o.torn_writes;
+    bit_flips += o.bit_flips;
+    latency_spikes += o.latency_spikes;
+    dead_range_hits += o.dead_range_hits;
+    return *this;
+  }
 };
 
 [[nodiscard]] FaultCounts snapshot(const FaultCounters& c);
@@ -143,10 +176,32 @@ class FaultInjectingBackend final : public Backend {
   /// Backend calls seen so far (reads + writes, retries included).
   [[nodiscard]] std::uint64_t calls() const { return calls_; }
 
+  /// The wrapped backend — the checkpoint subsystem's off-model access
+  /// path.  Checkpoint capture/restore must neither consume schedule RNG
+  /// draws nor advance the call counter (either would shift the fault
+  /// schedule of the run being checkpointed), so it bypasses the wrapper.
+  [[nodiscard]] Backend& inner() { return *inner_; }
+
+  /// Complete schedule position: restoring it into a fresh wrapper makes
+  /// the resumed run's fault schedule continue exactly where the
+  /// checkpointed run left off.
+  struct ScheduleState {
+    std::uint64_t calls = 0;
+    std::uint64_t rng_state = 0;
+  };
+  [[nodiscard]] ScheduleState schedule_state() const {
+    return {calls_, rng_.raw_state()};
+  }
+  void set_schedule_state(const ScheduleState& s) {
+    calls_ = s.calls;
+    rng_.set_raw_state(s.rng_state);
+  }
+
  private:
   void check_dead_range(std::uint64_t offset, std::size_t len,
                         const char* what);
   void check_burst(std::uint64_t call, const char* what);
+  void check_scripted(std::uint64_t call, const char* what);
   void maybe_latency_spike(double draw);
 
   std::unique_ptr<Backend> inner_;
@@ -166,5 +221,21 @@ std::function<std::unique_ptr<Backend>(std::size_t)> wrap_with_faults(
     std::function<std::unique_ptr<Backend>(std::size_t)> base,
     const FaultSpec& spec, std::uint64_t sim_seed,
     std::shared_ptr<FaultCounters> counters);
+
+/// The backend behind `b` when it is fault-wrapped, `b` itself otherwise —
+/// the off-model access path the checkpoint subsystem pairs with
+/// Disk::peek_track/restore_track so checkpoint traffic neither consumes
+/// fault-schedule draws nor advances the per-disk call counter.
+inline Backend& unwrap_faults(Backend& b) {
+  auto* wrapped = dynamic_cast<FaultInjectingBackend*>(&b);
+  return wrapped != nullptr ? wrapped->inner() : b;
+}
+
+/// Env-triggered kill hook for crash soak harnesses: when
+/// EMBSP_CRASH_AFTER_MS is set, arms a detached timer thread that calls
+/// std::_Exit(137) after that many milliseconds — a SIGKILL-equivalent
+/// death at an arbitrary (wall-clock-chosen) point, with no destructors,
+/// no atexit, no flushing.  Returns true when armed.  Idempotent.
+bool install_crash_hook_from_env();
 
 }  // namespace embsp::em

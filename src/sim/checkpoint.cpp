@@ -1,0 +1,334 @@
+#include "sim/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "em/fault_backend.hpp"
+#include "util/checksum.hpp"
+
+namespace embsp::sim {
+
+namespace {
+
+constexpr std::uint64_t kManifestMagic = 0x454d42535043'4b50ULL;  // EMBSPCKP
+constexpr std::uint32_t kManifestVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("checkpoint: " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return util::mix64(h ^ util::mix64(v + 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t fold_double(std::uint64_t h, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fold(h, bits);
+}
+
+/// Write `bytes` to `path` with write-ahead ordering: tmp file, fsync,
+/// atomic rename, directory fsync.  After this returns, the file is
+/// durable under `path` or an exception was thrown.
+void write_file_durable(const std::string& dir, const std::string& path,
+                        std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot create " + tmp);
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("short write to " + tmp);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync of " + tmp);
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail("rename " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable: fsync the containing directory so a
+  // crash right here cannot roll the directory entry back.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::optional<std::vector<std::byte>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::byte> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const SimConfig& cfg) {
+  std::uint64_t h = kManifestMagic;
+  h = fold(h, cfg.machine.p);
+  h = fold(h, cfg.machine.em.D);
+  h = fold(h, cfg.machine.em.B);
+  h = fold(h, cfg.machine.em.M);
+  h = fold(h, cfg.mu);
+  h = fold(h, cfg.gamma);
+  h = fold(h, cfg.k);
+  h = fold(h, static_cast<std::uint64_t>(cfg.routing));
+  h = fold(h, cfg.seed);
+  h = fold(h, cfg.max_supersteps);
+  h = fold(h, cfg.block_checksums ? 1 : 0);
+  h = fold(h, cfg.superstep_recovery ? 1 : 0);
+  h = fold(h, cfg.max_superstep_retries);
+  // The fault schedule is part of the run's identity: resuming under a
+  // different schedule would splice two different histories together.
+  h = fold(h, cfg.faults.seed);
+  h = fold_double(h, cfg.faults.read_error_rate);
+  h = fold_double(h, cfg.faults.write_error_rate);
+  h = fold_double(h, cfg.faults.torn_write_rate);
+  h = fold_double(h, cfg.faults.bit_flip_rate);
+  h = fold_double(h, cfg.faults.latency_spike_rate);
+  for (const auto& r : cfg.faults.dead_ranges) {
+    h = fold(fold(fold(h, r.disk), r.begin), r.end);
+  }
+  for (const auto& b : cfg.faults.bursts) {
+    h = fold(fold(fold(h, b.disk), b.first_call), b.count);
+  }
+  for (const auto& s : cfg.faults.scripted) {
+    // Crash points are excluded: a crash never perturbs the history of a
+    // run that survives it (the process just ends there), and a restart
+    // legitimately re-runs *without* the crash script — the fingerprint
+    // must treat the two configs as the same run.
+    if (s.kind == em::FaultKind::crash) continue;
+    h = fold(fold(fold(h, static_cast<std::uint64_t>(s.kind)), s.disk),
+             s.call);
+  }
+  return h;
+}
+
+CheckpointDir::CheckpointDir(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("CheckpointDir: empty directory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint: cannot create directory " + dir_ +
+                             " (" + ec.message() + ")");
+  }
+}
+
+std::string CheckpointDir::epoch_path(std::uint64_t run_index,
+                                      std::uint64_t epoch) const {
+  return dir_ + "/epoch-" + std::to_string(run_index) + "-" +
+         std::to_string(epoch) + ".ckpt";
+}
+
+void CheckpointDir::publish(std::size_t run_index, std::uint64_t epoch,
+                            std::span<const std::byte> payload,
+                            std::uint64_t config_fp) {
+  const auto old = manifest();
+  // Step 1: the payload becomes durable under its final name before any
+  // manifest mentions it.
+  write_file_durable(dir_, epoch_path(run_index, epoch), payload);
+
+  // Step 2: publish the manifest naming it (and the previous epoch as the
+  // verified fallback).
+  Manifest m;
+  m.run_index = run_index;
+  m.cur_epoch = epoch;
+  m.cur_bytes = payload.size();
+  m.cur_checksum = util::checksum64(payload);
+  m.config_fp = config_fp;
+  if (old.has_value() && old->run_index == run_index &&
+      old->cur_epoch != epoch) {
+    m.prev_epoch = old->cur_epoch;
+    m.prev_bytes = old->cur_bytes;
+    m.prev_checksum = old->cur_checksum;
+  }
+  util::Writer w;
+  w.write<std::uint64_t>(kManifestMagic);
+  w.write<std::uint32_t>(kManifestVersion);
+  w.write<std::uint64_t>(m.run_index);
+  w.write<std::uint64_t>(m.cur_epoch);
+  w.write<std::uint64_t>(m.cur_bytes);
+  w.write<std::uint64_t>(m.cur_checksum);
+  w.write<std::uint64_t>(m.prev_epoch);
+  w.write<std::uint64_t>(m.prev_bytes);
+  w.write<std::uint64_t>(m.prev_checksum);
+  w.write<std::uint64_t>(m.config_fp);
+  w.write<std::uint64_t>(util::checksum64(w.bytes()));
+  write_file_durable(dir_, dir_ + "/MANIFEST", w.bytes());
+
+  // Step 3: retention — with the new manifest durable, anything older than
+  // the retained previous epoch is unreachable; drop it.  Best effort: a
+  // leaked file is wasted space, not a correctness problem.
+  if (old.has_value()) {
+    std::error_code ec;
+    if (old->run_index != run_index) {
+      // A new run supersedes the old run's epochs entirely.
+      std::filesystem::remove(epoch_path(old->run_index, old->cur_epoch), ec);
+      if (old->prev_epoch != 0) {
+        std::filesystem::remove(epoch_path(old->run_index, old->prev_epoch),
+                                ec);
+      }
+    } else if (old->prev_epoch != 0 && old->prev_epoch != m.prev_epoch &&
+               old->prev_epoch != epoch) {
+      std::filesystem::remove(epoch_path(run_index, old->prev_epoch), ec);
+    }
+  }
+}
+
+std::optional<CheckpointDir::Manifest> CheckpointDir::manifest() const {
+  const auto bytes = read_file(dir_ + "/MANIFEST");
+  if (!bytes.has_value()) return std::nullopt;
+  constexpr std::size_t kManifestBytes =
+      sizeof(std::uint64_t) * 10 + sizeof(std::uint32_t);
+  if (bytes->size() != kManifestBytes) return std::nullopt;
+  const auto body =
+      std::span<const std::byte>(*bytes).first(kManifestBytes - 8);
+  util::Reader r(*bytes);
+  if (r.read<std::uint64_t>() != kManifestMagic) return std::nullopt;
+  if (r.read<std::uint32_t>() != kManifestVersion) return std::nullopt;
+  Manifest m;
+  m.run_index = r.read<std::uint64_t>();
+  m.cur_epoch = r.read<std::uint64_t>();
+  m.cur_bytes = r.read<std::uint64_t>();
+  m.cur_checksum = r.read<std::uint64_t>();
+  m.prev_epoch = r.read<std::uint64_t>();
+  m.prev_bytes = r.read<std::uint64_t>();
+  m.prev_checksum = r.read<std::uint64_t>();
+  m.config_fp = r.read<std::uint64_t>();
+  if (r.read<std::uint64_t>() != util::checksum64(body)) return std::nullopt;
+  return m;
+}
+
+std::optional<CheckpointDir::Loaded> CheckpointDir::load(
+    std::size_t run_index, std::uint64_t config_fp) const {
+  const auto m = manifest();
+  if (!m.has_value() || m->run_index != run_index) return std::nullopt;
+  if (m->config_fp != config_fp) {
+    throw std::runtime_error(
+        "checkpoint: config fingerprint mismatch — the checkpoint in " +
+        dir_ + " was taken under a different configuration");
+  }
+  const auto try_epoch =
+      [&](std::uint64_t epoch, std::uint64_t expect_bytes,
+          std::uint64_t expect_sum) -> std::optional<Loaded> {
+    auto bytes = read_file(epoch_path(run_index, epoch));
+    if (!bytes.has_value() || bytes->size() != expect_bytes) {
+      return std::nullopt;
+    }
+    if (util::checksum64(*bytes) != expect_sum) return std::nullopt;
+    return Loaded{epoch, std::move(*bytes)};
+  };
+  if (auto cur = try_epoch(m->cur_epoch, m->cur_bytes, m->cur_checksum)) {
+    return cur;
+  }
+  if (m->prev_epoch != 0) {
+    if (auto prev =
+            try_epoch(m->prev_epoch, m->prev_bytes, m->prev_checksum)) {
+      return prev;
+    }
+  }
+  throw std::runtime_error(
+      "checkpoint: no verifiable epoch in " + dir_ +
+      " (current epoch failed checksum and no previous epoch loads)");
+}
+
+void save_proc_state(util::Writer& w, em::DiskArray& disks,
+                     const em::TrackAllocators& alloc,
+                     ContextStore& contexts, MessageStore& messages,
+                     const util::Rng& rng) {
+  w.write<std::uint64_t>(rng.raw_state());
+  // Accrued model cost: the resumed array is seeded with it so since()
+  // deltas and final totals match an uninterrupted run.
+  w.write<em::IoStats>(disks.stats());
+  const std::size_t d = disks.num_disks();
+  w.write<std::uint64_t>(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    em::Disk& disk = disks.disk(i);
+    w.write<std::uint64_t>(disk.tracks_used());
+    auto* faults = dynamic_cast<em::FaultInjectingBackend*>(&disk.backend());
+    w.write<std::uint8_t>(faults != nullptr ? 1 : 0);
+    if (faults != nullptr) {
+      const auto s = faults->schedule_state();
+      w.write<std::uint64_t>(s.calls);
+      w.write<std::uint64_t>(s.rng_state);
+    }
+  }
+  const auto snaps = alloc.snapshot();
+  for (const auto& s : snaps) {
+    w.write<std::uint64_t>(s.next);
+    w.write_vector(s.free);
+  }
+  w.write<std::uint64_t>(contexts.epoch());
+  w.write<std::uint32_t>(contexts.num_contexts());
+  for (std::uint32_t c = 0; c < contexts.num_contexts(); ++c) {
+    contexts.export_context(c, w);
+  }
+  messages.export_state(w);
+}
+
+void load_proc_state(util::Reader& r, em::DiskArray& disks,
+                     em::TrackAllocators& alloc, ContextStore& contexts,
+                     MessageStore& messages, util::Rng& rng) {
+  rng.set_raw_state(r.read<std::uint64_t>());
+  disks.seed_stats(r.read<em::IoStats>());
+  const auto d = r.read<std::uint64_t>();
+  if (d != disks.num_disks()) {
+    throw std::runtime_error("checkpoint: disk count mismatch");
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    em::Disk& disk = disks.disk(i);
+    disk.note_tracks_used(r.read<std::uint64_t>());
+    const auto has_faults = r.read<std::uint8_t>();
+    auto* faults = dynamic_cast<em::FaultInjectingBackend*>(&disk.backend());
+    if (has_faults != 0) {
+      em::FaultInjectingBackend::ScheduleState s;
+      s.calls = r.read<std::uint64_t>();
+      s.rng_state = r.read<std::uint64_t>();
+      // No wrapper on this side: the config fingerprint already pinned
+      // every history-affecting fault parameter, so the difference can
+      // only be crash scripts (present when the checkpoint was taken,
+      // dropped for the restart — the machine does not lose power twice).
+      // The schedule position is then irrelevant; discard it.
+      if (faults != nullptr) faults->set_schedule_state(s);
+    }
+  }
+  std::vector<em::TrackAllocator::Snapshot> snaps(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    snaps[i].next = r.read<std::uint64_t>();
+    snaps[i].free = r.read_vector<std::uint64_t>();
+  }
+  alloc.restore(snaps);
+  contexts.set_epoch(r.read<std::uint64_t>());
+  const auto n = r.read<std::uint32_t>();
+  if (n != contexts.num_contexts()) {
+    throw std::runtime_error("checkpoint: context count mismatch");
+  }
+  for (std::uint32_t c = 0; c < n; ++c) contexts.restore_context(c, r);
+  messages.restore_state(r);
+}
+
+}  // namespace embsp::sim

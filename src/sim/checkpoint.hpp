@@ -1,0 +1,137 @@
+// Durable checkpoint/restart for the EM-BSP simulators.
+//
+// §5.1's observation that the disks hold a consistent snapshot at superstep
+// boundaries makes the boundary the natural *durability* point too: at a
+// boundary the staging side of the MessageStore is empty, every context has
+// a committed payload, and the whole logical state of the run — contexts,
+// ready message blocks, RNG streams, allocator tables, cost accumulators,
+// fault-schedule positions — fits in one self-contained record.  This
+// module persists that record crash-consistently and loads it back.
+//
+// On-disk format, inside the checkpoint directory:
+//
+//   epoch-<run>-<E>.ckpt   one serialized payload per published epoch
+//   MANIFEST               fixed-size binary record naming the current and
+//                          previous epoch (file size + checksum64 each), the
+//                          run index, a config fingerprint, and a trailing
+//                          checksum64 of the manifest bytes themselves
+//
+// Write-ahead ordering makes a torn checkpoint detectable and the previous
+// epoch always loadable:
+//
+//   1. write payload to epoch-...ckpt.tmp, fsync, rename into place,
+//      fsync the directory;
+//   2. write the new MANIFEST to MANIFEST.tmp, fsync, rename, fsync dir.
+//
+// A crash before (2) leaves the old manifest — which still names the old
+// (fully durable) epoch.  A crash during either rename leaves either the
+// old or the new file, never a mix.  load() additionally verifies the
+// manifest trailer and the payload checksum, and falls back to the
+// previous epoch when the current one fails verification.  Only the two
+// newest epochs are retained.
+//
+// Checkpoint traffic is off-model by construction: capture reads and
+// restore writes go through Disk::peek_track/restore_track with the
+// fault-unwrapped backend, so IoStats, the deterministic fault schedule,
+// and the model costs of the run being checkpointed are untouched.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "em/disk_array.hpp"
+#include "em/track_allocator.hpp"
+#include "sim/context_store.hpp"
+#include "sim/message_store.hpp"
+#include "sim/sim_config.hpp"
+#include "util/rng.hpp"
+#include "util/serialization.hpp"
+
+namespace embsp::sim {
+
+/// Fingerprint of the determinism-relevant configuration: a resumed run
+/// must be the *same* run (machine shape, layout knobs, seeds, fault
+/// schedule), or the restored state would not mesh with the re-executed
+/// schedule.  Mismatches are detected at load time and rejected loudly.
+[[nodiscard]] std::uint64_t config_fingerprint(const SimConfig& cfg);
+
+class CheckpointDir {
+ public:
+  /// Opens (creating if needed) the checkpoint directory.
+  explicit CheckpointDir(std::string dir);
+
+  /// Durably publish `payload` as epoch `epoch` of run `run_index` (see
+  /// the ordering contract above).  Retains the previously published epoch
+  /// of the same run as the fallback, removes anything older.  Throws
+  /// std::runtime_error on any I/O failure — a checkpoint that cannot be
+  /// made durable must not be silently skipped.
+  void publish(std::size_t run_index, std::uint64_t epoch,
+               std::span<const std::byte> payload,
+               std::uint64_t config_fp);
+
+  struct Manifest {
+    std::uint64_t run_index = 0;
+    std::uint64_t cur_epoch = 0;
+    std::uint64_t cur_bytes = 0;
+    std::uint64_t cur_checksum = 0;
+    std::uint64_t prev_epoch = 0;  ///< 0 = no previous epoch retained
+    std::uint64_t prev_bytes = 0;
+    std::uint64_t prev_checksum = 0;
+    std::uint64_t config_fp = 0;
+  };
+
+  /// The manifest, if a verifiable one exists (trailer checksum OK).
+  [[nodiscard]] std::optional<Manifest> manifest() const;
+
+  struct Loaded {
+    std::uint64_t epoch = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Load the newest verifiable epoch of run `run_index`: the manifest's
+  /// current epoch, or — when its payload fails size/checksum verification
+  /// (a torn or corrupted file) — the previous epoch.  Returns nullopt when
+  /// no manifest exists or it names a different run; throws when the
+  /// manifest matches but its config fingerprint differs from `config_fp`
+  /// (resuming under a changed config is an error, not a fresh start), or
+  /// when no epoch of a matching manifest verifies.
+  [[nodiscard]] std::optional<Loaded> load(std::size_t run_index,
+                                           std::uint64_t config_fp) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Path of epoch `epoch`'s payload file for run `run_index`.
+  [[nodiscard]] std::string epoch_path(std::uint64_t run_index,
+                                       std::uint64_t epoch) const;
+
+ private:
+  std::string dir_;
+};
+
+// --- Per-processor substrate records --------------------------------------
+//
+// One simulating processor's complete logical state at a superstep
+// boundary: RNG stream, track-allocator tables, per-disk fault-schedule
+// positions and space high-water marks, accrued model IoStats, every
+// context's committed payload, and the MessageStore's ready side.  The
+// sequential simulator writes one such record per checkpoint; the parallel
+// simulator writes p of them.
+
+void save_proc_state(util::Writer& w, em::DiskArray& disks,
+                     const em::TrackAllocators& alloc,
+                     ContextStore& contexts, MessageStore& messages,
+                     const util::Rng& rng);
+
+/// Mirror of save_proc_state into freshly constructed, same-shape
+/// components.  Seeds the DiskArray's IoStats with the checkpointed
+/// totals, restores per-disk fault wrapper positions so the resumed fault
+/// schedule continues exactly where the checkpointed run left off, and
+/// rewrites every context/message block through the off-model path.
+void load_proc_state(util::Reader& r, em::DiskArray& disks,
+                     em::TrackAllocators& alloc, ContextStore& contexts,
+                     MessageStore& messages, util::Rng& rng);
+
+}  // namespace embsp::sim

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "em/fault_backend.hpp"
+
 namespace embsp::sim {
 
 namespace {
@@ -60,6 +62,7 @@ std::pair<std::uint32_t, std::uint64_t> ContextStore::location(
 }
 
 void ContextStore::commit_epoch() {
+  ++epoch_;
   if (!journaled_) return;
   for (std::uint32_t c = 0; c < num_contexts_; ++c) {
     if (dirty_[c] != 0) {
@@ -73,6 +76,63 @@ void ContextStore::commit_epoch() {
 void ContextStore::discard_epoch() {
   if (!journaled_) return;
   for (std::uint32_t c = 0; c < num_contexts_; ++c) dirty_[c] = 0;
+}
+
+void ContextStore::export_context(std::uint32_t ctx, util::Writer& w) {
+  if (ctx >= num_contexts_) {
+    throw std::out_of_range("ContextStore::export_context: context index");
+  }
+  const std::uint8_t bank = journaled_ ? bank_[ctx] : 0;
+  const std::uint32_t len = lengths_[ctx];
+  w.write<std::uint8_t>(bank);
+  w.write<std::uint32_t>(len);
+  const std::uint64_t used = blocks_for(len);
+  std::vector<std::byte> slot(used * block_size_);
+  for (std::uint64_t b = 0; b < used; ++b) {
+    const auto [disk, track] = location_in_bank(ctx, b, bank);
+    em::Disk& d = disks_->disk(disk);
+    d.peek_track(track,
+                 std::span<std::byte>(slot).subspan(b * block_size_,
+                                                    block_size_),
+                 em::unwrap_faults(d.backend()));
+  }
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, slot.data(), kLenPrefix);
+  if (stored != len) {
+    throw std::runtime_error(
+        "ContextStore::export_context: slot of processor " +
+        std::to_string(ctx) + " stores length " + std::to_string(stored) +
+        ", metadata says " + std::to_string(len));
+  }
+  w.write_bytes(std::span<const std::byte>(slot).subspan(kLenPrefix, len));
+}
+
+void ContextStore::restore_context(std::uint32_t ctx, util::Reader& r) {
+  if (ctx >= num_contexts_) {
+    throw std::out_of_range("ContextStore::restore_context: context index");
+  }
+  const auto bank = r.read<std::uint8_t>();
+  const auto len = r.read<std::uint32_t>();
+  if (len > max_context_bytes_ || bank > 1 || (bank != 0 && !journaled_)) {
+    throw std::runtime_error(
+        "ContextStore::restore_context: corrupt record for processor " +
+        std::to_string(ctx));
+  }
+  const auto payload = r.read_bytes(len);
+  const std::uint64_t used = blocks_for(len);
+  std::vector<std::byte> slot(used * block_size_, std::byte{0});
+  std::memcpy(slot.data(), &len, kLenPrefix);
+  std::memcpy(slot.data() + kLenPrefix, payload.data(), len);
+  for (std::uint64_t b = 0; b < used; ++b) {
+    const auto [disk, track] = location_in_bank(ctx, b, bank);
+    em::Disk& d = disks_->disk(disk);
+    d.restore_track(track,
+                    std::span<const std::byte>(slot).subspan(
+                        b * block_size_, block_size_),
+                    em::unwrap_faults(d.backend()));
+  }
+  if (journaled_) bank_[ctx] = bank;
+  lengths_[ctx] = len;
 }
 
 void ContextStore::write_submit(std::uint32_t first, std::uint32_t count,

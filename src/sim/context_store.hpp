@@ -125,6 +125,32 @@ class ContextStore {
   /// keep returning the last committed payloads.
   void discard_epoch();
 
+  /// Epoch tag of the committed state: commit_epoch() increments it,
+  /// discard_epoch() leaves it — after a rollback the store still holds
+  /// (and names) the last committed superstep boundary.  The parallel
+  /// simulator's coordinated recovery and the checkpoint manifest both key
+  /// on this tag.  0 until the first commit; counts in non-journaled mode
+  /// too (commit is then a pure tag bump).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+
+  // --- Checkpoint capture/restore (off-model; see sim/checkpoint.hpp) -----
+  //
+  // Both paths go through Disk::peek_track/restore_track with the
+  // fault-unwrapped backend: no model IoStats, no Disk read/write counters,
+  // no fault-schedule draws — checkpointing must not perturb the run it
+  // snapshots.
+
+  /// Append context `ctx`'s committed record — live-bank tag, length, and
+  /// payload bytes read back from the committed bank — to `w`.
+  void export_context(std::uint32_t ctx, util::Writer& w);
+
+  /// Restore one context record produced by export_context into this
+  /// (freshly constructed, same-shape) store: rewrites the slot's blocks in
+  /// the recorded bank and reinstates the length/bank metadata, so every
+  /// subsequent location() and write target matches the checkpointed run's.
+  void restore_context(std::uint32_t ctx, util::Reader& r);
+
  private:
   [[nodiscard]] std::uint64_t blocks_for(std::size_t bytes) const {
     return (bytes + sizeof(std::uint32_t) + block_size_ - 1) / block_size_;
@@ -141,6 +167,7 @@ class ContextStore {
   std::uint64_t blocks_;
   std::uint64_t band_;  ///< tracks per context per disk
   bool journaled_;
+  std::uint64_t epoch_ = 0;
   std::vector<std::uint64_t> start_tracks_;
   std::vector<std::uint32_t> lengths_;  ///< committed length per context
   std::vector<std::uint8_t> bank_;      ///< live bank (journaled mode)

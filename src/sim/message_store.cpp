@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "em/fault_backend.hpp"
+
 namespace embsp::sim {
 
 MessageStore::MessageStore(em::DiskArray& disks, em::TrackAllocators& alloc,
@@ -587,6 +589,88 @@ MessageStore::Snapshot MessageStore::snapshot() const {
     s.mem_ready = mem_ready_;
   }
   return s;
+}
+
+void MessageStore::export_state(util::Writer& w) {
+  if (!pending_.empty() || !inflight_.empty()) {
+    throw std::logic_error(
+        "MessageStore::export_state: staging side not quiesced");
+  }
+  for (const auto c : staged_count_) {
+    if (c != 0) {
+      throw std::logic_error(
+          "MessageStore::export_state: staged blocks present — not at a "
+          "superstep boundary");
+    }
+  }
+  w.write<std::uint8_t>(mem_mode_ ? 1 : 0);
+  w.write_vector(rr_next_);
+  w.write_vector(ready_count_);
+  w.write_vector(ready_real_);
+  w.write_vector(ready_base_);
+  w.write<std::uint64_t>(bytes_copied_);
+  if (mem_mode_) {
+    for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+      for (const auto& block : mem_ready_[g]) {
+        if (block.size() != block_size_) {
+          throw std::logic_error(
+              "MessageStore::export_state: off-size resident block");
+        }
+        w.write_bytes(block);
+      }
+    }
+    return;
+  }
+  std::vector<std::byte> block(block_size_);
+  for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+    const std::uint32_t bucket = bucket_of_group(g);
+    for (std::uint64_t t = 0; t < ready_count_[g]; ++t) {
+      const auto [disk, track] = arena_location(bucket, ready_base_[g] + t);
+      em::Disk& d = disks_->disk(disk);
+      d.peek_track(track, block, em::unwrap_faults(d.backend()));
+      w.write_bytes(block);
+    }
+  }
+}
+
+void MessageStore::restore_state(util::Reader& r) {
+  const auto mem = r.read<std::uint8_t>();
+  if ((mem != 0) != mem_mode_) {
+    throw std::runtime_error(
+        "MessageStore::restore_state: in-memory routing mode mismatch "
+        "(checkpoint taken under a different config)");
+  }
+  rr_next_ = r.read_vector<std::uint64_t>();
+  ready_count_ = r.read_vector<std::uint64_t>();
+  ready_real_ = r.read_vector<std::uint64_t>();
+  ready_base_ = r.read_vector<std::uint64_t>();
+  bytes_copied_ = r.read<std::uint64_t>();
+  if (rr_next_.size() != num_disks_ ||
+      ready_count_.size() != cfg_.num_groups ||
+      ready_real_.size() != cfg_.num_groups ||
+      ready_base_.size() != cfg_.num_groups) {
+    throw std::runtime_error(
+        "MessageStore::restore_state: corrupt record (vector shapes)");
+  }
+  if (mem_mode_) {
+    for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+      mem_ready_[g].clear();
+      for (std::uint64_t t = 0; t < ready_count_[g]; ++t) {
+        const auto bytes = r.read_bytes(block_size_);
+        mem_ready_[g].emplace_back(bytes.begin(), bytes.end());
+      }
+    }
+    return;
+  }
+  for (std::uint32_t g = 0; g < cfg_.num_groups; ++g) {
+    const std::uint32_t bucket = bucket_of_group(g);
+    for (std::uint64_t t = 0; t < ready_count_[g]; ++t) {
+      const auto bytes = r.read_bytes(block_size_);
+      const auto [disk, track] = arena_location(bucket, ready_base_[g] + t);
+      em::Disk& d = disks_->disk(disk);
+      d.restore_track(track, bytes, em::unwrap_faults(d.backend()));
+    }
+  }
 }
 
 void MessageStore::restore(const Snapshot& s) {

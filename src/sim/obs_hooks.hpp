@@ -82,12 +82,28 @@ inline void export_routing_stats(obs::Registry& reg, const RoutingStats& rs) {
   reg.set_gauge("routing.max_chain", static_cast<double>(rs.max_chain));
 }
 
+/// Mark one published checkpoint epoch: running count (a gauge, so the
+/// abort/cancel flush paths see the live value without double-counting the
+/// final export) plus size/latency histograms (wall-clock latency —
+/// excluded from determinism guarantees, like every histogram).
+inline void record_checkpoint(obs::Recorder* rec, std::uint64_t count,
+                              std::size_t bytes, std::uint64_t latency_ns) {
+  if (rec == nullptr) return;
+  rec->registry.set_gauge("recovery.checkpoints", static_cast<double>(count));
+  rec->registry.observe("checkpoint.bytes", static_cast<double>(bytes));
+  rec->registry.observe("checkpoint.latency_ns",
+                        static_cast<double>(latency_ns));
+}
+
 inline void export_recovery_stats(obs::Registry& reg,
                                   const RecoveryStats& rc) {
   reg.add("recovery.io_retries", rc.io_retries);
   reg.add("recovery.io_giveups", rc.io_giveups);
   reg.add("recovery.superstep_rollbacks", rc.superstep_rollbacks);
   reg.add("recovery.reorganize_rollbacks", rc.reorganize_rollbacks);
+  reg.set_gauge("recovery.checkpoints", static_cast<double>(rc.checkpoints));
+  reg.set_gauge("recovery.resume_epoch",
+                static_cast<double>(rc.resume_epoch));
   reg.add("faults.injected.read_errors", rc.faults.read_errors);
   reg.add("faults.injected.write_errors", rc.faults.write_errors);
   reg.add("faults.injected.torn_writes", rc.faults.torn_writes);

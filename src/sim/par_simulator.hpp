@@ -29,14 +29,18 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "bsp/direct_runtime.hpp"
 #include "bsp/program.hpp"
 #include "em/disk_array.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
 #include "sim/obs_hooks.hpp"
@@ -115,7 +119,8 @@ SimResult ParSimulator::run(
       procs[i].alloc =
           std::make_unique<em::TrackAllocators>(disk_arrays_[i]->num_disks());
       procs[i].contexts = std::make_unique<ContextStore>(
-          *disk_arrays_[i], *procs[i].alloc, local_v, cfg_.mu);
+          *disk_arrays_[i], *procs[i].alloc, local_v, cfg_.mu,
+          /*journaled=*/cfg_.superstep_recovery);
       procs[i].messages = std::make_unique<MessageStore>(
           *disk_arrays_[i], *procs[i].alloc,
           MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
@@ -141,6 +146,82 @@ SimResult ParSimulator::run(
   SimResult result;
   result.group_size = layout.k;
   std::vector<State> final_states(v);
+
+  // --- Coordinated recovery state (cfg_.superstep_recovery) ---------------
+  // A worker that exhausts its retry budget (or fails a checksum) no longer
+  // aborts the run: it raises `step_failed`, fast-forwards the remaining
+  // barrier arrivals of the current recovery unit, and at the unit's
+  // verdict barrier *all* processors roll back to the last committed epoch
+  // and re-execute, bounded by cfg_.max_superstep_retries.  The barrier is
+  // the commit point: context epochs commit only on a unanimous verdict.
+  const bool coordinated = cfg_.superstep_recovery;
+  std::atomic<bool> step_failed{false};
+  std::atomic<std::uint64_t> superstep_rollbacks{0};
+  std::atomic<std::uint64_t> reorganize_rollbacks{0};
+
+  // --- Durable checkpoint/restart (see sim/checkpoint.hpp) ----------------
+  const std::uint64_t config_fp = config_fingerprint(cfg_);
+  std::optional<CheckpointDir> ckpt;
+  bool ckpt_write = false;
+  std::optional<CheckpointDir::Loaded> loaded;
+  if (cfg_.checkpoint.enabled()) {
+    ckpt.emplace(cfg_.checkpoint.dir);
+    ckpt_write = true;
+    if (cfg_.checkpoint.resume) {
+      const auto m = ckpt->manifest();
+      if (m.has_value() && m->run_index > cfg_.checkpoint.run_index) {
+        ckpt_write = false;  // this run finished before the crash
+      } else {
+        loaded = ckpt->load(cfg_.checkpoint.run_index, config_fp);
+      }
+    }
+  }
+  const bool ckpt_active = ckpt.has_value() && ckpt_write;
+  std::atomic<std::uint64_t> checkpoints_published{0};
+  // Per-processor capture staging: each worker serializes its own record
+  // (its disks are its own), proc 0 concatenates and publishes.
+  std::vector<std::vector<std::byte>> ckpt_records(p);
+  bool cancel_seen = false;  ///< written by proc 0 between two barriers
+  std::size_t start_step = 0;
+  std::uint64_t base_io_retries = 0;
+  std::uint64_t base_io_giveups = 0;
+  em::FaultCounts base_faults;
+  if (loaded.has_value()) {
+    // Resume on the main thread, before the workers exist: reinstate the
+    // global bookkeeping and every processor's substrate record.
+    util::Reader r(loaded->payload);
+    start_step = static_cast<std::size_t>(r.read<std::uint64_t>());
+    result.costs.supersteps = r.read_vector<bsp::SuperstepCost>();
+    superstep_rollbacks.store(r.read<std::uint64_t>());
+    reorganize_rollbacks.store(r.read<std::uint64_t>());
+    base_io_retries = r.read<std::uint64_t>();
+    base_io_giveups = r.read<std::uint64_t>();
+    base_faults = r.read<em::FaultCounts>();
+    if (r.read<std::uint32_t>() != p) {
+      throw std::runtime_error("checkpoint: processor count mismatch");
+    }
+    for (std::uint32_t i = 0; i < p; ++i) {
+      const auto rec_bytes = r.read_vector<std::byte>();
+      util::Reader pr(rec_bytes);
+      procs[i].rr_scatter = pr.read<std::uint64_t>();
+      procs[i].max_comm_bytes_step = pr.read<std::uint64_t>();
+      procs[i].outbox_copied = pr.read<std::uint64_t>();
+      procs[i].arena_peak = pr.read<std::uint64_t>();
+      procs[i].phase_io = pr.read<PhaseIo>();
+      procs[i].routing = pr.read<RoutingStats>();
+      load_proc_state(pr, *disk_arrays_[i], *procs[i].alloc,
+                      *procs[i].contexts, *procs[i].messages, procs[i].rng);
+      if (!pr.exhausted()) {
+        throw std::runtime_error(
+            "checkpoint: trailing bytes in processor record");
+      }
+    }
+    if (!r.exhausted()) {
+      throw std::runtime_error("checkpoint: trailing bytes in payload");
+    }
+    result.recovery.resume_epoch = loaded->epoch;
+  }
+  const bool resumed = loaded.has_value();
 
   const auto owner_of = [local_v](std::uint32_t vp) { return vp / local_v; };
   // Destination batch of a virtual processor: its round index on its owner.
@@ -200,18 +281,39 @@ SimResult ParSimulator::run(
         if (disks.register_io_buffers(regions) > 0) reg_guard.d = &disks;
       }
 
-      // Initial contexts (local virtual processors i*local_v .. ).
-      {
-        ObsPhase phase(rec, "init", disks, &self.phase_io.init, me);
-        for (std::uint32_t r = 0; r < rounds; ++r) {
-          const std::uint32_t first = r * k;
-          const std::uint32_t count = std::min(k, local_v - first);
-          // Serialize straight into the store's block-aligned staging.
-          self.contexts->write(
-              first, count, [&](std::uint32_t ctx, util::Writer& w) {
-                make_state(me * local_v + ctx).serialize(w);
-              });
+      // Settles every in-flight token of this worker's private array and
+      // resets the double-buffered staging slots; required before any
+      // snapshot restore (a late-landing write would corrupt the restored
+      // state) and cheap when nothing is in flight.
+      auto worker_quiesce = [&] {
+        disks.drain();
+        self.messages->abandon_inflight();
+        for (int s = 0; s < 2; ++s) {
+          ctx_read[s].active = false;
+          ctx_read[s].tokens.clear();
+          ctx_write[s].active = false;
+          ctx_write[s].tokens.clear();
         }
+      };
+
+      // Initial contexts (local virtual processors i*local_v .. ).  Skipped
+      // on resume: the restored context banks already hold the state of the
+      // checkpointed boundary.
+      if (!resumed) {
+        {
+          ObsPhase phase(rec, "init", disks, &self.phase_io.init, me);
+          for (std::uint32_t r = 0; r < rounds; ++r) {
+            const std::uint32_t first = r * k;
+            const std::uint32_t count = std::min(k, local_v - first);
+            // Serialize straight into the store's block-aligned staging.
+            self.contexts->write(
+                first, count, [&](std::uint32_t ctx, util::Writer& w) {
+                  make_state(me * local_v + ctx).serialize(w);
+                });
+          }
+        }
+        // The initial contexts are the first committed epoch.
+        if (self.contexts->journaled()) self.contexts->commit_epoch();
       }
       sync();
 
@@ -243,10 +345,27 @@ SimResult ParSimulator::run(
         const std::uint32_t rc = std::min(k, local_v - rf);
         self.contexts->read_submit(rf, rc, ctx_read[r & 1]);
       };
-      for (std::size_t step = 0;; ++step) {
+      // Barrier arrivals inside one superstep body: 3 per round (fetch,
+      // scatter, receive).  A worker that fails mid-body fast-forwards the
+      // arrivals it has not made yet, so every worker reaches the verdict
+      // barrier with the same arrival count and nobody deadlocks.
+      const std::size_t body_sync_total = 3 * static_cast<std::size_t>(rounds);
+      std::size_t body_syncs = 0;
+      auto body_sync = [&] {
+        ++body_syncs;
+        sync();
+      };
+      for (std::size_t step = start_step;; ++step) {
         if (step >= cfg_.max_supersteps) {
           throw std::runtime_error("ParSimulator: superstep limit exceeded");
         }
+
+        // One superstep body: all rounds' fetch / compute / write.  Reads
+        // touch only committed state (the arena written by the previous
+        // reorganize, the committed context bank), so re-execution after a
+        // coordinated rollback sees exactly the original inputs.
+        auto run_rounds = [&] {
+        body_syncs = 0;
         self.want_continue = false;
         self.comm_bytes_this_step = 0;
         if (pipelined) submit_ctx_read(0);
@@ -273,7 +392,7 @@ SimResult ParSimulator::run(
                   }
                 });
           }
-          sync();
+          body_sync();
 
           // --- Compute: reassemble inboxes, run the k virtual supersteps.
           const std::uint32_t first = round * k;
@@ -503,7 +622,7 @@ SimResult ParSimulator::run(
               }
             }
           }
-          sync();
+          body_sync();
 
           // --- Receive scattered blocks, write them to local buckets.
           {
@@ -522,7 +641,7 @@ SimResult ParSimulator::run(
               forward_mail[src][me].clear();
             }
           }
-          sync();
+          body_sync();
         }
 
         if (pipelined) {
@@ -538,14 +657,131 @@ SimResult ParSimulator::run(
                          &self.phase_io.write_msg, me);
           self.messages->quiesce();
         }
+        };  // end run_rounds
 
-        // --- Step 2: local SimulateRouting.
-        {
+        if (!coordinated) {
+          run_rounds();
+        } else {
+          // Coordinated recovery unit: superstep body.  Every worker takes
+          // its local snapshots at the (barrier-aligned) unit entry; the
+          // verdict barrier after the body is the commit point.
+          for (std::size_t attempt = 0;; ++attempt) {
+            const util::Rng rng_ckpt = self.rng;
+            const std::uint64_t rr_ckpt = self.rr_scatter;
+            const auto alloc_ckpt = self.alloc->snapshot();
+            const auto msg_ckpt = self.messages->snapshot();
+            std::exception_ptr unit_error;
+            try {
+              run_rounds();
+            } catch (const Aborted&) {
+              throw;
+            } catch (const em::IoError&) {
+              // Primary failure: a transfer exhausted its retry budget (or
+              // a checksum failed).  Flag the step, quiesce, and make the
+              // remaining barrier arrivals of the body without doing work.
+              unit_error = std::current_exception();
+              step_failed.store(true);
+              worker_quiesce();
+              for (; body_syncs < body_sync_total; ++body_syncs) sync();
+            } catch (...) {
+              // Secondary failure: another worker's flagged failure starved
+              // this one of mail mid-body (e.g. an incomplete reassembly).
+              // Only tolerable when the step is already marked failed.
+              if (!step_failed.load()) throw;
+              worker_quiesce();
+              for (; body_syncs < body_sync_total; ++body_syncs) sync();
+            }
+            sync();  // verdict barrier — the elected commit point
+            if (!step_failed.load()) {
+              if (self.contexts->journaled()) self.contexts->commit_epoch();
+              break;
+            }
+            // Unanimous rollback to the last committed epoch: quiesce
+            // in-flight tokens, drop this attempt's mail, restore the
+            // unit-entry snapshots, abandon uncommitted context writes.
+            worker_quiesce();
+            for (std::uint32_t j = 0; j < p; ++j) {
+              forward_mail[me][j].clear();
+              scatter_mail[me][j].clear();
+            }
+            self.rng = rng_ckpt;
+            self.rr_scatter = rr_ckpt;
+            self.alloc->restore(alloc_ckpt);
+            self.messages->restore(msg_ckpt);
+            self.contexts->discard_epoch();
+            if (attempt >= cfg_.max_superstep_retries) {
+              // Budget exhausted (every worker sees the same attempt count):
+              // the primary failer propagates its original error through the
+              // cooperative abort path, peers fold quietly.
+              if (unit_error != nullptr) std::rethrow_exception(unit_error);
+              throw Aborted{};
+            }
+            sync();
+            if (me == 0) {
+              step_failed.store(false);
+              {
+                std::lock_guard<std::mutex> lock(cost_mutex);
+                step_cost = bsp::SuperstepCost{};
+              }
+              superstep_rollbacks.fetch_add(1);
+              record_rollback(rec, "superstep", me);
+            }
+            sync();  // retry starts only after the flags are reset
+          }
+        }
+
+        // --- Step 2: local SimulateRouting.  Its own recovery unit: it
+        // drains the bucket chains destructively and overwrites the arena
+        // (this superstep's input), so its rollback snapshot is taken at
+        // its entry — after the body committed.
+        RoutingStats attempt_routing;
+        auto reorganize_once = [&] {
+          attempt_routing = RoutingStats{};
           ObsPhase phase(rec, "reorganize", disks, &self.phase_io.reorganize,
                          me);
           self.messages->flush(self.rng);
-          self.routing += self.messages->reorganize(self.rng);
+          attempt_routing += self.messages->reorganize(self.rng);
+        };
+        if (!coordinated) {
+          reorganize_once();
+        } else {
+          for (std::size_t attempt = 0;; ++attempt) {
+            const util::Rng rng_ckpt = self.rng;
+            const auto alloc_ckpt = self.alloc->snapshot();
+            const auto msg_ckpt = self.messages->snapshot();
+            std::exception_ptr unit_error;
+            try {
+              reorganize_once();
+            } catch (const Aborted&) {
+              throw;
+            } catch (const em::IoError&) {
+              unit_error = std::current_exception();
+              step_failed.store(true);
+              worker_quiesce();
+            } catch (...) {
+              if (!step_failed.load()) throw;
+              worker_quiesce();
+            }
+            sync();  // verdict barrier
+            if (!step_failed.load()) break;
+            worker_quiesce();
+            self.rng = rng_ckpt;
+            self.alloc->restore(alloc_ckpt);
+            self.messages->restore(msg_ckpt);
+            if (attempt >= cfg_.max_superstep_retries) {
+              if (unit_error != nullptr) std::rethrow_exception(unit_error);
+              throw Aborted{};
+            }
+            sync();
+            if (me == 0) {
+              step_failed.store(false);
+              reorganize_rollbacks.fetch_add(1);
+              record_rollback(rec, "reorganize", me);
+            }
+            sync();
+          }
         }
+        self.routing += attempt_routing;
         self.max_comm_bytes_step =
             std::max(self.max_comm_bytes_step, self.comm_bytes_this_step);
         continue_flags[me] = self.want_continue ? 1 : 0;
@@ -554,11 +790,79 @@ SimResult ParSimulator::run(
         bool any = false;
         for (std::uint32_t i = 0; i < p; ++i) any = any || continue_flags[i];
         if (me == 0) {
-          std::lock_guard<std::mutex> lock(cost_mutex);
-          result.costs.supersteps.push_back(step_cost);
-          step_cost = bsp::SuperstepCost{};
+          {
+            std::lock_guard<std::mutex> lock(cost_mutex);
+            result.costs.supersteps.push_back(step_cost);
+            step_cost = bsp::SuperstepCost{};
+          }
+          // One worker samples the cancel flag so every worker takes the
+          // same branch below (a per-worker read could disagree mid-flip
+          // and desynchronize the barrier schedule).
+          cancel_seen = cfg_.cancel != nullptr &&
+                        cfg_.cancel->load(std::memory_order_relaxed);
         }
         sync();
+
+        // --- Superstep boundary: durability point (§5.1). ---------------
+        const bool do_ckpt =
+            ckpt_active && any &&
+            (cancel_seen || (step + 1) % cfg_.checkpoint.every == 0);
+        if (do_ckpt) {
+          // Capture is parallel — each worker serializes its own disks into
+          // its staging record (off-model: no IoStats, no fault draws) —
+          // publication is proc 0's.
+          util::Writer w;
+          w.write<std::uint64_t>(self.rr_scatter);
+          w.write<std::uint64_t>(self.max_comm_bytes_step);
+          w.write<std::uint64_t>(self.outbox_copied);
+          w.write<std::uint64_t>(self.arena_peak);
+          w.write<PhaseIo>(self.phase_io);
+          w.write<RoutingStats>(self.routing);
+          save_proc_state(w, disks, *self.alloc, *self.contexts,
+                          *self.messages, self.rng);
+          ckpt_records[me] = w.take();
+          sync();
+          if (me == 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            util::Writer g;
+            g.write<std::uint64_t>(step + 1);
+            g.write_vector(result.costs.supersteps);
+            g.write<std::uint64_t>(superstep_rollbacks.load());
+            g.write<std::uint64_t>(reorganize_rollbacks.load());
+            std::uint64_t retries = base_io_retries;
+            std::uint64_t giveups = base_io_giveups;
+            for (std::uint32_t i = 0; i < p; ++i) {
+              retries += disk_arrays_[i]->engine_stats().total_retries();
+              giveups += disk_arrays_[i]->engine_stats().total_giveups();
+            }
+            g.write<std::uint64_t>(retries);
+            g.write<std::uint64_t>(giveups);
+            em::FaultCounts fc = base_faults;
+            if (fault_counters_ != nullptr) {
+              fc += em::snapshot(*fault_counters_);
+            }
+            g.write<em::FaultCounts>(fc);
+            g.write<std::uint32_t>(p);
+            for (std::uint32_t i = 0; i < p; ++i) {
+              g.write_vector(ckpt_records[i]);
+            }
+            const auto payload = g.take();
+            ckpt->publish(cfg_.checkpoint.run_index, step + 1, payload,
+                          config_fp);
+            record_checkpoint(
+                rec, checkpoints_published.fetch_add(1) + 1, payload.size(),
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+          }
+          sync();
+        }
+        if (cancel_seen && any) {
+          throw CanceledError(
+              "ParSimulator: canceled at superstep boundary " +
+              std::to_string(step + 1));
+        }
         if (!any) break;
       }
 
@@ -600,14 +904,15 @@ SimResult ParSimulator::run(
   threads.reserve(p);
   for (std::uint32_t i = 0; i < p; ++i) threads.emplace_back(worker, i);
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
 
-  for (std::uint32_t vp = 0; vp < v; ++vp) collect(vp, final_states[vp]);
-
+  // Aggregate and export BEFORE checking for errors: when a worker aborted
+  // (retry giveup past the recovery budget, cancellation, a model-violation
+  // throw), the registry still receives everything the run accumulated, so
+  // the caller's metrics/trace flush makes the failed run diagnosable.
   // Aggregate: total_io is the max over processors (the model's t_IO is a
   // max), per_proc_io keeps the full picture.
+  result.recovery.io_retries = base_io_retries;
+  result.recovery.io_giveups = base_io_giveups;
   for (std::uint32_t i = 0; i < p; ++i) {
     disk_arrays_[i]->harvest_backend_stats();  // ring counters → engine stats
     result.per_proc_io.push_back(disk_arrays_[i]->stats());
@@ -628,18 +933,17 @@ SimResult ParSimulator::run(
         std::max(result.real_comm_bytes, procs[i].max_comm_bytes_step);
     result.max_tracks_per_disk = std::max(
         result.max_tracks_per_disk, disk_arrays_[i]->max_tracks_used());
-    // Retry-layer resilience only: the barrier-coupled workers make
-    // superstep rollback a distributed-recovery problem (every processor
-    // would have to roll back together), which stays with the sequential
-    // simulator for now; a giveup here aborts the run via the cooperative
-    // abort path.
     result.recovery.io_retries +=
         disk_arrays_[i]->engine_stats().total_retries();
     result.recovery.io_giveups +=
         disk_arrays_[i]->engine_stats().total_giveups();
   }
+  result.recovery.superstep_rollbacks = superstep_rollbacks.load();
+  result.recovery.reorganize_rollbacks = reorganize_rollbacks.load();
+  result.recovery.checkpoints = checkpoints_published.load();
+  result.recovery.faults = base_faults;
   if (fault_counters_ != nullptr) {
-    result.recovery.faults = em::snapshot(*fault_counters_);
+    result.recovery.faults += em::snapshot(*fault_counters_);
   }
   result.phase_io = procs[0].phase_io;
   if (cfg_.recorder != nullptr) {
@@ -671,6 +975,11 @@ SimResult ParSimulator::run(
     reg.set_gauge("sim.arena_bytes", static_cast<double>(arena_peak));
     reg.set_gauge("sim.in_memory_routing", mem_routing ? 1.0 : 0.0);
   }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (std::uint32_t vp = 0; vp < v; ++vp) collect(vp, final_states[vp]);
   return result;
 }
 

@@ -18,14 +18,17 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "bsp/direct_runtime.hpp"
 #include "bsp/program.hpp"
 #include "em/disk_array.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/context_store.hpp"
 #include "sim/message_store.hpp"
 #include "sim/obs_hooks.hpp"
@@ -280,19 +283,107 @@ SimResult SeqSimulator::run(
     }
   };
 
-  // Write initial contexts, one group at a time (never more than k contexts
-  // in memory — the EM discipline applies to setup too).
-  run_protected(superstep_rollbacks, [&] {
-    ObsPhase phase(rec, "init", *disks_, &result.phase_io.init);
-    for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
-      const std::uint32_t first = gidx * k;
-      const std::uint32_t count = std::min(k, v - first);
-      // Serialize straight into the store's block-aligned staging buffer.
-      contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
-        make_state(ctx).serialize(w);
-      });
+  // --- Durable checkpoint/restart (see sim/checkpoint.hpp) ----------------
+  const std::uint64_t config_fp = config_fingerprint(cfg_);
+  std::optional<CheckpointDir> ckpt;
+  bool ckpt_write = false;
+  std::optional<CheckpointDir::Loaded> loaded;
+  if (cfg_.checkpoint.enabled()) {
+    ckpt.emplace(cfg_.checkpoint.dir);
+    ckpt_write = true;
+    if (cfg_.checkpoint.resume) {
+      const auto m = ckpt->manifest();
+      if (m.has_value() && m->run_index > cfg_.checkpoint.run_index) {
+        // The checkpointed process crashed in a *later* run of this
+        // workload, so this run completed before the crash.  Re-execute it
+        // deterministically and leave the later run's checkpoint alone.
+        ckpt_write = false;
+      } else {
+        loaded = ckpt->load(cfg_.checkpoint.run_index, config_fp);
+      }
     }
-  });
+  }
+  // Resumed bookkeeping baselines: counters the fresh engine/fault state
+  // restarts at zero, carried over from the checkpointed run so final
+  // totals match an uninterrupted run.
+  std::uint64_t base_io_retries = 0;
+  std::uint64_t base_io_giveups = 0;
+  em::FaultCounts base_faults;
+  std::uint64_t checkpoints_published = 0;
+  // The complete resumable state at the current superstep boundary: replay
+  // header (bookkeeping accumulated so far) + the substrate record.
+  auto save_run_state = [&](std::uint64_t next_step) {
+    util::Writer w;
+    w.write<std::uint64_t>(next_step);
+    w.write_vector(result.costs.supersteps);
+    w.write_vector(result.per_superstep_io);
+    w.write<RoutingStats>(result.routing_stats);
+    w.write<PhaseIo>(result.phase_io);
+    w.write<std::uint64_t>(superstep_rollbacks);
+    w.write<std::uint64_t>(reorganize_rollbacks);
+    w.write<std::uint64_t>(base_io_retries +
+                           disks_->engine_stats().total_retries());
+    w.write<std::uint64_t>(base_io_giveups +
+                           disks_->engine_stats().total_giveups());
+    em::FaultCounts fc = base_faults;
+    if (fault_counters_ != nullptr) fc += em::snapshot(*fault_counters_);
+    w.write<em::FaultCounts>(fc);
+    w.write<std::uint64_t>(outbox_copied);
+    w.write<std::uint64_t>(arena_peak);
+    save_proc_state(w, *disks_, alloc, contexts, messages, rng);
+    return w.take();
+  };
+  auto publish_checkpoint = [&](std::uint64_t next_step) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto payload = save_run_state(next_step);
+    ckpt->publish(cfg_.checkpoint.run_index, next_step, payload, config_fp);
+    ++checkpoints_published;
+    record_checkpoint(
+        rec, checkpoints_published, payload.size(),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+  };
+
+  std::size_t start_step = 0;
+  if (loaded.has_value()) {
+    // Resume: reinstate the bookkeeping and substrate exactly as the
+    // checkpointed run left them at the boundary, then continue the
+    // superstep loop from there (init already happened in the first life).
+    util::Reader r(loaded->payload);
+    start_step = static_cast<std::size_t>(r.read<std::uint64_t>());
+    result.costs.supersteps = r.read_vector<bsp::SuperstepCost>();
+    result.per_superstep_io = r.read_vector<em::IoStats>();
+    result.routing_stats = r.read<RoutingStats>();
+    result.phase_io = r.read<PhaseIo>();
+    superstep_rollbacks = r.read<std::uint64_t>();
+    reorganize_rollbacks = r.read<std::uint64_t>();
+    base_io_retries = r.read<std::uint64_t>();
+    base_io_giveups = r.read<std::uint64_t>();
+    base_faults = r.read<em::FaultCounts>();
+    outbox_copied = r.read<std::uint64_t>();
+    arena_peak = r.read<std::uint64_t>();
+    load_proc_state(r, *disks_, alloc, contexts, messages, rng);
+    if (!r.exhausted()) {
+      throw std::runtime_error("checkpoint: trailing bytes in payload");
+    }
+    result.recovery.resume_epoch = loaded->epoch;
+  } else {
+    // Write initial contexts, one group at a time (never more than k
+    // contexts in memory — the EM discipline applies to setup too).
+    run_protected(superstep_rollbacks, [&] {
+      ObsPhase phase(rec, "init", *disks_, &result.phase_io.init);
+      for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
+        const std::uint32_t first = gidx * k;
+        const std::uint32_t count = std::min(k, v - first);
+        // Serialize straight into the store's block-aligned staging buffer.
+        contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
+          make_state(ctx).serialize(w);
+        });
+      }
+    });
+  }
 
   const auto group_of = [k](std::uint32_t dst) { return dst / k; };
   // Submit group g's context reads and arena fetches into its parity slot.
@@ -303,10 +394,9 @@ SimResult SeqSimulator::run(
     contexts.read_submit(pf, pc, ctx_read[slot]);
     messages.fetch_group_submit(g, msg_fetch[slot]);
   };
-  std::vector<bool> done(v, false);
   bool all_done = false;
 
-  for (std::size_t step = 0; !all_done; ++step) {
+  for (std::size_t step = start_step; !all_done; ++step) {
     if (step >= cfg_.max_supersteps) {
       throw std::runtime_error(
           "SeqSimulator: superstep limit exceeded (runaway program?)");
@@ -544,6 +634,21 @@ SimResult SeqSimulator::run(
       }
       all_done = true;
     }
+
+    // --- Superstep boundary: durability point (§5.1) ---------------------
+    // The reorganize above committed this superstep's state, so the disks
+    // hold a consistent snapshot.  Publish a checkpoint when one is due (or
+    // when we are stopping early), then honor cooperative cancellation.
+    const bool canceled = cfg_.cancel != nullptr &&
+                          cfg_.cancel->load(std::memory_order_relaxed);
+    if (ckpt.has_value() && ckpt_write && !all_done &&
+        (canceled || (step + 1) % cfg_.checkpoint.every == 0)) {
+      publish_checkpoint(step + 1);
+    }
+    if (canceled && !all_done) {
+      throw CanceledError("SeqSimulator: canceled at superstep boundary " +
+                          std::to_string(step + 1));
+    }
   }
 
   // Collect results, group by group.  Read-only, but reads can still
@@ -586,12 +691,16 @@ SimResult SeqSimulator::run(
       result.overlap_ratio = std::clamp(r, 0.0, 1.0);
     }
   }
-  result.recovery.io_retries = disks_->engine_stats().total_retries();
-  result.recovery.io_giveups = disks_->engine_stats().total_giveups();
+  result.recovery.io_retries =
+      base_io_retries + disks_->engine_stats().total_retries();
+  result.recovery.io_giveups =
+      base_io_giveups + disks_->engine_stats().total_giveups();
   result.recovery.superstep_rollbacks = superstep_rollbacks;
   result.recovery.reorganize_rollbacks = reorganize_rollbacks;
+  result.recovery.checkpoints = checkpoints_published;
+  result.recovery.faults = base_faults;
   if (fault_counters_ != nullptr) {
-    result.recovery.faults = em::snapshot(*fault_counters_);
+    result.recovery.faults += em::snapshot(*fault_counters_);
   }
   if (rec != nullptr) {
     auto& reg = rec->registry;

@@ -1,7 +1,9 @@
 // Shared configuration and result types for the EM-BSP* simulators.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,36 @@ namespace embsp::sim {
 /// direct runtime's measured gamma() is directly usable as SimConfig.gamma.
 inline constexpr std::size_t kMessageOverhead =
     static_cast<std::size_t>(bsp::kWireOverheadPerMessage);
+
+/// Durable checkpoint/restart (see DESIGN.md §"Failure model & recovery").
+/// With `dir` set, the simulators serialize a crash-consistent snapshot of
+/// the run's logical state to `dir` at superstep boundaries (every `every`
+/// supersteps), using write-tmp → fsync → atomic-rename ordering so a
+/// checkpoint torn by a crash is always detectable and the previous epoch
+/// always loadable.  With `resume` set, the run restores the last committed
+/// epoch from `dir` instead of initializing, and then continues — producing
+/// byte-identical images and costs to an uninterrupted run.
+struct CheckpointConfig {
+  std::string dir;          ///< checkpoint directory; empty = disabled
+  std::size_t every = 1;    ///< checkpoint every N superstep boundaries
+  bool resume = false;      ///< restore the last committed epoch from `dir`
+  /// Which exec.run() invocation of a multi-run workload this simulator
+  /// instance is (workloads like euler_tour run several simulations); the
+  /// manifest records it so a resumed process re-executes earlier runs
+  /// deterministically and resumes only the interrupted one.
+  std::size_t run_index = 0;
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+};
+
+/// Thrown when a run stops at a superstep boundary because the caller's
+/// cancel flag was set (SIGINT/SIGTERM graceful shutdown).  If
+/// checkpointing is enabled a final checkpoint was published first, so the
+/// run is resumable from where it stopped.
+class CanceledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct SimConfig {
   bsp::MachineParams machine;  ///< target machine (p, BSP* params, EM params)
@@ -116,6 +148,15 @@ struct SimConfig {
   /// exceeded => the original IoError propagates to the caller.
   std::size_t max_superstep_retries = 2;
 
+  /// Durable checkpoint/restart; disabled unless checkpoint.dir is set.
+  CheckpointConfig checkpoint;
+
+  /// Cooperative cancellation: when non-null and set, the run stops at the
+  /// next superstep boundary — after quiescing in-flight tokens and (if
+  /// checkpointing is enabled) publishing a final checkpoint — by throwing
+  /// CanceledError.  Set from a signal handler for graceful shutdown.
+  const std::atomic<bool>* cancel = nullptr;
+
   // --- Observability (see DESIGN.md §"Observability") ---------------------
 
   /// Metrics/trace sink shared by the run: phase spans, engine histograms
@@ -133,6 +174,9 @@ struct RecoveryStats {
   std::uint64_t io_giveups = 0;   ///< transfers that exhausted the budget
   std::uint64_t superstep_rollbacks = 0;   ///< superstep bodies re-executed
   std::uint64_t reorganize_rollbacks = 0;  ///< reorganizations re-executed
+  std::uint64_t checkpoints = 0;  ///< checkpoint epochs published this run
+  /// Superstep boundary the run resumed from (0 when it started fresh).
+  std::uint64_t resume_epoch = 0;
   em::FaultCounts faults;         ///< injected-fault tally
 
   [[nodiscard]] std::uint64_t total_rollbacks() const {

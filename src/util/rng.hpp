@@ -51,6 +51,12 @@ class Rng {
 
   double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
+  /// Raw engine state, for checkpoint/restore.  A stream restored with
+  /// set_raw_state() continues exactly where raw_state() captured it, so a
+  /// resumed simulation draws the same sequence an uninterrupted one would.
+  [[nodiscard]] std::uint64_t raw_state() const { return state_; }
+  void set_raw_state(std::uint64_t s) { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

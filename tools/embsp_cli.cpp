@@ -58,8 +58,34 @@
 //                      refuse O_DIRECT, e.g. tmpfs)
 //     --disk-dir <dir> directory for the uring engine's scratch files
 //                      (default: the system temp directory)
+//     --checkpoint <dir>
+//                      write a durable checkpoint of the run's state to
+//                      <dir> at superstep boundaries (crash-consistent:
+//                      tmp + fsync + atomic rename; a torn checkpoint is
+//                      detected and the previous epoch used instead)
+//     --checkpoint-every <N>
+//                      with --checkpoint: snapshot every N superstep
+//                      boundaries (default 1)
+//     --resume <dir>   restore the last committed checkpoint from <dir>
+//                      and continue; the finished run is byte-identical
+//                      (same results, costs, and fault schedule) to one
+//                      that was never interrupted
+//     --digest         print a deterministic digest of the workload's
+//                      outputs and model costs — two runs agree iff their
+//                      results and costs agree (the resume-equivalence
+//                      check the crash-restart harness scripts against)
+//
+// SIGINT/SIGTERM request graceful shutdown: the run stops at the next
+// superstep boundary, publishes a final checkpoint when --checkpoint is
+// active, writes any requested --metrics/--trace-events snapshots, and
+// exits 130.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <type_traits>
 #include <set>
+#include <span>
 #include <fstream>
 #include <iostream>
 
@@ -68,6 +94,12 @@
 namespace {
 
 using namespace embsp;
+
+// Set by the SIGINT/SIGTERM handlers; the simulators poll it at superstep
+// boundaries (SimConfig::cancel).  A plain atomic store is async-signal-safe.
+std::atomic<bool> g_cancel{false};
+
+void request_shutdown(int) { g_cancel.store(true, std::memory_order_relaxed); }
 
 struct Options {
   std::string workload;
@@ -91,6 +123,10 @@ struct Options {
   std::string io_engine;  // "", "serial", "parallel", "uring"
   bool direct = false;
   std::string disk_dir;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 1;
+  bool resume = false;
+  bool digest = false;
 };
 
 int usage() {
@@ -104,6 +140,8 @@ int usage() {
          "             [--no-zero-copy] [--no-coalesce]\n"
          "             [--io-engine serial|parallel|uring] [--direct]\n"
          "             [--disk-dir DIR]\n"
+         "             [--checkpoint DIR] [--checkpoint-every N]\n"
+         "             [--resume DIR] [--digest]\n"
          "workloads: sort permute transpose maxima dominance closest hull\n"
          "           envelope listrank euler cc lca\n";
   return 2;
@@ -132,6 +170,11 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     if (flag == "--direct") {
       opt.direct = true;
+      ++i;
+      continue;
+    }
+    if (flag == "--digest") {
+      opt.digest = true;
       ++i;
       continue;
     }
@@ -171,6 +214,14 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.io_engine = val;
     } else if (flag == "--disk-dir") {
       opt.disk_dir = val;
+    } else if (flag == "--checkpoint") {
+      opt.checkpoint_dir = val;
+    } else if (flag == "--checkpoint-every") {
+      opt.checkpoint_every = std::stoul(val);
+      if (opt.checkpoint_every == 0) return false;
+    } else if (flag == "--resume") {
+      opt.checkpoint_dir = val;
+      opt.resume = true;
     } else if (flag == "--mode" || flag == "--routing") {
       if (val == "compact") {
         opt.mode = sim::RoutingMode::compact;
@@ -193,6 +244,49 @@ bool parse(int argc, char** argv, Options& opt) {
 struct KeyLess {
   bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
 };
+
+// --- Output digest (--digest) ----------------------------------------------
+// A running hash over the workload's collected outputs plus the model costs.
+// Every folded quantity is deterministic for a fixed seed and config, so
+// two invocations print the same digest iff they produced the same results
+// at the same cost — the equality the crash/restart harness asserts between
+// an uninterrupted run and a killed-and-resumed one.
+
+std::uint64_t g_digest = 0x9e3779b97f4a7c15ULL;
+
+void fold_digest(std::uint64_t x) {
+  g_digest = util::mix64(g_digest ^ util::mix64(x + 0x9e3779b97f4a7c15ULL));
+}
+
+template <typename T>
+void fold_digest_vec(const std::vector<T>& v) {
+  // Every folded element type is either a scalar or a struct with explicit
+  // padding fields, so hashing the raw bytes is well-defined.
+  static_assert(std::is_trivially_copyable_v<T>);
+  fold_digest(v.size());
+  fold_digest(
+      util::checksum64(std::as_bytes(std::span<const T>(v.data(), v.size()))));
+}
+
+void fold_digest_costs(const cgm::ExecResult& exec) {
+  fold_digest(exec.lambda);
+  fold_digest_vec(exec.costs.supersteps);
+  if (exec.sim.has_value()) {
+    const auto& io = exec.sim->total_io;
+    fold_digest(io.parallel_ios);
+    fold_digest(io.blocks_read);
+    fold_digest(io.blocks_written);
+    fold_digest(io.bytes_read);
+    fold_digest(io.bytes_written);
+  }
+}
+
+void print_digest() {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(g_digest));
+  std::cout << "digest: " << buf << "\n";
+}
 
 void report(const Options& opt, const cgm::ExecResult& exec,
             const std::string& note) {
@@ -241,6 +335,11 @@ void report(const Options& opt, const cgm::ExecResult& exec,
   if (!note.empty()) table.add_row({"result", note});
   std::cout << table.render();
 
+  if (opt.digest) {
+    fold_digest_costs(exec);
+    print_digest();
+  }
+
   if (!opt.csv.empty() && exec.sim.has_value()) {
     std::ofstream out(opt.csv);
     sim::write_cost_csv(out, *exec.sim);
@@ -282,10 +381,15 @@ int run_workload(const Options& opt, Fn fn) {
     cfg.faults.torn_write_rate = opt.faults / 2;
     cfg.faults.bit_flip_rate = opt.faults / 2;
     cfg.block_checksums = true;
-    // Rollback recovery is sequential-simulator machinery; the parallel
-    // simulator runs with the retry layer only.
-    cfg.superstep_recovery = (opt.p == 1);
+    // Superstep-granular rollback: the sequential simulator re-executes the
+    // failed superstep; the parallel simulator rolls all processors back to
+    // the last committed epoch together (coordinated recovery).
+    cfg.superstep_recovery = true;
   }
+  cfg.checkpoint.dir = opt.checkpoint_dir;
+  cfg.checkpoint.every = opt.checkpoint_every;
+  cfg.checkpoint.resume = opt.resume;
+  cfg.cancel = &g_cancel;
   // The recorder outlives the run; sinks are written only when requested,
   // and a null cfg.recorder keeps the uninstrumented fast path.
   obs::Recorder recorder;
@@ -293,24 +397,38 @@ int run_workload(const Options& opt, Fn fn) {
     recorder.trace_enabled = !opt.trace.empty();
     cfg.recorder = &recorder;
   }
+  // Written on every exit path: an aborted or canceled run still leaves a
+  // metrics snapshot and trace behind (that is when they matter most).
+  auto write_sinks = [&] {
+    if (!opt.metrics.empty()) {
+      std::ofstream out(opt.metrics);
+      recorder.registry.write_json(out);
+      std::cout << "metrics written to " << opt.metrics << "\n";
+    }
+    if (!opt.trace.empty()) {
+      std::ofstream out(opt.trace);
+      recorder.trace.write_json(out);
+      std::cout << "trace events written to " << opt.trace << "\n";
+    }
+  };
   int rc;
-  if (opt.p == 1) {
-    cgm::SeqEmExec exec(cfg);
-    rc = fn(exec);
-  } else {
-    cgm::ParEmExec exec(cfg);
-    rc = fn(exec);
+  try {
+    if (opt.p == 1) {
+      cgm::SeqEmExec exec(cfg);
+      rc = fn(exec);
+    } else {
+      cgm::ParEmExec exec(cfg);
+      rc = fn(exec);
+    }
+  } catch (const sim::CanceledError& e) {
+    std::cerr << "canceled: " << e.what() << "\n";
+    write_sinks();
+    return 130;
+  } catch (...) {
+    write_sinks();
+    throw;
   }
-  if (!opt.metrics.empty()) {
-    std::ofstream out(opt.metrics);
-    recorder.registry.write_json(out);
-    std::cout << "metrics written to " << opt.metrics << "\n";
-  }
-  if (!opt.trace.empty()) {
-    std::ofstream out(opt.trace);
-    recorder.trace.write_json(out);
-    std::cout << "trace events written to " << opt.trace << "\n";
-  }
+  write_sinks();
   return rc;
 }
 
@@ -320,12 +438,17 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse(argc, argv, opt)) return usage();
 
+  std::signal(SIGINT, request_shutdown);
+  std::signal(SIGTERM, request_shutdown);
+  em::install_crash_hook_from_env();  // EMBSP_CRASH_AFTER_MS soak harness
+
   try {
     return run_workload(opt, [&](auto& exec) -> int {
       if (opt.workload == "sort") {
         auto keys = util::random_keys(opt.n, opt.seed);
         auto out = cgm::cgm_sort<std::uint64_t, KeyLess>(exec, keys, opt.v);
         const bool ok = std::is_sorted(out.sorted.begin(), out.sorted.end());
+        if (opt.digest) fold_digest_vec(out.sorted);
         report(opt, out.exec, ok ? "sorted" : "NOT SORTED");
         return ok ? 0 : 1;
       }
@@ -333,6 +456,7 @@ int main(int argc, char** argv) {
         auto values = util::random_keys(opt.n, opt.seed);
         auto perm = util::random_permutation(opt.n, opt.seed + 1);
         auto out = cgm::cgm_permute(exec, values, perm, opt.v);
+        if (opt.digest) fold_digest_vec(out.values);
         report(opt, out.exec, "permuted " + util::fmt_count(opt.n));
         return 0;
       }
@@ -341,6 +465,7 @@ int main(int argc, char** argv) {
         while ((side * 2) * (side * 2) <= opt.n) side *= 2;
         auto m = util::random_keys(side * side, opt.seed);
         auto out = cgm::cgm_transpose(exec, m, side, side, opt.v);
+        if (opt.digest) fold_digest_vec(out.data);
         report(opt, out.exec,
                std::to_string(side) + "x" + std::to_string(side));
         return 0;
@@ -350,6 +475,7 @@ int main(int argc, char** argv) {
         auto out = cgm::cgm_3d_maxima(exec, pts, opt.v);
         std::uint64_t count = 0;
         for (auto f : out.maximal) count += f;
+        if (opt.digest) fold_digest_vec(out.maximal);
         report(opt, out.exec, util::fmt_count(count) + " maxima");
         return 0;
       }
@@ -357,12 +483,17 @@ int main(int argc, char** argv) {
         auto pts = util::random_points_2d(opt.n, opt.seed);
         std::vector<std::uint64_t> w(opt.n, 1);
         auto out = cgm::cgm_dominance_counts(exec, pts, w, opt.v);
+        if (opt.digest) fold_digest_vec(out.counts);
         report(opt, out.exec, "counts computed");
         return 0;
       }
       if (opt.workload == "closest") {
         auto pts = util::random_points_2d(opt.n, opt.seed);
         auto out = cgm::cgm_closest_pair(exec, pts, opt.v);
+        if (opt.digest) {
+          fold_digest(out.best.tag_a);
+          fold_digest(out.best.tag_b);
+        }
         report(opt, out.exec,
                "pair (" + std::to_string(out.best.tag_a) + ", " +
                    std::to_string(out.best.tag_b) + ")");
@@ -371,6 +502,7 @@ int main(int argc, char** argv) {
       if (opt.workload == "hull") {
         auto pts = util::random_points_2d(opt.n, opt.seed);
         auto out = cgm::cgm_convex_hull(exec, pts, opt.v);
+        if (opt.digest) fold_digest_vec(out.hull_tags);
         report(opt, out.exec,
                std::to_string(out.hull.size()) + " hull vertices");
         return 0;
@@ -378,6 +510,7 @@ int main(int argc, char** argv) {
       if (opt.workload == "envelope") {
         auto segs = util::random_disjoint_segments(opt.n, opt.seed);
         auto out = cgm::cgm_lower_envelope(exec, segs, opt.v);
+        if (opt.digest) fold_digest_vec(out.envelope);
         report(opt, out.exec,
                std::to_string(out.envelope.size()) + " envelope pieces");
         return 0;
@@ -386,6 +519,10 @@ int main(int argc, char** argv) {
         auto [succ, head] = util::random_list(opt.n, opt.seed);
         (void)head;
         auto out = cgm::cgm_list_ranking(exec, succ, opt.v);
+        if (opt.digest) {
+          fold_digest_vec(out.rank1);
+          fold_digest_vec(out.rank2);
+        }
         report(opt, out.exec, "ranked " + util::fmt_count(opt.n));
         return 0;
       }
@@ -394,6 +531,13 @@ int main(int argc, char** argv) {
         auto out = cgm::cgm_euler_tour(exec, parent, opt.v);
         std::uint64_t max_depth = 0;
         for (auto d : out.depth) max_depth = std::max(max_depth, d);
+        if (opt.digest) {
+          fold_digest_vec(out.depth);
+          fold_digest_vec(out.subtree_size);
+          fold_digest_vec(out.first_pos);
+          fold_digest_vec(out.last_pos);
+          fold_digest_costs(out.link_exec);
+        }
         report(opt, out.rank_exec,
                "tree height " + std::to_string(max_depth));
         return 0;
@@ -406,6 +550,10 @@ int main(int argc, char** argv) {
         auto out = cgm::cgm_connected_components(exec, opt.n, edges, opt.v);
         std::set<std::uint64_t> labels(out.component.begin(),
                                        out.component.end());
+        if (opt.digest) {
+          fold_digest_vec(out.component);
+          fold_digest_vec(out.tree_edges);
+        }
         report(opt, out.exec,
                std::to_string(labels.size()) + " components, " +
                    util::fmt_count(out.tree_edges.size()) + " forest edges");
@@ -419,6 +567,7 @@ int main(int argc, char** argv) {
           queries.emplace_back(rng.below(opt.n), rng.below(opt.n));
         }
         auto out = cgm::cgm_batched_lca(exec, parent, queries, opt.v);
+        if (opt.digest) fold_digest_vec(out.lca);
         report(opt, out.exec, "256 queries answered");
         return 0;
       }
