@@ -1,0 +1,140 @@
+// [net_routing] h-relation throughput over the transport tier.
+//
+// Algorithm 3's wire traffic is a sequence of all-to-all h-relations: every
+// rank posts ~h bytes to every peer, then everyone meets at the exchange
+// barrier.  This bench measures that exact pattern on both backends —
+// in-process loopback (the parity/test configuration) and real unix-domain
+// sockets driven from threads (the full framing + checksum + poll-pump
+// path) — across message sizes, so transport regressions show up as
+// throughput cliffs in BENCH_net_routing.json.
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <thread>
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace embsp;
+
+using Clock = std::chrono::steady_clock;
+
+double run_ranks_timed(
+    std::vector<std::unique_ptr<net::Transport>>& eps,
+    const std::function<void(std::uint32_t, net::Transport&)>& body) {
+  std::vector<std::thread> threads;
+  const auto t0 = Clock::now();
+  for (std::uint32_t r = 0; r < eps.size(); ++r) {
+    threads.emplace_back([&, r] { body(r, *eps[r]); });
+  }
+  for (auto& t : threads) t.join();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<std::unique_ptr<net::Transport>> make_socket_group(
+    std::uint32_t p, const std::string& tag) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() /
+       ("embsp_bench_net_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  std::vector<std::unique_ptr<net::Transport>> eps(p);
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      net::SocketConfig cfg;
+      cfg.address = prefix;
+      cfg.rank = r;
+      cfg.peers = p;
+      eps[r] = net::make_socket_transport(cfg);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return eps;
+}
+
+struct Case {
+  std::size_t msg_bytes;
+  std::size_t rounds;
+};
+
+/// One h-relation round: every rank posts one msg_bytes message to every
+/// other rank, then exchanges.  Returns aggregate wire bytes moved.
+double measure(std::vector<std::unique_ptr<net::Transport>>& eps,
+               const Case& c) {
+  const auto p = static_cast<std::uint32_t>(eps.size());
+  return run_ranks_timed(eps, [&](std::uint32_t me, net::Transport& tp) {
+    util::Rng rng(me + 1);
+    std::vector<std::byte> payload(c.msg_bytes);
+    for (auto& b : payload) b = static_cast<std::byte>(rng.below(256));
+    for (std::size_t round = 0; round < c.rounds; ++round) {
+      for (std::uint32_t q = 0; q < p; ++q) {
+        if (q != me) tp.post(q, std::span<const std::byte>(payload));
+      }
+      auto got = tp.exchange();
+      // Touch the delivered bytes so delivery cannot be optimized away.
+      volatile std::byte sink{};
+      for (std::uint32_t q = 0; q < p; ++q) {
+        for (const auto& blob : got[q]) {
+          if (!blob.empty()) sink = blob.front();
+        }
+      }
+      (void)sink;
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("net_routing",
+                "h-relation throughput: loopback vs socket transport");
+
+  constexpr std::uint32_t kRanks = 4;
+  const Case cases[] = {
+      {4u << 10, 256},   // latency-bound: many small frames
+      {64u << 10, 128},  // mixed
+      {1u << 20, 32},    // bandwidth-bound: pump interleaving dominates
+  };
+
+  bench::JsonArtifact artifact("net_routing");
+  util::Table table(
+      {"transport", "msg bytes", "rounds", "GB moved", "MB/s", "exch/s"});
+
+  for (const auto& c : cases) {
+    for (const bool socket : {false, true}) {
+      auto eps = socket ? make_socket_group(
+                              kRanks, "m" + std::to_string(c.msg_bytes))
+                        : net::make_loopback_group(kRanks);
+      const double secs = measure(eps, c);
+      // Total bytes crossing the transport: p ranks x (p-1) peers x rounds.
+      const double bytes = static_cast<double>(c.msg_bytes) * kRanks *
+                           (kRanks - 1) * static_cast<double>(c.rounds);
+      const double mbps = bytes / 1e6 / secs;
+      const double exps = static_cast<double>(c.rounds) / secs;
+      const std::string name = std::string(socket ? "socket" : "loopback") +
+                               "/" + std::to_string(c.msg_bytes);
+      table.add_row({socket ? "socket" : "loopback",
+                     std::to_string(c.msg_bytes), std::to_string(c.rounds),
+                     util::fmt_double(bytes / 1e9, 2),
+                     util::fmt_double(mbps, 1), util::fmt_double(exps, 1)});
+      artifact.begin_case(name);
+      artifact.metric("msg_bytes", static_cast<double>(c.msg_bytes));
+      artifact.metric("ranks", kRanks);
+      artifact.metric("rounds", static_cast<double>(c.rounds));
+      artifact.metric("seconds", secs);
+      artifact.metric("mb_per_s", mbps);
+      artifact.metric("exchanges_per_s", exps);
+    }
+  }
+
+  std::cout << table.render();
+  const auto path = artifact.write();
+  if (!path.empty()) std::cout << "artifact written to " << path << "\n";
+  bench::verdict(true, "h-relation pattern completed on both transports");
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "bsp/direct_runtime.hpp"
+#include "sim/dist_simulator.hpp"
 #include "sim/par_simulator.hpp"
 #include "sim/seq_simulator.hpp"
 
@@ -107,6 +108,36 @@ class ParEmExec {
  private:
   sim::SimConfig cfg_;
   std::size_t runs_started_ = 0;
+};
+
+/// One rank of a distributed run: every participating process (or loopback
+/// thread) drives the SAME workload code with its own DistEmExec over its
+/// own transport endpoint; the executors stay in lockstep through the
+/// transport's exchanges.  The mu/gamma dry run happens independently on
+/// every rank — it is deterministic, so all ranks derive the same budgets.
+class DistEmExec {
+ public:
+  DistEmExec(sim::SimConfig cfg, net::Transport& transport)
+      : cfg_(cfg), tp_(&transport) {
+    cfg_.machine.p = tp_->size();
+  }
+
+  template <bsp::Program P>
+  ExecResult run(
+      const P& prog, std::uint32_t v,
+      const std::function<typename P::State(std::uint32_t)>& make_state,
+      const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+    auto cfg = autoconfigure(cfg_, prog, v, make_state);
+    sim::DistSimulator s(cfg, *tp_);
+    auto r = s.run(prog, make_state, collect);
+    ExecResult out{r.lambda(), r.costs, std::nullopt};
+    out.sim = std::move(r);
+    return out;
+  }
+
+ private:
+  sim::SimConfig cfg_;
+  net::Transport* tp_;
 };
 
 // --- Block distribution helpers --------------------------------------------

@@ -125,7 +125,11 @@ FileBackend::FileBackend(std::string path, bool keep, bool sync_writes)
   }
   if (!preexisting) flags |= O_TRUNC;
   if (sync_writes) flags |= O_DSYNC;
-  fd_ = ::open(path_.c_str(), flags, 0644);
+  // open() can be interrupted too (e.g. O_DSYNC on slow media while an
+  // interval timer fires) — retry like the transfer loops do.
+  do {
+    fd_ = ::open(path_.c_str(), flags, 0644);
+  } while (fd_ < 0 && errno == EINTR);
   if (fd_ < 0) {
     const int err = errno;
     detail::release_backend_path(registry_key_);
@@ -282,7 +286,14 @@ void FileBackend::write_vec(std::uint64_t offset,
 }
 
 void FileBackend::flush() {
-  if (::fdatasync(fd_) != 0) {
+  // fdatasync blocks for the full device flush, making it the likeliest
+  // call to take a signal mid-flight; bailing out here would report a
+  // durability failure that never happened.
+  int rc;
+  do {
+    rc = ::fdatasync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     const int err = errno;
     throw IoError(classify_errno(err), "FileBackend: fdatasync failed on " +
                                            path_ + ": " + std::strerror(err));

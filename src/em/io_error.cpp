@@ -15,6 +15,11 @@ IoError::Kind classify_errno(int err) {
     case ETIMEDOUT:
     case ENOBUFS:
     case ENOMEM:
+    // A signal interrupting the syscall, not a device error: the transfer
+    // loops retry EINTR inline, but an EINTR that surfaces anyway (e.g.
+    // from open/fdatasync wrappers on exotic kernels) is worth retrying,
+    // never a reason to give up.
+    case EINTR:
       return IoError::Kind::transient;
     default:
       return IoError::Kind::persistent;

@@ -300,10 +300,16 @@ struct UringBackend::Impl {
             prep_sqe(u, is_read, cqe.user_data);
             ++live;
             stats.sqes += 1;
-            if (sys_uring_enter(ring_fd, 1, 0, 0) < 0 && first_err == 0) {
-              first_err = errno;
-            }
-            stats.enters += 1;
+            // This enter must retry EINTR itself: the outer loop's
+            // to_submit is already spent, so an unsubmitted resubmission
+            // SQE would leave `live` waiting on a completion that never
+            // arrives.
+            int rrc;
+            do {
+              rrc = sys_uring_enter(ring_fd, 1, 0, 0);
+              stats.enters += 1;
+            } while (rrc < 0 && errno == EINTR);
+            if (rrc < 0 && first_err == 0) first_err = errno;
             continue;
           }
           if (first_err == 0) first_err = -res;

@@ -94,35 +94,108 @@ void JsonWriter::value(double v) {
   *out_ << buf;
 }
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 if the bytes
+/// there are not well-formed UTF-8 (truncated sequence, stray continuation
+/// byte, overlong encoding, surrogate code point, or > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto b0 = static_cast<unsigned char>(s[i]);
+  std::size_t len;
+  std::uint32_t cp;
+  if (b0 < 0x80) return 1;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1Fu;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0Fu;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07u;
+  } else {
+    return 0;  // continuation byte or 0xF8-0xFF lead
+  }
+  if (i + len > s.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    const auto b = static_cast<unsigned char>(s[i + k]);
+    if ((b & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3Fu);
+  }
+  // Reject overlong encodings, UTF-16 surrogates and out-of-range points:
+  // all of them break strict JSON parsers even though the byte pattern
+  // looks superficially well-formed.
+  static constexpr std::uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinForLen[len]) return 0;
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;
+  if (cp > 0x10FFFF) return 0;
+  return len;
+}
+
+}  // namespace
+
 void JsonWriter::write_escaped(std::string_view s) {
   *out_ << '"';
-  for (char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
       case '"':
         *out_ << "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         *out_ << "\\\\";
-        break;
+        ++i;
+        continue;
+      case '\b':
+        *out_ << "\\b";
+        ++i;
+        continue;
+      case '\f':
+        *out_ << "\\f";
+        ++i;
+        continue;
       case '\n':
         *out_ << "\\n";
-        break;
+        ++i;
+        continue;
       case '\r':
         *out_ << "\\r";
-        break;
+        ++i;
+        continue;
       case '\t':
         *out_ << "\\t";
-        break;
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out_ << buf;
-        } else {
-          *out_ << c;
-        }
+        break;
     }
+    const auto u = static_cast<unsigned char>(c);
+    // RFC 8259 requires escaping ALL control characters below 0x20; DEL is
+    // escaped too so labels never embed invisible control bytes raw.
+    if (u < 0x20 || u == 0x7F) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(u));
+      *out_ << buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      *out_ << c;
+      ++i;
+      continue;
+    }
+    // Multibyte input: pass through only well-formed UTF-8.  Anything else
+    // (a label built from raw bytes, a truncated copy) becomes U+FFFD —
+    // emitting it verbatim would make the whole document unparseable.
+    const std::size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {
+      *out_ << "\xEF\xBF\xBD";  // U+FFFD replacement character
+      ++i;
+      continue;
+    }
+    *out_ << s.substr(i, len);
+    i += len;
   }
   *out_ << '"';
 }

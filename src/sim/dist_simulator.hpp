@@ -1,0 +1,629 @@
+// Algorithm 3 over a real interconnect: one rank of the p-processor EM-BSP*
+// simulation per DistSimulator instance, communicating through a
+// net::Transport instead of shared-memory mailboxes.
+//
+// This is the threaded ParSimulator's worker loop, factored onto message
+// passing.  Each rank owns a private D-disk array and simulates virtual
+// processors [rank*v/p, (rank+1)*v/p); a compound superstep runs the same
+// v/(p*k) rounds with the same two-phase randomized routing:
+//
+//   round j:  fetch local blocks of batch j   → exchange #1 (forward to the
+//             destination's owner over the wire),
+//             compute the k virtual supersteps,
+//             pack per (owner, batch), scatter → exchange #2 (to a uniformly
+//             random intermediate rank, Lemma 10),
+//             write received blocks to local buckets.
+//   step 2:   local SimulateRouting reorganize.
+//   boundary: exchange #3 — an all-to-all control record (per-rank cost
+//             contribution, continue flag, rank 0's cancel sample); every
+//             rank applies the same commutative reduction, so all ranks
+//             append the same SuperstepCost and take the same branch.
+//
+// Parity contract (tested byte for byte in tests/test_net.cpp): on the
+// loopback transport, results, SuperstepCosts, IoStats and fault-schedule
+// call indices are identical to the threaded ParSimulator.  The invariants
+// that make this hold:
+//   * identical SimLayout (including the group-capacity inflation),
+//   * the per-rank RNG replays the master fork loop (fork advances the
+//     master, so all p forks are drawn in rank order),
+//   * blocks are absorbed in source-rank order 0..p-1, the order the
+//     ParSimulator's mailbox sweep uses,
+//   * disk arrays use machine-wide drive indices (rank*D + d), keying the
+//     deterministic fault schedule identically,
+//   * cost reduction uses the same max/+ merges, which are commutative, so
+//     cross-rank reduction order cannot change the result.
+//
+// Not supported over a transport (throws up front): durable checkpoints,
+// coordinated superstep recovery, and the pipelined group scheduler.
+// Transient injected faults are still absorbed rank-locally by the retry
+// machinery; what cannot be absorbed aborts the run with a typed error,
+// broadcast to peers via Transport::abort.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+
+#include "bsp/direct_runtime.hpp"
+#include "bsp/program.hpp"
+#include "em/disk_array.hpp"
+#include "net/transport.hpp"
+#include "sim/context_store.hpp"
+#include "sim/message_store.hpp"
+#include "sim/obs_hooks.hpp"
+#include "sim/seq_simulator.hpp"
+#include "sim/sim_config.hpp"
+
+namespace embsp::sim {
+
+class DistSimulator {
+ public:
+  /// `transport` must outlive the simulator; its size() must equal
+  /// cfg.machine.p and its rank() selects which processor this instance
+  /// simulates.
+  DistSimulator(SimConfig cfg, net::Transport& transport,
+                std::function<std::unique_ptr<em::Backend>(std::size_t)>
+                    backend = nullptr);
+
+  template <bsp::Program P>
+  SimResult run(
+      const P& prog,
+      const std::function<typename P::State(std::uint32_t)>& make_state,
+      const std::function<void(std::uint32_t, typename P::State&)>& collect);
+
+  [[nodiscard]] const em::DiskArray& disks() const { return *disks_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t rank() const { return tp_->rank(); }
+
+ private:
+  /// The exact field set the ParSimulator's per-round cost merge touches
+  /// (max_wire_* stay zero in the reduced record there too).
+  static void merge_cost(bsp::SuperstepCost& into,
+                         const bsp::SuperstepCost& c) {
+    into.max_work = std::max(into.max_work, c.max_work);
+    into.total_work += c.total_work;
+    into.max_bytes_sent = std::max(into.max_bytes_sent, c.max_bytes_sent);
+    into.max_bytes_received =
+        std::max(into.max_bytes_received, c.max_bytes_received);
+    into.max_packets_sent =
+        std::max(into.max_packets_sent, c.max_packets_sent);
+    into.max_packets_received =
+        std::max(into.max_packets_received, c.max_packets_received);
+    into.total_bytes += c.total_bytes;
+    into.num_messages += c.num_messages;
+  }
+
+  SimConfig cfg_;
+  net::Transport* tp_;
+  std::unique_ptr<em::DiskArray> disks_;
+  std::shared_ptr<em::FaultCounters> fault_counters_;
+};
+
+// ---------------------------------------------------------------------------
+// implementation
+// ---------------------------------------------------------------------------
+
+template <bsp::Program P>
+SimResult DistSimulator::run(
+    const P& prog,
+    const std::function<typename P::State(std::uint32_t)>& make_state,
+    const std::function<void(std::uint32_t, typename P::State&)>& collect) {
+  using State = typename P::State;
+  cfg_.machine.validate();
+  const std::uint32_t p = cfg_.machine.p;
+  const std::uint32_t v = cfg_.machine.bsp.v;
+  const std::uint32_t local_v = v / p;
+  const std::uint32_t me = tp_->rank();
+
+  SimLayout layout = SimLayout::compute(cfg_, local_v);
+  // Same receive-capacity inflation as the ParSimulator (see the comment
+  // there): scattering is balanced only in expectation.
+  layout.group_capacity = layout.group_capacity * 2 + 4 * p + 4;
+  const auto k = static_cast<std::uint32_t>(layout.k);
+  const std::uint32_t rounds = layout.num_groups;
+
+  em::TrackAllocators alloc(disks_->num_disks());
+  ContextStore contexts(*disks_, alloc, local_v, cfg_.mu,
+                        /*journaled=*/false);
+  MessageStore messages(
+      *disks_, alloc,
+      MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
+                         /*max_message_bytes=*/cfg_.gamma,
+                         /*memory_budget_bytes=*/layout.routing_mem_budget});
+  // Per-rank RNG: replay the ParSimulator's fork loop — fork() advances the
+  // master, so every rank must draw all p forks in order and keep its own.
+  util::Rng rng(0);
+  {
+    util::Rng master(cfg_.seed);
+    for (std::uint32_t i = 0; i < p; ++i) {
+      util::Rng f = master.fork(i + 1);
+      if (i == me) rng = f;
+    }
+  }
+  std::uint64_t rr_scatter = 0;
+  PhaseIo phase_io;
+  RoutingStats routing;
+  std::uint64_t comm_bytes_this_step = 0;
+  std::uint64_t max_comm_bytes_step = 0;
+  std::uint64_t outbox_copied = 0;
+  std::uint64_t arena_peak = 0;
+  bool want_continue = false;
+
+  SimResult result;
+  result.group_size = layout.k;
+  std::vector<State> final_states(v);
+
+  const auto owner_of = [local_v](std::uint32_t vp) { return vp / local_v; };
+  const auto batch_of = [local_v, k](std::uint32_t vp) {
+    return (vp % local_v) / k;
+  };
+
+  obs::Recorder* const rec = cfg_.recorder;
+  auto& disks = *disks_;
+  try {
+    // Initial contexts for this rank's virtual processors.
+    {
+      ObsPhase phase(rec, "init", disks, &phase_io.init, me);
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        const std::uint32_t first = r * k;
+        const std::uint32_t count = std::min(k, local_v - first);
+        contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
+          make_state(me * local_v + ctx).serialize(w);
+        });
+      }
+    }
+    // Startup alignment: validates the mesh before the first superstep and
+    // keeps slow-starting peers from eating into round deadlines.
+    (void)tp_->exchange();
+
+    // Buffers reused across rounds and supersteps.
+    std::vector<std::vector<std::byte>> payloads;
+    std::vector<std::vector<bsp::Message>> inboxes;
+    std::vector<bsp::Message> outgoing;
+    std::vector<State> states;
+    const bool zero_copy = cfg_.zero_copy;
+    util::Arena inbox_arena;
+    std::vector<std::vector<bsp::MessageRef>> inbox_refs;
+    std::vector<bsp::MessageRef> outgoing_refs;
+    std::vector<bsp::Outbox> outboxes;
+
+    // post() keeps fragment spans alive until exchange() returns — the
+    // socket backend serializes them into the wire at pump time — but the
+    // spans this loop produces are transient (fetch callbacks, pack_blocks
+    // scratch, serialized records), so they are staged into owned buffers
+    // first and the stage is dropped after each exchange.  Growing the
+    // outer vector may move the inner vectors; their heap storage stays
+    // put, so spans posted earlier in the phase remain valid.
+    std::vector<std::vector<std::byte>> wire_stage;
+    const auto post_staged = [&](std::uint32_t dst,
+                                 std::span<const std::byte> bytes) {
+      wire_stage.emplace_back(bytes.begin(), bytes.end());
+      tp_->post(dst, std::span<const std::byte>(wire_stage.back()));
+    };
+
+    for (std::size_t step = 0;; ++step) {
+      if (step >= cfg_.max_supersteps) {
+        throw std::runtime_error("DistSimulator: superstep limit exceeded");
+      }
+      want_continue = false;
+      comm_bytes_this_step = 0;
+      bsp::SuperstepCost local_step_cost;
+
+      for (std::uint32_t round = 0; round < rounds; ++round) {
+        // --- Fetch: read local blocks of this batch, forward to owners.
+        {
+          ObsPhase phase(rec, "fetch_msg", disks, &phase_io.fetch_msg, me);
+          messages.fetch_group_blocks(
+              round, [&](std::span<const std::byte> block) {
+                if (is_dummy_block(block)) return;
+                util::Reader r(block.subspan(kBlockHeaderBytes));
+                r.read<std::uint32_t>();  // src
+                const auto dst = r.read<std::uint32_t>();
+                const auto owner = owner_of(dst);
+                // The fetch callback's span is only valid during the call,
+                // so it goes through the staging copy.
+                post_staged(owner, block);
+                if (owner != me) comm_bytes_this_step += block.size();
+              });
+        }
+        auto forward = tp_->exchange();
+        wire_stage.clear();
+
+        // --- Compute: reassemble inboxes, run the k virtual supersteps.
+        const std::uint32_t first = round * k;
+        const std::uint32_t count = std::min(k, local_v - first);
+        if (zero_copy) inbox_arena.reset();
+        Reassembler reasm(cfg_.gamma, zero_copy ? &inbox_arena : nullptr);
+        for (std::uint32_t src = 0; src < p; ++src) {
+          for (auto& block : forward[src]) {
+            reasm.absorb(block, round);
+          }
+        }
+        if (zero_copy) {
+          if (inbox_refs.size() < count) inbox_refs.resize(count);
+          for (std::uint32_t i = 0; i < count; ++i) inbox_refs[i].clear();
+          for (const auto& m : reasm.take_refs()) {
+            const std::uint32_t local = m.dst - me * local_v;
+            if (owner_of(m.dst) != me || local < first ||
+                local >= first + count) {
+              throw std::runtime_error(
+                  "DistSimulator: block forwarded to the wrong processor");
+            }
+            inbox_refs[local - first].push_back(m);
+          }
+        } else {
+          auto incoming = reasm.take();
+          if (inboxes.size() < count) inboxes.resize(count);
+          for (std::uint32_t i = 0; i < count; ++i) inboxes[i].clear();
+          for (auto& m : incoming) {
+            const std::uint32_t local = m.dst - me * local_v;
+            if (owner_of(m.dst) != me || local < first ||
+                local >= first + count) {
+              throw std::runtime_error(
+                  "DistSimulator: block forwarded to the wrong processor");
+            }
+            inboxes[local - first].push_back(std::move(m));
+          }
+        }
+
+        {
+          ObsPhase phase(rec, "fetch_ctx", disks, &phase_io.fetch_ctx, me);
+          contexts.read_into(first, count, payloads);
+        }
+
+        states.clear();
+        states.resize(count);
+        outboxes.clear();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          outboxes.emplace_back(me * local_v + first + i, v);
+        }
+        outgoing.clear();
+        outgoing_refs.clear();
+        bsp::SuperstepCost local_cost;
+        {
+          ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            util::Reader r(payloads[i]);
+            states[i].deserialize(r);
+            bsp::Inbox in = zero_copy ? bsp::Inbox(std::move(inbox_refs[i]))
+                                      : bsp::Inbox(std::move(inboxes[i]));
+            bsp::WorkMeter m;
+            bsp::ProcEnv env{me * local_v + first + i, v, &m};
+            const bool cont = prog.superstep(step, env, states[i], in,
+                                             outboxes[i]);
+            want_continue = want_continue || cont;
+            const std::uint64_t work = m.total();
+            local_cost.max_work = std::max(local_cost.max_work, work);
+            local_cost.total_work += work;
+            std::uint64_t sent_packets = 0;
+            std::uint64_t sent_wire = 0;
+            for (const auto& msg : outboxes[i].messages()) {
+              sent_packets +=
+                  bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+              sent_wire += bsp::wire_bytes(msg.size_bytes());
+            }
+            if (sent_wire > cfg_.gamma) {
+              throw std::runtime_error(
+                  "DistSimulator: processor exceeded the declared gamma");
+            }
+            std::uint64_t recv_packets = 0;
+            std::uint64_t recv_bytes = 0;
+            for (const auto& msg : in.all()) {
+              recv_packets +=
+                  bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
+              recv_bytes += msg.size_bytes();
+            }
+            local_cost.max_bytes_sent = std::max(local_cost.max_bytes_sent,
+                                                 outboxes[i].total_bytes());
+            local_cost.max_packets_sent =
+                std::max(local_cost.max_packets_sent, sent_packets);
+            local_cost.max_wire_sent =
+                std::max(local_cost.max_wire_sent, sent_wire);
+            local_cost.max_bytes_received =
+                std::max(local_cost.max_bytes_received, recv_bytes);
+            local_cost.max_packets_received =
+                std::max(local_cost.max_packets_received, recv_packets);
+            local_cost.total_bytes += outboxes[i].total_bytes();
+            local_cost.num_messages += outboxes[i].messages().size();
+            if (zero_copy) {
+              for (const auto& msg : outboxes[i].messages()) {
+                outgoing_refs.push_back(msg);
+              }
+              arena_peak = std::max<std::uint64_t>(
+                  arena_peak, outboxes[i].arena_high_water());
+            } else {
+              for (auto& msg : outboxes[i].take()) {
+                outgoing.push_back(std::move(msg));
+              }
+              outbox_copied += outboxes[i].bytes_copied();
+            }
+          }
+        }
+        arena_peak =
+            std::max<std::uint64_t>(arena_peak, inbox_arena.high_water());
+        merge_cost(local_step_cost, local_cost);
+
+        // Write contexts back.
+        {
+          ObsPhase phase(rec, "write_ctx", disks, &phase_io.write_ctx, me);
+          contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
+            states[ctx - first].serialize(w);
+          });
+        }
+
+        // --- Writing: pack per (owner, batch) and scatter randomly.  The
+        // packed block spans die when pack_blocks returns, so scatter
+        // posts go through the staging copy too.
+        {
+          std::vector<std::uint64_t> dest_keys;
+          std::vector<std::pair<std::uint64_t, std::size_t>> index;
+          const auto slot_of = [&](std::uint32_t dst) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(owner_of(dst)) << 32) |
+                batch_of(dst);
+            for (const auto& [kk, s] : index) {
+              if (kk == key) return s;
+            }
+            const std::size_t slot = index.size();
+            index.emplace_back(key, slot);
+            dest_keys.push_back(key);
+            return slot;
+          };
+          const auto scatter_block = [&](std::span<const std::byte> block) {
+            const auto target = static_cast<std::uint32_t>(
+                cfg_.routing == RoutingMode::deterministic
+                    ? (me + rr_scatter++) % p
+                    : rng.below(p));
+            post_staged(target, block);
+            if (target != me) comm_bytes_this_step += block.size();
+          };
+          if (zero_copy) {
+            std::vector<std::vector<bsp::MessageRef>> by_dest;
+            for (const auto& m : outgoing_refs) {
+              const std::size_t slot = slot_of(m.dst);
+              if (by_dest.size() <= slot) by_dest.resize(slot + 1);
+              by_dest[slot].push_back(m);
+            }
+            for (std::size_t s = 0; s < by_dest.size(); ++s) {
+              const auto batch =
+                  static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
+              pack_blocks(std::span<const bsp::MessageRef>(by_dest[s]), batch,
+                          disks.block_size(), scatter_block);
+            }
+          } else {
+            std::vector<std::vector<const bsp::Message*>> by_dest;
+            for (const auto& m : outgoing) {
+              const std::size_t slot = slot_of(m.dst);
+              if (by_dest.size() <= slot) by_dest.resize(slot + 1);
+              by_dest[slot].push_back(&m);
+            }
+            for (std::size_t s = 0; s < by_dest.size(); ++s) {
+              const auto batch =
+                  static_cast<std::uint32_t>(dest_keys[s] & 0xFFFFFFFFu);
+              pack_blocks(by_dest[s], batch, disks.block_size(),
+                          scatter_block);
+            }
+          }
+        }
+        auto scattered = tp_->exchange();
+        wire_stage.clear();
+
+        // --- Receive scattered blocks, write them to local buckets in
+        // source-rank order (the ParSimulator's mailbox sweep order — the
+        // write_block RNG draws must land on the same call indices).
+        {
+          ObsPhase phase(rec, "write_msg", disks, &phase_io.write_msg, me);
+          for (std::uint32_t src = 0; src < p; ++src) {
+            for (auto& block : scattered[src]) {
+              if (zero_copy) {
+                messages.write_block(std::move(block), rng);
+              } else {
+                messages.write_block(block, rng);
+              }
+            }
+          }
+        }
+      }
+
+      // --- Step 2: local SimulateRouting.
+      {
+        ObsPhase phase(rec, "reorganize", disks, &phase_io.reorganize, me);
+        messages.flush(rng);
+        routing += messages.reorganize(rng);
+      }
+      max_comm_bytes_step =
+          std::max(max_comm_bytes_step, comm_bytes_this_step);
+
+      // --- Superstep boundary: all-to-all control record.  Every rank
+      // computes the same reduction, so the cost log, the continue branch
+      // and the cancel branch stay in lockstep without a coordinator.
+      {
+        util::Writer w;
+        w.write<bsp::SuperstepCost>(local_step_cost);
+        w.write<std::uint8_t>(want_continue ? 1 : 0);
+        const bool cancel_sample =
+            me == 0 && cfg_.cancel != nullptr &&
+            cfg_.cancel->load(std::memory_order_relaxed);
+        w.write<std::uint8_t>(cancel_sample ? 1 : 0);
+        const auto record = w.take();
+        for (std::uint32_t q = 0; q < p; ++q) {
+          post_staged(q, record);
+        }
+      }
+      auto controls = tp_->exchange();
+      wire_stage.clear();
+      bsp::SuperstepCost step_cost;
+      bool any = false;
+      bool cancel_seen = false;
+      for (std::uint32_t src = 0; src < p; ++src) {
+        if (controls[src].size() != 1) {
+          throw net::PeerFailedError(
+              "DistSimulator: malformed control record from rank " +
+              std::to_string(src));
+        }
+        util::Reader r(controls[src][0]);
+        merge_cost(step_cost, r.read<bsp::SuperstepCost>());
+        any = any || r.read<std::uint8_t>() != 0;
+        const bool cancel = r.read<std::uint8_t>() != 0;
+        if (src == 0) cancel_seen = cancel;
+      }
+      result.costs.supersteps.push_back(step_cost);
+      if (cancel_seen && any) {
+        throw CanceledError("DistSimulator: canceled at superstep boundary " +
+                            std::to_string(step + 1));
+      }
+      if (!any) break;
+    }
+
+    // Collect this rank's final states, then allgather so every rank can
+    // hand the workload driver the complete output (drivers feed collected
+    // results into the next phase's input, and all ranks must stay in
+    // lockstep).
+    util::Writer local_out;
+    {
+      ObsPhase phase(rec, "collect", disks, &phase_io.collect, me);
+      for (std::uint32_t r = 0; r < rounds; ++r) {
+        const std::uint32_t first = r * k;
+        const std::uint32_t count = std::min(k, local_v - first);
+        contexts.read_into(first, count, payloads);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          local_out.write_vector(payloads[i]);
+        }
+      }
+    }
+    disks.sync();
+
+    {
+      const auto blob = local_out.take();
+      for (std::uint32_t q = 0; q < p; ++q) {
+        post_staged(q, blob);
+      }
+    }
+    auto gathered = tp_->exchange();
+    wire_stage.clear();
+    for (std::uint32_t src = 0; src < p; ++src) {
+      if (gathered[src].size() != 1) {
+        throw net::PeerFailedError(
+            "DistSimulator: malformed state record from rank " +
+            std::to_string(src));
+      }
+      util::Reader r(gathered[src][0]);
+      for (std::uint32_t j = 0; j < local_v; ++j) {
+        const auto bytes = r.read_vector<std::byte>();
+        util::Reader sr(bytes);
+        final_states[src * local_v + j].deserialize(sr);
+      }
+    }
+
+    // --- End-of-run record allgather: every rank assembles the SAME
+    // SimResult the threaded ParSimulator would have produced (max-over-
+    // processors I/O, summed routing stats, reduced overlap), so digests
+    // agree on every rank and with the single-process run.
+    disks.harvest_backend_stats();
+    {
+      util::Writer w;
+      w.write<em::IoStats>(disks.stats());
+      w.write<std::uint64_t>(disks.engine_stats().total_retries());
+      w.write<std::uint64_t>(disks.engine_stats().total_giveups());
+      const auto& eng = disks.engine_stats();
+      const std::uint64_t busy = eng.max_busy_ns();
+      double clamped = 0.0;
+      if (busy > 0) {
+        clamped = std::clamp(1.0 - static_cast<double>(eng.stall_ns) /
+                                       static_cast<double>(busy),
+                             0.0, 1.0);
+      }
+      w.write<std::uint8_t>(busy > 0 ? 1 : 0);
+      w.write<double>(clamped);
+      w.write<RoutingStats>(routing);
+      w.write<std::uint64_t>(max_comm_bytes_step);
+      w.write<std::uint64_t>(disks.max_tracks_used());
+      em::FaultCounts fc;
+      if (fault_counters_ != nullptr) fc = em::snapshot(*fault_counters_);
+      w.write<em::FaultCounts>(fc);
+      w.write<PhaseIo>(phase_io);
+      w.write<std::uint64_t>(messages.bytes_copied() + outbox_copied);
+      w.write<std::uint64_t>(arena_peak);
+      w.write<std::uint8_t>(messages.in_memory_routing() ? 1 : 0);
+      const auto record = w.take();
+      for (std::uint32_t q = 0; q < p; ++q) {
+        post_staged(q, record);
+      }
+    }
+    auto records = tp_->exchange();
+    wire_stage.clear();
+    std::uint64_t copied_total = 0;
+    std::uint64_t arena_peak_all = 0;
+    bool mem_routing = true;
+    for (std::uint32_t src = 0; src < p; ++src) {
+      if (records[src].size() != 1) {
+        throw net::PeerFailedError(
+            "DistSimulator: malformed end-of-run record from rank " +
+            std::to_string(src));
+      }
+      util::Reader r(records[src][0]);
+      const auto io = r.read<em::IoStats>();
+      result.per_proc_io.push_back(io);
+      if (io.parallel_ios >= result.total_io.parallel_ios) {
+        result.total_io = io;
+      }
+      result.recovery.io_retries += r.read<std::uint64_t>();
+      result.recovery.io_giveups += r.read<std::uint64_t>();
+      const bool has_busy = r.read<std::uint8_t>() != 0;
+      const double clamped = r.read<double>();
+      if (has_busy) {
+        result.overlap_ratio =
+            src == 0 ? clamped : std::min(result.overlap_ratio, clamped);
+      }
+      result.routing_stats += r.read<RoutingStats>();
+      result.real_comm_bytes =
+          std::max(result.real_comm_bytes, r.read<std::uint64_t>());
+      result.max_tracks_per_disk =
+          std::max(result.max_tracks_per_disk, r.read<std::uint64_t>());
+      result.recovery.faults += r.read<em::FaultCounts>();
+      const auto pio = r.read<PhaseIo>();
+      if (src == 0) result.phase_io = pio;
+      copied_total += r.read<std::uint64_t>();
+      arena_peak_all = std::max(arena_peak_all, r.read<std::uint64_t>());
+      mem_routing = mem_routing && r.read<std::uint8_t>() != 0;
+    }
+
+    if (rec != nullptr) {
+      auto& reg = rec->registry;
+      em::export_metrics(disks.engine_stats(), reg,
+                         "proc." + std::to_string(me) + ".engine.");
+      export_routing_stats(reg, result.routing_stats);
+      export_recovery_stats(reg, result.recovery);
+      reg.add("sim.supersteps", result.costs.num_supersteps());
+      reg.set_gauge("sim.group_size", static_cast<double>(result.group_size));
+      reg.set_gauge("sim.max_tracks_per_disk",
+                    static_cast<double>(result.max_tracks_per_disk));
+      reg.set_gauge("sim.real_comm_bytes",
+                    static_cast<double>(result.real_comm_bytes));
+      reg.set_gauge("sim.overlap_ratio", result.overlap_ratio);
+      reg.add("sim.bytes_copied", copied_total);
+      reg.set_gauge("sim.arena_bytes", static_cast<double>(arena_peak_all));
+      reg.set_gauge("sim.in_memory_routing", mem_routing ? 1.0 : 0.0);
+      tp_->export_metrics(reg);
+    }
+  } catch (const std::exception& e) {
+    // Settle in-flight tokens before unwinding past their staging buffers,
+    // then poison the mesh so peers fail fast instead of timing out.
+    disks.drain();
+    messages.abandon_inflight();
+    tp_->abort(e.what());
+    throw;
+  } catch (...) {
+    disks.drain();
+    messages.abandon_inflight();
+    tp_->abort("unknown error");
+    throw;
+  }
+
+  for (std::uint32_t vp = 0; vp < v; ++vp) collect(vp, final_states[vp]);
+  return result;
+}
+
+}  // namespace embsp::sim

@@ -1,0 +1,39 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace embsp::util {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  // from_chars already rejects '-' for unsigned types but accepts nothing
+  // else we need to pre-filter; an explicit '+' is rejected too, keeping
+  // the accepted grammar exactly [0-9]+.
+  if (s.front() == '+' || s.front() == '-') return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64_max(std::string_view s,
+                                           std::uint64_t max) {
+  const auto v = parse_u64(s);
+  if (!v || *v > max) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_f64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  // "nan" and "inf" parse successfully but are never meaningful flag
+  // values; worse, NaN slips through range checks written as
+  // `x < lo || x > hi` (both comparisons are false).
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace embsp::util

@@ -1,0 +1,29 @@
+// Strict numeric parsing for command-line values.
+//
+// std::stoul-family parsing has two failure modes that make bad CLI input
+// dangerous: it throws (an uncaught std::invalid_argument aborts the
+// process with a stack trace instead of a usage message), and it silently
+// accepts trailing garbage ("10x" parses as 10).  These helpers consume
+// the ENTIRE string or return nullopt, and never throw — the caller turns
+// nullopt into a diagnostic naming the flag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace embsp::util {
+
+/// Base-10 unsigned parse of the whole string; nullopt on empty input,
+/// sign characters, non-digits, trailing garbage, or overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Like parse_u64 but additionally rejects values above `max`.
+std::optional<std::uint64_t> parse_u64_max(std::string_view s,
+                                           std::uint64_t max);
+
+/// Finite decimal parse of the whole string; nullopt on empty input,
+/// trailing garbage, nan/inf, or out-of-range magnitudes.
+std::optional<double> parse_f64(std::string_view s);
+
+}  // namespace embsp::util

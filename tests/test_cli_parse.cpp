@@ -1,0 +1,82 @@
+// Strict CLI numeric parsing (util/parse.hpp): the helpers behind the
+// embsp_cli flag parser.  The CLI-level behavior (diagnostic + exit 2) is
+// covered end to end by the cli.badflag ctest entries; these tests pin the
+// accepted grammar.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "em/io_error.hpp"
+#include "util/parse.hpp"
+
+namespace embsp::util {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsNonNumbers) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("foo"));
+  EXPECT_FALSE(parse_u64(" 7"));
+  EXPECT_FALSE(parse_u64("7 "));
+}
+
+TEST(ParseU64, RejectsTrailingGarbage) {
+  // std::stoul would happily return 10 for all of these.
+  EXPECT_FALSE(parse_u64("10x"));
+  EXPECT_FALSE(parse_u64("10.5"));
+  EXPECT_FALSE(parse_u64("10e3"));
+  EXPECT_FALSE(parse_u64("10,000"));
+}
+
+TEST(ParseU64, RejectsSignsAndOverflow) {
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64
+  EXPECT_FALSE(parse_u64("99999999999999999999999"));
+}
+
+TEST(ParseU64, RejectsHexAndRadixPrefixes) {
+  EXPECT_FALSE(parse_u64("0x10"));
+  EXPECT_FALSE(parse_u64("0b101"));
+}
+
+TEST(ParseU64Max, EnforcesTheCeiling) {
+  EXPECT_EQ(parse_u64_max("4294967295", UINT32_MAX), 4294967295u);
+  EXPECT_FALSE(parse_u64_max("4294967296", UINT32_MAX));
+}
+
+TEST(ParseF64, AcceptsDecimalsAndExponents) {
+  EXPECT_EQ(parse_f64("0"), 0.0);
+  EXPECT_EQ(parse_f64("0.002"), 0.002);
+  EXPECT_EQ(parse_f64("1e-3"), 1e-3);
+  EXPECT_EQ(parse_f64("-2.5"), -2.5);
+}
+
+TEST(ParseF64, RejectsGarbageAndNonFinite) {
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64("rate"));
+  EXPECT_FALSE(parse_f64("0.5x"));
+  // NaN slips through `x < lo || x > hi` range checks (both false), so the
+  // parser must refuse it outright; infinities are equally meaningless as
+  // flag values.
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("-inf"));
+  EXPECT_FALSE(parse_f64("1e999"));
+}
+
+// EINTR is a signal interrupting the syscall, not a device error: it must
+// classify as transient (retried by RetryPolicy) rather than persistent
+// (immediate give-up).  Regression companion to the signal-storm test in
+// test_em.cpp.
+TEST(ClassifyErrno, EintrIsTransient) {
+  EXPECT_EQ(em::classify_errno(EINTR), em::IoError::Kind::transient);
+}
+
+}  // namespace
+}  // namespace embsp::util

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
+#include <sys/time.h>
 
+#include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <span>
 #include <numeric>
 
+#include "em/backend.hpp"
 #include "em/disk_array.hpp"
 #include "em/linked_buckets.hpp"
 #include "em/striped_region.hpp"
@@ -307,6 +311,73 @@ TEST(LinkedBuckets, TracksRecycledAfterDrain) {
   // Space is reused: the high-water mark stays near one cycle's worth.
   EXPECT_LE(alloc[0].high_water(), 4u);
   EXPECT_LE(alloc[1].high_water(), 4u);
+}
+
+
+// --- EINTR under a signal storm ---------------------------------------------
+// Regression: a timer signal delivered mid-transfer (handler installed
+// WITHOUT SA_RESTART, so every blocking syscall can return EINTR) must
+// never surface as an IoError or corrupt data — the pread/pwrite/preadv/
+// pwritev loops retry EINTR inline, open() and fdatasync() retry it too.
+
+volatile sig_atomic_t g_storm_ticks = 0;
+
+extern "C" void storm_tick(int) { ++g_storm_ticks; }
+
+TEST(FileBackend, SurvivesSignalStorm) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "embsp_test_eintr.bin")
+          .string();
+
+  struct sigaction sa{};
+  sa.sa_handler = storm_tick;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately NOT SA_RESTART
+  struct sigaction old_sa{};
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_sa), 0);
+
+  itimerval storm{};
+  storm.it_interval.tv_usec = 200;  // 5 kHz
+  storm.it_value.tv_usec = 200;
+  itimerval old_timer{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, &old_timer), 0);
+
+  constexpr std::size_t kBlock = 1 << 16;
+  {
+    // O_DSYNC writes block on the device flush — the widest EINTR window
+    // the backend has.
+    auto be = make_file_backend(path, /*keep=*/false, /*sync_writes=*/true);
+    std::vector<std::byte> block(kBlock);
+    std::vector<std::byte> out(kBlock);
+    for (int round = 0; round < 200; ++round) {
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        block[i] = static_cast<std::byte>(
+            static_cast<std::uint8_t>(round * 31 + i));
+      }
+      const std::uint64_t off = (round % 16) * kBlock;
+      ASSERT_NO_THROW(be->write(off, block)) << "round " << round;
+      ASSERT_NO_THROW(be->read(off, out)) << "round " << round;
+      ASSERT_EQ(std::memcmp(out.data(), block.data(), kBlock), 0)
+          << "round " << round;
+      // Vectored paths: two fragments per call.
+      const std::span<const std::byte> wfrags[2] = {
+          std::span<const std::byte>(block).first(kBlock / 2),
+          std::span<const std::byte>(block).last(kBlock / 2)};
+      ASSERT_NO_THROW(be->write_vec(off + 16 * kBlock, wfrags));
+      std::vector<std::byte> lo(kBlock / 2), hi(kBlock / 2);
+      const std::span<std::byte> rfrags[2] = {lo, hi};
+      ASSERT_NO_THROW(be->read_vec(off + 16 * kBlock, rfrags));
+      ASSERT_EQ(std::memcmp(lo.data(), block.data(), kBlock / 2), 0);
+      ASSERT_EQ(std::memcmp(hi.data(), block.data() + kBlock / 2, kBlock / 2),
+                0);
+      if (round % 32 == 0) ASSERT_NO_THROW(be->flush());
+    }
+  }
+
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &old_timer, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old_sa, nullptr), 0);
+  // The storm must actually have fired for the test to mean anything.
+  EXPECT_GT(g_storm_ticks, 0);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "obs/trace_events.hpp"
 #include "sim/seq_simulator.hpp"
 #include "test_programs.hpp"
+#include "util/rng.hpp"
 #include "util/serialization.hpp"
 
 namespace embsp {
@@ -93,15 +94,66 @@ class JsonChecker {
     }
   }
 
+  // Full RFC 8259 string validation: raw control characters are illegal,
+  // escapes are limited to the eight short forms plus \uXXXX, and the
+  // bytes between escapes must be well-formed UTF-8 (no truncated or
+  // overlong sequences, surrogates, or code points past U+10FFFF).  Strict
+  // parsers enforce all of this, so the checker must too — the writer's
+  // escaping bugs hid behind a lenient scanner here.
   bool string() {
     if (peek() != '"') return false;
     ++pos_;
     while (pos_ < s_.size() && s_[pos_] != '"') {
+      const auto u = static_cast<unsigned char>(s_[pos_]);
+      if (u < 0x20) return false;  // must have been escaped
       if (s_[pos_] == '\\') {
         ++pos_;
         if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (pos_ + k >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_ + k])) == 0) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+        ++pos_;
+        continue;
       }
-      ++pos_;
+      if (u < 0x80) {
+        ++pos_;
+        continue;
+      }
+      std::size_t len;
+      std::uint32_t cp;
+      if ((u & 0xE0) == 0xC0) {
+        len = 2;
+        cp = u & 0x1Fu;
+      } else if ((u & 0xF0) == 0xE0) {
+        len = 3;
+        cp = u & 0x0Fu;
+      } else if ((u & 0xF8) == 0xF0) {
+        len = 4;
+        cp = u & 0x07u;
+      } else {
+        return false;  // stray continuation byte or 0xF8-0xFF lead
+      }
+      if (pos_ + len > s_.size()) return false;
+      for (std::size_t k = 1; k < len; ++k) {
+        const auto b = static_cast<unsigned char>(s_[pos_ + k]);
+        if ((b & 0xC0) != 0x80) return false;
+        cp = (cp << 6) | (b & 0x3Fu);
+      }
+      static constexpr std::uint32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+      if (cp < kMin[len]) return false;                 // overlong
+      if (cp >= 0xD800 && cp <= 0xDFFF) return false;   // surrogate
+      if (cp > 0x10FFFF) return false;                  // out of range
+      pos_ += len;
     }
     if (pos_ >= s_.size()) return false;
     ++pos_;  // closing quote
@@ -359,6 +411,90 @@ TEST(JsonWriter, EscapesAndNesting) {
   EXPECT_NE(json.find("\\t"), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_NE(json.find("18446744073709551615"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesEveryControlCharacterAndDel) {
+  // RFC 8259 outlaws raw control characters in strings; DEL must not pass
+  // through raw either (it is invisible in a terminal and confuses naive
+  // log pipelines even though the spec tolerates it).
+  for (int c = 0; c < 0x20; ++c) {
+    std::ostringstream out;
+    obs::JsonWriter w(out, -1);
+    w.value(std::string(1, static_cast<char>(c)));
+    const std::string json = out.str();
+    EXPECT_TRUE(json_valid(json)) << "control char " << c << ": " << json;
+    EXPECT_EQ(json.find(static_cast<char>(c)), std::string::npos)
+        << "raw control byte " << c << " leaked into " << json;
+  }
+  std::ostringstream out;
+  obs::JsonWriter w(out, -1);
+  w.value("x\x7fy");
+  EXPECT_EQ(out.str(), "\"x\\u007fy\"");
+}
+
+TEST(JsonWriter, InvalidUtf8BecomesReplacementCharacter) {
+  const struct {
+    const char* label;
+    std::string input;
+  } cases[] = {
+      {"stray continuation", "a\x80z"},
+      {"truncated 2-byte", "a\xC3"},
+      {"truncated 3-byte", "a\xE2\x82"},
+      {"overlong slash", "a\xC0\xAFz"},
+      {"surrogate half", "a\xED\xA0\x80z"},
+      {"beyond U+10FFFF", "a\xF4\x90\x80\x80z"},
+      {"fe-ff bytes", "a\xFE\xFFz"},
+  };
+  for (const auto& c : cases) {
+    std::ostringstream out;
+    obs::JsonWriter w(out, -1);
+    w.value(c.input);
+    EXPECT_TRUE(json_valid(out.str()))
+        << c.label << " emitted unparseable JSON: " << out.str();
+    EXPECT_NE(out.str().find("\xEF\xBF\xBD"), std::string::npos) << c.label;
+  }
+  // Well-formed multibyte text passes through byte-identical.
+  std::ostringstream out;
+  obs::JsonWriter w(out, -1);
+  w.value("caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x9A\x80");
+  EXPECT_EQ(out.str(), "\"caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x9A\x80\"");
+}
+
+TEST(JsonWriter, FuzzedByteStringsAlwaysParse) {
+  // Random byte soup as both key and value — whatever label a caller
+  // concocts, the document must stay parseable by a strict JSON parser.
+  util::Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string s;
+    const std::size_t n = rng.below(24);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.below(5)) {
+        case 0:  // arbitrary byte, including invalid UTF-8 leads
+          s += static_cast<char>(rng.below(256));
+          break;
+        case 1:  // control characters
+          s += static_cast<char>(rng.below(0x20));
+          break;
+        case 2:  // bytes that need escaping
+          s += (rng.below(2) != 0) ? '"' : '\\';
+          break;
+        case 3:  // a valid multibyte sequence, sometimes truncated
+          s += (rng.below(3) != 0) ? "\xE2\x82\xAC" : "\xE2\x82";
+          break;
+        default:  // plain ASCII
+          s += static_cast<char>('a' + rng.below(26));
+      }
+    }
+    std::ostringstream out;
+    obs::JsonWriter w(out, -1);
+    w.begin_object();
+    w.key(s);
+    w.value(s);
+    w.end_object();
+    ASSERT_TRUE(w.balanced());
+    ASSERT_TRUE(json_valid(out.str()))
+        << "trial " << trial << " produced unparseable JSON: " << out.str();
+  }
 }
 
 // --- TraceWriter ------------------------------------------------------------

@@ -74,22 +74,45 @@
 //                      outputs and model costs — two runs agree iff their
 //                      results and costs agree (the resume-equivalence
 //                      check the crash-restart harness scripts against)
+//     --transport <t>  loopback | socket — run the distributed simulator
+//                      (Algorithm 3 over the net/ transport tier) instead
+//                      of the shared-memory executors.  loopback drives p
+//                      in-process endpoints (byte-identical to the
+//                      threaded simulator); socket runs p real processes
+//                      over unix-domain or TCP sockets.
+//     --workers <p>    worker count for --transport (overrides --p)
+//     --listen <addr>  with --transport socket: mesh address — a
+//                      unix-socket path prefix, or host:port for TCP
+//                      (rank r binds <prefix>.r / port+r).  The
+//                      coordinator forks the workers itself; default is a
+//                      fresh prefix under the system temp directory.
+//     --connect <addr> --rank <r>
+//                      join an externally launched mesh at <addr> as rank
+//                      r instead of forking workers (one process per rank,
+//                      e.g. one per machine); rank 0 prints the report
 //
 // SIGINT/SIGTERM request graceful shutdown: the run stops at the next
 // superstep boundary, publishes a final checkpoint when --checkpoint is
 // active, writes any requested --metrics/--trace-events snapshots, and
 // exits 130.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <type_traits>
 #include <set>
 #include <span>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "embsp/embsp.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -127,6 +150,13 @@ struct Options {
   std::size_t checkpoint_every = 1;
   bool resume = false;
   bool digest = false;
+  std::string transport;  // "", "loopback", "socket"
+  std::string listen;
+  std::string connect;
+  std::uint32_t rank = 0;
+  bool rank_set = false;
+  /// Internal: set on worker ranks > 0 so only rank 0 reports/digests.
+  bool quiet = false;
 };
 
 int usage() {
@@ -142,9 +172,31 @@ int usage() {
          "             [--disk-dir DIR]\n"
          "             [--checkpoint DIR] [--checkpoint-every N]\n"
          "             [--resume DIR] [--digest]\n"
+         "             [--transport loopback|socket] [--workers P]\n"
+         "             [--listen ADDR | --connect ADDR --rank R]\n"
          "workloads: sort permute transpose maxima dominance closest hull\n"
          "           envelope listrank euler cc lca\n";
   return 2;
+}
+
+/// Prints the diagnostic the checked parsers feed; always returns false so
+/// `parse` call sites read `return bad_value(...)`.
+bool bad_value(const std::string& flag, const std::string& val,
+               const char* expected) {
+  std::cerr << "embsp: invalid value '" << val << "' for " << flag
+            << " (expected " << expected << ")\n";
+  return false;
+}
+
+bool parse_uint_flag(const std::string& flag, const std::string& val,
+                     std::uint64_t max, std::uint64_t& out) {
+  const auto parsed = util::parse_u64_max(val, max);
+  if (!parsed) {
+    return bad_value(flag, val,
+                     ("an unsigned integer <= " + std::to_string(max)).c_str());
+  }
+  out = *parsed;
+  return true;
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -178,25 +230,45 @@ bool parse(int argc, char** argv, Options& opt) {
       ++i;
       continue;
     }
-    if (i + 1 >= argc) return false;
+    if (i + 1 >= argc) {
+      std::cerr << "embsp: " << flag << " requires a value\n";
+      return false;
+    }
     const std::string val = argv[i + 1];
     i += 2;
+    // Checked numeric parsing: a malformed value ("foo", "10x", "-1")
+    // prints a diagnostic naming the flag and exits with the usage status,
+    // instead of std::stoul aborting the process on an uncaught exception
+    // or silently swallowing trailing garbage.
+    std::uint64_t num = 0;
     if (flag == "--n") {
-      opt.n = std::stoull(val);
+      if (!parse_uint_flag(flag, val, UINT64_MAX, num)) return false;
+      opt.n = num;
     } else if (flag == "--v") {
-      opt.v = static_cast<std::uint32_t>(std::stoul(val));
-    } else if (flag == "--p") {
-      opt.p = static_cast<std::uint32_t>(std::stoul(val));
+      if (!parse_uint_flag(flag, val, UINT32_MAX, num)) return false;
+      opt.v = static_cast<std::uint32_t>(num);
+    } else if (flag == "--p" || flag == "--workers") {
+      if (!parse_uint_flag(flag, val, UINT32_MAX, num)) return false;
+      opt.p = static_cast<std::uint32_t>(num);
     } else if (flag == "--D") {
-      opt.D = std::stoul(val);
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      opt.D = num;
     } else if (flag == "--B") {
-      opt.B = std::stoul(val);
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      opt.B = num;
     } else if (flag == "--M") {
-      opt.M = std::stoul(val);
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      opt.M = num;
     } else if (flag == "--k") {
-      opt.k = std::stoul(val);
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      opt.k = num;
     } else if (flag == "--seed") {
-      opt.seed = std::stoull(val);
+      if (!parse_uint_flag(flag, val, UINT64_MAX, num)) return false;
+      opt.seed = num;
+    } else if (flag == "--rank") {
+      if (!parse_uint_flag(flag, val, UINT32_MAX, num)) return false;
+      opt.rank = static_cast<std::uint32_t>(num);
+      opt.rank_set = true;
     } else if (flag == "--csv") {
       opt.csv = val;
     } else if (flag == "--metrics") {
@@ -204,24 +276,40 @@ bool parse(int argc, char** argv, Options& opt) {
     } else if (flag == "--trace-events") {
       opt.trace = val;
     } else if (flag == "--faults") {
-      opt.faults = std::stod(val);
-      if (opt.faults < 0.0 || opt.faults >= 1.0) return false;
+      const auto rate = util::parse_f64(val);
+      if (!rate || *rate < 0.0 || *rate >= 1.0) {
+        return bad_value(flag, val, "a rate in [0, 1)");
+      }
+      opt.faults = *rate;
     } else if (flag == "--compute-threads") {
-      opt.compute_threads = std::stoul(val);
-      if (opt.compute_threads == 0) return false;
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      if (num == 0) return bad_value(flag, val, "a positive thread count");
+      opt.compute_threads = num;
     } else if (flag == "--io-engine") {
-      if (val != "serial" && val != "parallel" && val != "uring") return false;
+      if (val != "serial" && val != "parallel" && val != "uring") {
+        return bad_value(flag, val, "serial, parallel or uring");
+      }
       opt.io_engine = val;
     } else if (flag == "--disk-dir") {
       opt.disk_dir = val;
     } else if (flag == "--checkpoint") {
       opt.checkpoint_dir = val;
     } else if (flag == "--checkpoint-every") {
-      opt.checkpoint_every = std::stoul(val);
-      if (opt.checkpoint_every == 0) return false;
+      if (!parse_uint_flag(flag, val, SIZE_MAX, num)) return false;
+      if (num == 0) return bad_value(flag, val, "a positive interval");
+      opt.checkpoint_every = num;
     } else if (flag == "--resume") {
       opt.checkpoint_dir = val;
       opt.resume = true;
+    } else if (flag == "--transport") {
+      if (val != "loopback" && val != "socket") {
+        return bad_value(flag, val, "loopback or socket");
+      }
+      opt.transport = val;
+    } else if (flag == "--listen") {
+      opt.listen = val;
+    } else if (flag == "--connect") {
+      opt.connect = val;
     } else if (flag == "--mode" || flag == "--routing") {
       if (val == "compact") {
         opt.mode = sim::RoutingMode::compact;
@@ -232,9 +320,49 @@ bool parse(int argc, char** argv, Options& opt) {
       } else if (val == "auto" || val == "automatic") {
         opt.mode = sim::RoutingMode::automatic;
       } else {
-        return false;
+        return bad_value(flag, val, "compact, padded, deterministic or auto");
       }
     } else {
+      std::cerr << "embsp: unknown flag " << flag << "\n";
+      return false;
+    }
+  }
+  if (opt.transport.empty()) {
+    if (!opt.listen.empty() || !opt.connect.empty() || opt.rank_set) {
+      std::cerr << "embsp: --listen/--connect/--rank require "
+                   "--transport socket\n";
+      return false;
+    }
+  } else {
+    if (opt.transport == "loopback" &&
+        (!opt.listen.empty() || !opt.connect.empty())) {
+      std::cerr << "embsp: --listen/--connect only apply to "
+                   "--transport socket\n";
+      return false;
+    }
+    if (!opt.connect.empty() && !opt.listen.empty()) {
+      std::cerr << "embsp: --listen and --connect are mutually exclusive\n";
+      return false;
+    }
+    if (!opt.connect.empty() && !opt.rank_set) {
+      std::cerr << "embsp: --connect requires --rank\n";
+      return false;
+    }
+    if (opt.rank_set && opt.rank >= opt.p) {
+      std::cerr << "embsp: --rank " << opt.rank
+                << " out of range for --workers " << opt.p << "\n";
+      return false;
+    }
+    // Features whose protocols assume shared memory; DistSimulator rejects
+    // them too, but catching the combination here gives a usage-level
+    // message instead of a runtime error.
+    if (opt.pipeline) {
+      std::cerr << "embsp: --pipeline is not supported with --transport\n";
+      return false;
+    }
+    if (!opt.checkpoint_dir.empty()) {
+      std::cerr << "embsp: --checkpoint/--resume are not supported with "
+                   "--transport\n";
       return false;
     }
   }
@@ -290,6 +418,10 @@ void print_digest() {
 
 void report(const Options& opt, const cgm::ExecResult& exec,
             const std::string& note) {
+  // Worker ranks of a distributed run compute everything (the collect
+  // phase is an allgather, so every rank holds the full result) but only
+  // rank 0 speaks.
+  if (opt.quiet) return;
   util::Table table({"metric", "value"});
   table.add_row({"workload", opt.workload});
   table.add_row({"machine", "p=" + std::to_string(opt.p) +
@@ -347,6 +479,138 @@ void report(const Options& opt, const cgm::ExecResult& exec,
   }
 }
 
+/// Options for worker ranks > 0: same simulation inputs, no output.  The
+/// digest is rank 0's job (fold order must match a single-process run, and
+/// g_digest is file-scope state — loopback worker threads must not touch
+/// it concurrently).
+Options worker_options(const Options& opt) {
+  Options o = opt;
+  o.quiet = true;
+  o.digest = false;
+  o.csv.clear();
+  o.metrics.clear();
+  o.trace.clear();
+  return o;
+}
+
+template <typename Fn>
+int run_transport_rank(const Options& o, sim::SimConfig cfg,
+                       net::Transport& tp, Fn& fn) {
+  if (o.quiet) cfg.recorder = nullptr;  // rank 0 owns the metrics snapshot
+  cgm::DistEmExec exec(cfg, tp);
+  return fn(exec, o);
+}
+
+template <typename Fn>
+int run_loopback(const Options& opt, const sim::SimConfig& cfg, Fn& fn) {
+  const std::uint32_t p = opt.p;
+  auto eps = net::make_loopback_group(p);
+  std::vector<int> rc(p, 0);
+  std::vector<std::exception_ptr> errors(p);
+  std::vector<std::thread> threads;
+  for (std::uint32_t r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rc[r] = run_transport_rank(r == 0 ? opt : worker_options(opt), cfg,
+                                   *eps[r], fn);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The rank that failed first aborted the group and its peers unwound
+  // with PeerFailedError; surface the root cause, not the echo.
+  std::exception_ptr root, echo;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const net::PeerFailedError&) {
+      if (!echo) echo = e;
+    } catch (...) {
+      if (!root) root = e;
+    }
+  }
+  if (root) std::rethrow_exception(root);
+  if (echo) std::rethrow_exception(echo);
+  int worst = 0;
+  for (const int r : rc) worst = std::max(worst, r);
+  return worst;
+}
+
+template <typename Fn>
+int run_socket(const Options& opt, const sim::SimConfig& cfg, Fn& fn) {
+  net::SocketConfig scfg;
+  scfg.peers = opt.p;
+  if (!opt.connect.empty()) {
+    // Externally launched mesh: this process is exactly one rank.
+    scfg.address = opt.connect;
+    scfg.rank = opt.rank;
+    auto tp = net::make_socket_transport(scfg);
+    return run_transport_rank(opt.rank == 0 ? opt : worker_options(opt), cfg,
+                              *tp, fn);
+  }
+  // Coordinator mode: fork ranks 1..p-1, run rank 0 here.  Forking happens
+  // before any transport (or thread) exists; children inherit only the
+  // parsed options and flushed stdio.
+  const std::string addr =
+      !opt.listen.empty()
+          ? opt.listen
+          : (std::filesystem::temp_directory_path() /
+             ("embsp_mesh_" + std::to_string(::getpid())))
+                .string();
+  std::cout.flush();
+  std::cerr.flush();
+  std::vector<pid_t> kids;
+  for (std::uint32_t r = 1; r < opt.p; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      for (const pid_t k : kids) ::kill(k, SIGTERM);
+      throw std::runtime_error(std::string("fork failed: ") +
+                               std::strerror(err));
+    }
+    if (pid == 0) {
+      int rc = 1;
+      try {
+        scfg.address = addr;
+        scfg.rank = r;
+        auto tp = net::make_socket_transport(scfg);
+        rc = run_transport_rank(worker_options(opt), cfg, *tp, fn);
+      } catch (const sim::CanceledError&) {
+        rc = 130;
+      } catch (const std::exception& e) {
+        std::cerr << "embsp worker " << r << ": " << e.what() << "\n";
+        rc = 1;
+      }
+      std::_Exit(rc);  // never unwind into the parent's stack/state
+    }
+    kids.push_back(pid);
+  }
+  int rc0 = 0;
+  std::exception_ptr err;
+  try {
+    scfg.address = addr;
+    scfg.rank = 0;
+    auto tp = net::make_socket_transport(scfg);
+    rc0 = run_transport_rank(opt, cfg, *tp, fn);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // Reap the workers before surfacing rank 0's outcome: a failed worker
+  // turns into a nonzero exit, never a zombie.
+  int worst = rc0;
+  for (const pid_t k : kids) {
+    int status = 0;
+    while (::waitpid(k, &status, 0) < 0 && errno == EINTR) {
+    }
+    worst = std::max(worst, WIFEXITED(status) ? WEXITSTATUS(status) : 1);
+  }
+  if (err) std::rethrow_exception(err);
+  return worst;
+}
+
 template <typename Fn>
 int run_workload(const Options& opt, Fn fn) {
   sim::SimConfig cfg;
@@ -386,6 +650,11 @@ int run_workload(const Options& opt, Fn fn) {
     // the last committed epoch together (coordinated recovery).
     cfg.superstep_recovery = true;
   }
+  if (!opt.transport.empty()) {
+    // DistSimulator has no coordinated rollback protocol yet; transient
+    // injected faults are absorbed by per-transfer retry/backoff instead.
+    cfg.superstep_recovery = false;
+  }
   cfg.checkpoint.dir = opt.checkpoint_dir;
   cfg.checkpoint.every = opt.checkpoint_every;
   cfg.checkpoint.resume = opt.resume;
@@ -413,12 +682,16 @@ int run_workload(const Options& opt, Fn fn) {
   };
   int rc;
   try {
-    if (opt.p == 1) {
+    if (opt.transport == "loopback") {
+      rc = run_loopback(opt, cfg, fn);
+    } else if (opt.transport == "socket") {
+      rc = run_socket(opt, cfg, fn);
+    } else if (opt.p == 1) {
       cgm::SeqEmExec exec(cfg);
-      rc = fn(exec);
+      rc = fn(exec, opt);
     } else {
       cgm::ParEmExec exec(cfg);
-      rc = fn(exec);
+      rc = fn(exec, opt);
     }
   } catch (const sim::CanceledError& e) {
     std::cerr << "canceled: " << e.what() << "\n";
@@ -443,7 +716,10 @@ int main(int argc, char** argv) {
   em::install_crash_hook_from_env();  // EMBSP_CRASH_AFTER_MS soak harness
 
   try {
-    return run_workload(opt, [&](auto& exec) -> int {
+    // The parameter shadows the parsed options on purpose: distributed
+    // runs invoke this body once per rank with that rank's (possibly
+    // quieted) options.
+    return run_workload(opt, [&](auto& exec, const Options& opt) -> int {
       if (opt.workload == "sort") {
         auto keys = util::random_keys(opt.n, opt.seed);
         auto out = cgm::cgm_sort<std::uint64_t, KeyLess>(exec, keys, opt.v);
