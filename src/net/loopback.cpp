@@ -10,6 +10,7 @@
 // is replaced only when ALL ranks have arrived at the NEXT exchange — which
 // happens-after every rank moved its row out.  No rank can still be
 // touching the previous delivery when it is overwritten.
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -65,9 +66,14 @@ class LoopbackTransport final : public Transport {
       off += f.size();
     }
     if (dst != rank_) {
-      links_[dst].bytes_sent += total;
-      links_[dst].frames_sent += 1;
-      links_[dst].send_bytes.record(total);
+      auto& l = links_[dst];
+      l.bytes_sent += total;
+      l.frames_sent += 1;
+      l.send_bytes.record(total);
+      // The copy above IS the transmission: the bytes sit in the shared
+      // staging table until the barrier swaps them over.
+      l.inflight_bytes += total;
+      l.max_inflight_bytes = std::max(l.max_inflight_bytes, l.inflight_bytes);
     }
     std::lock_guard<std::mutex> lock(group_->m);
     group_->staging[rank_][dst].push_back(std::move(blob));
@@ -117,6 +123,7 @@ class LoopbackTransport final : public Transport {
         links_[src].frames_received += 1;
       }
     }
+    for (auto& l : links_) l.inflight_bytes = 0;  // staging was delivered
     ++exchanges_;
     exchange_wait_ns_.record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -139,7 +146,13 @@ class LoopbackTransport final : public Transport {
   }
 
   void export_metrics(obs::Registry& reg) const override {
-    export_link_metrics(reg, links_, rank_, exchanges_, exchange_wait_ns_);
+    // post() performs the entire transmission before the barrier, so every
+    // wire byte was drained outside complete(): full overlap whenever this
+    // endpoint sent anything at all.
+    std::uint64_t sent = 0;
+    for (const auto& l : links_) sent += l.bytes_sent;
+    export_link_metrics(reg, links_, rank_, exchanges_, exchange_wait_ns_,
+                        sent > 0 ? 1.0 : 0.0);
   }
 
  private:

@@ -175,6 +175,48 @@ class SocketTransport final : public Transport {
     links_[dst].bytes_sent += kFrameHeaderBytes + total;
     links_[dst].frames_sent += 1;
     links_[dst].send_bytes.record(total);
+    track_inflight(dst, kFrameHeaderBytes + total);
+  }
+
+  void progress() override {
+    // One non-blocking pump pass: drain whatever the kernel will take,
+    // buffer whatever peers have delivered, return.  poll(0) never sleeps
+    // and a zero result is simply "nothing movable right now" — the io
+    // deadline belongs to exchange(), not here.  Bytes drained from this
+    // path are the overlap the caller bought by interleaving progress()
+    // with its compute/disk work.
+    progressing_ = true;
+    struct Reset {
+      bool& flag;
+      ~Reset() { flag = false; }
+    } reset{progressing_};
+    pfds_.clear();
+    pfd_rank_.clear();
+    for (std::uint32_t q = 0; q < p_; ++q) {
+      if (q == rank_) continue;
+      Peer& peer = peers_[q];
+      if (peer.fd < 0) continue;
+      short events = POLLIN;  // early next-phase bytes are parsed and kept
+      if (peer.iov_idx < peer.iov.size()) events |= POLLOUT;
+      pfds_.push_back({peer.fd, events, 0});
+      pfd_rank_.push_back(q);
+    }
+    if (pfds_.empty()) return;
+    const int n = ::poll(pfds_.data(), pfds_.size(), 0);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw_errno("net: poll", errno);
+    }
+    if (n == 0) return;
+    for (std::size_t i = 0; i < pfds_.size(); ++i) {
+      const std::uint32_t q = pfd_rank_[i];
+      if (pfds_[i].revents == 0) continue;
+      if (pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        read_some(q);
+        parse_frames(q);
+      }
+      if (pfds_[i].revents & POLLOUT) write_some(q);
+    }
   }
 
   std::vector<std::vector<Blob>> exchange() override {
@@ -190,6 +232,7 @@ class SocketTransport final : public Transport {
       h.checksum = util::checksum64({});
       queue_frame(peers_[q], h, {});
       links_[q].bytes_sent += kFrameHeaderBytes;
+      track_inflight(q, kFrameHeaderBytes);
       // A fast peer may already have delivered next-phase bytes; frames
       // buffered past the previous END are parsed now.
       parse_frames(q);
@@ -208,6 +251,7 @@ class SocketTransport final : public Transport {
       peers_[q].iov.clear();
       peers_[q].iov_idx = 0;
       peers_[q].headers.clear();
+      links_[q].inflight_bytes = 0;  // everything queued has drained
     }
     ++exchanges_;
     exchange_wait_ns_.record(static_cast<std::uint64_t>(
@@ -240,7 +284,13 @@ class SocketTransport final : public Transport {
   }
 
   void export_metrics(obs::Registry& reg) const override {
-    export_link_metrics(reg, links_, rank_, exchanges_, exchange_wait_ns_);
+    const double ratio =
+        total_drained_bytes_ > 0
+            ? static_cast<double>(progressed_drained_bytes_) /
+                  static_cast<double>(total_drained_bytes_)
+            : 0.0;
+    export_link_metrics(reg, links_, rank_, exchanges_, exchange_wait_ns_,
+                        ratio);
   }
 
  private:
@@ -257,6 +307,12 @@ class SocketTransport final : public Transport {
     bool end_seen = false;
   };
 
+  void track_inflight(std::uint32_t dst, std::uint64_t frame_bytes) {
+    auto& l = links_[dst];
+    l.inflight_bytes += frame_bytes;
+    l.max_inflight_bytes = std::max(l.max_inflight_bytes, l.inflight_bytes);
+  }
+
   void queue_frame(Peer& peer, const FrameHeader& h,
                    std::span<const std::span<const std::byte>> frags) {
     peer.headers.emplace_back();
@@ -271,13 +327,14 @@ class SocketTransport final : public Transport {
     }
   }
 
-  /// Drives every link until all sends drained and all ENDs arrived.
+  /// Drives every link until all sends drained and all ENDs arrived.  The
+  /// deadline is refreshed whenever any link makes progress: a peer that
+  /// is slow but still flowing never trips the timeout, only one that goes
+  /// completely silent for io_timeout_ms does.
   void pump(Clock::time_point deadline) {
-    std::vector<pollfd> pfds;
-    std::vector<std::uint32_t> pfd_rank;
     for (;;) {
-      pfds.clear();
-      pfd_rank.clear();
+      pfds_.clear();
+      pfd_rank_.clear();
       bool pending = false;
       for (std::uint32_t q = 0; q < p_; ++q) {
         if (q == rank_) continue;
@@ -287,28 +344,29 @@ class SocketTransport final : public Transport {
         if (!peer.end_seen) events |= POLLIN;
         if (events == 0) continue;
         pending = true;
-        pfds.push_back({peer.fd, events, 0});
-        pfd_rank.push_back(q);
+        pfds_.push_back({peer.fd, events, 0});
+        pfd_rank_.push_back(q);
       }
       if (!pending) return;
       const auto remaining = std::chrono::duration_cast<
           std::chrono::milliseconds>(deadline - Clock::now());
       if (remaining.count() <= 0) throw_timeout();
-      const int n = ::poll(pfds.data(), pfds.size(),
+      const int n = ::poll(pfds_.data(), pfds_.size(),
                            static_cast<int>(remaining.count()));
       if (n < 0) {
         if (errno == EINTR) continue;
         throw_errno("net: poll", errno);
       }
       if (n == 0) throw_timeout();
-      for (std::size_t i = 0; i < pfds.size(); ++i) {
-        const std::uint32_t q = pfd_rank[i];
-        if (pfds[i].revents == 0) continue;
-        if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      deadline = Clock::now() + std::chrono::milliseconds(io_timeout_ms_);
+      for (std::size_t i = 0; i < pfds_.size(); ++i) {
+        const std::uint32_t q = pfd_rank_[i];
+        if (pfds_[i].revents == 0) continue;
+        if (pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) {
           read_some(q);
           parse_frames(q);
         }
-        if (pfds[i].revents & POLLOUT) write_some(q);
+        if (pfds_[i].revents & POLLOUT) write_some(q);
       }
     }
   }
@@ -347,6 +405,11 @@ class SocketTransport final : public Transport {
         }
         throw_errno("net: sendmsg to rank " + std::to_string(q), err);
       }
+      const auto drained = static_cast<std::uint64_t>(n);
+      links_[q].inflight_bytes -=
+          std::min(links_[q].inflight_bytes, drained);
+      total_drained_bytes_ += drained;
+      if (progressing_) progressed_drained_bytes_ += drained;
       std::size_t left = static_cast<std::size_t>(n);
       while (left > 0 && peer.iov_idx < peer.iov.size()) {
         iovec& v = peer.iov[peer.iov_idx];
@@ -676,6 +739,16 @@ class SocketTransport final : public Transport {
   std::vector<LinkStats> links_;
   std::uint64_t exchanges_ = 0;
   obs::LogHistogram exchange_wait_ns_;
+  // Poll scratch, reused by pump() and progress() across every exchange
+  // (reallocating these per pump iteration showed up in bench/net_routing
+  // at small h-relations).
+  std::vector<pollfd> pfds_;
+  std::vector<std::uint32_t> pfd_rank_;
+  /// True while progress() drives write_some: those drained bytes were
+  /// hidden behind the caller's compute/disk work.
+  bool progressing_ = false;
+  std::uint64_t total_drained_bytes_ = 0;
+  std::uint64_t progressed_drained_bytes_ = 0;
 };
 
 }  // namespace

@@ -3,12 +3,18 @@
 // Algorithm 3's communication pattern is bulk-synchronous: within one phase
 // every real processor posts blocks to peers, then all processors meet at a
 // barrier and each receives what was posted to it.  `Transport` captures
-// exactly that — `post()` buffers outgoing messages, `exchange()` is the
-// barrier + delivery — so `DistSimulator` is written once against the
-// interface and runs unchanged over the in-process loopback (tests, parity
-// against the threaded `ParSimulator`) and the Unix-socket/TCP backend
-// (separate worker processes, each with private memory and disks: the
-// machine the EM-BSP model actually describes).
+// exactly that as a three-call protocol — `post()` queues outgoing
+// messages, `progress()` opportunistically drains them (and buffers
+// arriving bytes) without ever blocking, and `complete()` (historically
+// `exchange()`) is the barrier + delivery — so `DistSimulator` is written
+// once against the interface and runs unchanged over the in-process
+// loopback (tests, parity against the threaded `ParSimulator`) and the
+// Unix-socket/TCP backend (separate worker processes, each with private
+// memory and disks: the machine the EM-BSP model actually describes).
+// Calling progress() between posts lets a rank push its phase's traffic
+// onto the wire while it is still computing or waiting on its disks;
+// skipping it is always correct, merely slower — complete() drains
+// whatever is left.
 //
 // Failure semantics: a peer that dies or stalls surfaces as a typed
 // `NetError` (folded into the `em::IoError` taxonomy so callers classify it
@@ -83,12 +89,27 @@ class Transport {
     post(dst, frag);
   }
 
+  /// Non-blocking progress: drain queued sends toward the kernel and
+  /// buffer (and pre-parse) whatever peers have already delivered, then
+  /// return immediately — never waits, and never throws PeerTimeoutError
+  /// (the io deadline is anchored at complete(), not here; see below).
+  /// Wire or framing failures still surface as PeerFailedError /
+  /// CorruptFrameError.  The default is a no-op: backends whose post()
+  /// already completes the transmission (loopback) need nothing more.
+  virtual void progress() {}
+
   /// Phase barrier + delivery: blocks until every rank has entered
   /// exchange(), then returns, for each source rank, the messages it
   /// posted to this rank during the phase, in posting order
   /// (result[src][i]).  Throws NetError if a peer aborts, disconnects, or
-  /// misses the deadline.
+  /// misses the deadline — the deadline clock starts HERE, when the rank
+  /// enters the barrier, never at post(): an arbitrarily long compute
+  /// phase between post() and the barrier cannot trip an io-timeout.
   virtual std::vector<std::vector<Blob>> exchange() = 0;
+
+  /// Named barrier of the post()/progress()/complete() protocol; alias of
+  /// exchange(), kept separate so call sites can say which role they mean.
+  std::vector<std::vector<Blob>> complete() { return exchange(); }
 
   /// Best-effort fatal-error broadcast: peers blocked in exchange() unwind
   /// with PeerFailedError carrying `reason` instead of timing out.

@@ -18,6 +18,9 @@ DistSimulator::DistSimulator(
   // Features whose protocols assume shared memory (cross-worker snapshot
   // flags, a single checkpoint publisher, barrier-counted recovery units)
   // are rejected up front rather than silently misbehaving over the wire.
+  // The pipelined group scheduler is NOT among them anymore: each rank's
+  // double-buffered schedule is private to its own disks, and the wire
+  // traffic it produces is identical (see dist_simulator.hpp).
   if (cfg_.checkpoint.enabled()) {
     throw std::invalid_argument(
         "DistSimulator: checkpoint/restart is not supported over a "
@@ -28,11 +31,6 @@ DistSimulator::DistSimulator(
         "DistSimulator: coordinated superstep recovery is not supported "
         "over a transport yet (transient faults are still absorbed by "
         "per-rank retry)");
-  }
-  if (cfg_.pipeline) {
-    throw std::invalid_argument(
-        "DistSimulator: the pipelined group scheduler is not supported "
-        "over a transport yet");
   }
   if (cfg_.faults.enabled()) {
     fault_counters_ = std::make_shared<em::FaultCounters>();

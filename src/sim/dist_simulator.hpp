@@ -33,11 +33,25 @@
 //   * cost reduction uses the same max/+ merges, which are commutative, so
 //     cross-rank reduction order cannot change the result.
 //
-// Not supported over a transport (throws up front): durable checkpoints,
-// coordinated superstep recovery, and the pipelined group scheduler.
-// Transient injected faults are still absorbed rank-locally by the retry
-// machinery; what cannot be absorbed aborts the run with a typed error,
-// broadcast to peers via Transport::abort.
+// Pipelined execution (cfg.pipeline): each rank runs the ParSimulator's
+// double-buffered group schedule against its private disks — context
+// prefetch for round r+1 and write-behind for round r-1 ride under round
+// r's compute, message writes ride a bounded write-behind window — and the
+// transport is driven incrementally: forward/scatter blocks are post()ed
+// as they materialize and Transport::progress() is pumped from the fetch,
+// compute and scatter phases, so phase t's wire traffic drains while the
+// rank is still computing or waiting on its disks instead of serializing
+// behind the complete() barrier.  Overlap changes only timing, never
+// content: disk submissions, RNG draws and post ordering are untouched, so
+// the byte-parity contract above holds with the pipeline on (asserted in
+// tests/test_net.cpp), and the won overlap shows up in the obs Registry as
+// net.exchange_overlap_ratio / net.link.<peer>.max_inflight_bytes.
+//
+// Not supported over a transport (throws up front): durable checkpoints
+// and coordinated superstep recovery.  Transient injected faults are still
+// absorbed rank-locally by the retry machinery; what cannot be absorbed
+// aborts the run with a typed error, broadcast to peers via
+// Transport::abort.
 #pragma once
 
 #include <algorithm>
@@ -55,6 +69,7 @@
 #include "sim/obs_hooks.hpp"
 #include "sim/seq_simulator.hpp"
 #include "sim/sim_config.hpp"
+#include "util/thread_pool.hpp"
 
 namespace embsp::sim {
 
@@ -162,7 +177,41 @@ SimResult DistSimulator::run(
 
   obs::Recorder* const rec = cfg_.recorder;
   auto& disks = *disks_;
+  // Pipelined double-buffered context staging.  Declared OUTSIDE the try:
+  // stack unwinding must not destroy buffers that in-flight transfers
+  // still reference — the catch blocks below drain the disk array first.
+  ContextStore::PendingIo ctx_read[2];
+  ContextStore::PendingIo ctx_write[2];
+  // Unregisters kernel fixed buffers on any exit; declared after the slots
+  // so it runs before their destruction (the catch blocks have drained by
+  // then).
+  struct RegGuard {
+    em::DiskArray* d = nullptr;
+    ~RegGuard() {
+      if (d != nullptr) d->register_io_buffers({});
+    }
+  } reg_guard;
+  std::unique_ptr<util::ComputePool> pool;
+  const bool pipelined = cfg_.pipeline;
   try {
+    if (pipelined) {
+      messages.enable_write_behind(4);
+      if (cfg_.compute_threads > 1) {
+        pool = std::make_unique<util::ComputePool>(cfg_.compute_threads - 1);
+      }
+      // Kernel fixed buffers (uring engine): pre-size the double-buffered
+      // context staging and register it with this rank's private disk
+      // array (see SeqSimulator::run for the contract).
+      const std::size_t ctx_bytes = layout.k * layout.context_slot_bytes;
+      std::vector<std::span<std::byte>> regions;
+      for (int s = 0; s < 2; ++s) {
+        ctx_read[s].buf.resize(ctx_bytes);
+        ctx_write[s].buf.resize(ctx_bytes);
+        regions.push_back({ctx_read[s].buf.data(), ctx_read[s].buf.size()});
+        regions.push_back({ctx_write[s].buf.data(), ctx_write[s].buf.size()});
+      }
+      if (disks.register_io_buffers(regions) > 0) reg_guard.d = &disks;
+    }
     // Initial contexts for this rank's virtual processors.
     {
       ObsPhase phase(rec, "init", disks, &phase_io.init, me);
@@ -202,6 +251,24 @@ SimResult DistSimulator::run(
       wire_stage.emplace_back(bytes.begin(), bytes.end());
       tp_->post(dst, std::span<const std::byte>(wire_stage.back()));
     };
+    // Per-vproc compute results, reduced sequentially in vproc order below
+    // so cost totals are identical whether compute fans out or not.
+    struct VpStats {
+      bool cont = false;
+      std::uint64_t work = 0;
+      std::uint64_t sent_packets = 0;
+      std::uint64_t sent_wire = 0;
+      std::uint64_t bytes_sent = 0;
+      std::uint64_t num_messages = 0;
+      std::uint64_t recv_packets = 0;
+      std::uint64_t recv_bytes = 0;
+    };
+    std::vector<VpStats> vp;
+    auto submit_ctx_read = [&](std::uint32_t r) {
+      const std::uint32_t rf = r * k;
+      const std::uint32_t rc = std::min(k, local_v - rf);
+      contexts.read_submit(rf, rc, ctx_read[r & 1]);
+    };
 
     for (std::size_t step = 0;; ++step) {
       if (step >= cfg_.max_supersteps) {
@@ -210,9 +277,13 @@ SimResult DistSimulator::run(
       want_continue = false;
       comm_bytes_this_step = 0;
       bsp::SuperstepCost local_step_cost;
+      if (pipelined) submit_ctx_read(0);
 
       for (std::uint32_t round = 0; round < rounds; ++round) {
         // --- Fetch: read local blocks of this batch, forward to owners.
+        // Each block is handed to the transport the moment the disks
+        // surface it and progress() pushes it toward the wire while the
+        // remaining blocks of the batch are still being read.
         {
           ObsPhase phase(rec, "fetch_msg", disks, &phase_io.fetch_msg, me);
           messages.fetch_group_blocks(
@@ -226,6 +297,7 @@ SimResult DistSimulator::run(
                 // so it goes through the staging copy.
                 post_staged(owner, block);
                 if (owner != me) comm_bytes_this_step += block.size();
+                tp_->progress();
               });
         }
         auto forward = tp_->exchange();
@@ -269,12 +341,24 @@ SimResult DistSimulator::run(
         }
 
         {
-          ObsPhase phase(rec, "fetch_ctx", disks, &phase_io.fetch_ctx, me);
-          contexts.read_into(first, count, payloads);
+          ObsPhase phase(rec, pipelined ? "prefetch_ctx" : "fetch_ctx",
+                         disks, &phase_io.fetch_ctx, me);
+          if (pipelined) {
+            contexts.read_wait(ctx_read[round & 1], payloads);
+            // Read-ahead: the next round's contexts stream in while this
+            // round computes.
+            if (round + 1 < rounds) submit_ctx_read(round + 1);
+          } else {
+            contexts.read_into(first, count, payloads);
+          }
         }
+        // A fast peer may already be scattering this round's blocks at us;
+        // buffering them now shortens the exchange after the pack below.
+        tp_->progress();
 
         states.clear();
         states.resize(count);
+        vp.assign(count, VpStats{});
         outboxes.clear();
         for (std::uint32_t i = 0; i < count; ++i) {
           outboxes.emplace_back(me * local_v + first + i, v);
@@ -284,61 +368,70 @@ SimResult DistSimulator::run(
         bsp::SuperstepCost local_cost;
         {
           ObsPhase compute_phase(rec, "compute", disks, nullptr, me);
-          for (std::uint32_t i = 0; i < count; ++i) {
+          // Each task touches only index-i data; costs are reduced below
+          // in vproc order, so the totals match the sequential loop.
+          auto task = [&](std::size_t i) {
             util::Reader r(payloads[i]);
             states[i].deserialize(r);
             bsp::Inbox in = zero_copy ? bsp::Inbox(std::move(inbox_refs[i]))
                                       : bsp::Inbox(std::move(inboxes[i]));
             bsp::WorkMeter m;
-            bsp::ProcEnv env{me * local_v + first + i, v, &m};
-            const bool cont = prog.superstep(step, env, states[i], in,
-                                             outboxes[i]);
-            want_continue = want_continue || cont;
-            const std::uint64_t work = m.total();
-            local_cost.max_work = std::max(local_cost.max_work, work);
-            local_cost.total_work += work;
-            std::uint64_t sent_packets = 0;
-            std::uint64_t sent_wire = 0;
+            bsp::ProcEnv env{
+                me * local_v + first + static_cast<std::uint32_t>(i), v, &m};
+            VpStats& s = vp[i];
+            s.cont = prog.superstep(step, env, states[i], in, outboxes[i]);
+            s.work = m.total();
             for (const auto& msg : outboxes[i].messages()) {
-              sent_packets +=
+              s.sent_packets +=
                   bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
-              sent_wire += bsp::wire_bytes(msg.size_bytes());
+              s.sent_wire += bsp::wire_bytes(msg.size_bytes());
             }
-            if (sent_wire > cfg_.gamma) {
-              throw std::runtime_error(
-                  "DistSimulator: processor exceeded the declared gamma");
-            }
-            std::uint64_t recv_packets = 0;
-            std::uint64_t recv_bytes = 0;
+            s.bytes_sent = outboxes[i].total_bytes();
+            s.num_messages = outboxes[i].messages().size();
             for (const auto& msg : in.all()) {
-              recv_packets +=
+              s.recv_packets +=
                   bsp::packets_for(msg.size_bytes(), cfg_.machine.bsp.b);
-              recv_bytes += msg.size_bytes();
+              s.recv_bytes += msg.size_bytes();
             }
-            local_cost.max_bytes_sent = std::max(local_cost.max_bytes_sent,
-                                                 outboxes[i].total_bytes());
-            local_cost.max_packets_sent =
-                std::max(local_cost.max_packets_sent, sent_packets);
-            local_cost.max_wire_sent =
-                std::max(local_cost.max_wire_sent, sent_wire);
-            local_cost.max_bytes_received =
-                std::max(local_cost.max_bytes_received, recv_bytes);
-            local_cost.max_packets_received =
-                std::max(local_cost.max_packets_received, recv_packets);
-            local_cost.total_bytes += outboxes[i].total_bytes();
-            local_cost.num_messages += outboxes[i].messages().size();
-            if (zero_copy) {
-              for (const auto& msg : outboxes[i].messages()) {
-                outgoing_refs.push_back(msg);
-              }
-              arena_peak = std::max<std::uint64_t>(
-                  arena_peak, outboxes[i].arena_high_water());
-            } else {
-              for (auto& msg : outboxes[i].take()) {
-                outgoing.push_back(std::move(msg));
-              }
-              outbox_copied += outboxes[i].bytes_copied();
+          };
+          if (pool != nullptr) {
+            pool->run(count, task);
+          } else {
+            for (std::uint32_t i = 0; i < count; ++i) task(i);
+          }
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const VpStats& s = vp[i];
+          want_continue = want_continue || s.cont;
+          local_cost.max_work = std::max(local_cost.max_work, s.work);
+          local_cost.total_work += s.work;
+          if (s.sent_wire > cfg_.gamma) {
+            throw std::runtime_error(
+                "DistSimulator: processor exceeded the declared gamma");
+          }
+          local_cost.max_bytes_sent =
+              std::max(local_cost.max_bytes_sent, s.bytes_sent);
+          local_cost.max_packets_sent =
+              std::max(local_cost.max_packets_sent, s.sent_packets);
+          local_cost.max_wire_sent =
+              std::max(local_cost.max_wire_sent, s.sent_wire);
+          local_cost.max_bytes_received =
+              std::max(local_cost.max_bytes_received, s.recv_bytes);
+          local_cost.max_packets_received =
+              std::max(local_cost.max_packets_received, s.recv_packets);
+          local_cost.total_bytes += s.bytes_sent;
+          local_cost.num_messages += s.num_messages;
+          if (zero_copy) {
+            for (const auto& msg : outboxes[i].messages()) {
+              outgoing_refs.push_back(msg);
             }
+            arena_peak = std::max<std::uint64_t>(
+                arena_peak, outboxes[i].arena_high_water());
+          } else {
+            for (auto& msg : outboxes[i].take()) {
+              outgoing.push_back(std::move(msg));
+            }
+            outbox_copied += outboxes[i].bytes_copied();
           }
         }
         arena_peak =
@@ -347,10 +440,19 @@ SimResult DistSimulator::run(
 
         // Write contexts back.
         {
-          ObsPhase phase(rec, "write_ctx", disks, &phase_io.write_ctx, me);
-          contexts.write(first, count, [&](std::uint32_t ctx, util::Writer& w) {
+          ObsPhase phase(rec, pipelined ? "writeback_ctx" : "write_ctx",
+                         disks, &phase_io.write_ctx, me);
+          auto emit = [&](std::uint32_t ctx, util::Writer& w) {
             states[ctx - first].serialize(w);
-          });
+          };
+          if (pipelined) {
+            // Retire round r-2's write-backs, then submit round r's; the
+            // writes overlap the following rounds' compute.
+            contexts.write_wait(ctx_write[round & 1]);
+            contexts.write_submit(first, count, emit, ctx_write[round & 1]);
+          } else {
+            contexts.write(first, count, emit);
+          }
         }
 
         // --- Writing: pack per (owner, batch) and scatter randomly.  The
@@ -378,6 +480,8 @@ SimResult DistSimulator::run(
                     : rng.below(p));
             post_staged(target, block);
             if (target != me) comm_bytes_this_step += block.size();
+            // Sealed blocks go to the wire while the pack continues.
+            tp_->progress();
           };
           if (zero_copy) {
             std::vector<std::vector<bsp::MessageRef>> by_dest;
@@ -425,6 +529,19 @@ SimResult DistSimulator::run(
             }
           }
         }
+      }
+
+      if (pipelined) {
+        // Drain the pipeline before reorganizing: the last two rounds'
+        // context write-backs and every in-flight message write cycle.
+        {
+          ObsPhase phase(rec, "writeback_ctx", disks, &phase_io.write_ctx,
+                         me);
+          contexts.write_wait(ctx_write[rounds & 1]);
+          contexts.write_wait(ctx_write[(rounds + 1) & 1]);
+        }
+        ObsPhase phase(rec, "writeback_msg", disks, &phase_io.write_msg, me);
+        messages.quiesce();
       }
 
       // --- Step 2: local SimulateRouting.

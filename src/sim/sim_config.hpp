@@ -111,7 +111,12 @@ struct SimConfig {
   /// image, SimResult costs and fault schedule are byte-identical to the
   /// serial schedule.  Off by default (the default path is untouched).
   /// Pair with io_engine = parallel; under the serial engine submission
-  /// itself blocks and pipelining buys nothing.
+  /// itself blocks and pipelining buys nothing.  Composes with the
+  /// distributed simulator: each DistSimulator rank runs the same
+  /// double-buffered schedule against its private disks and additionally
+  /// drives Transport::progress() from the fetch/compute/scatter phases,
+  /// overlapping wire traffic with compute and disk I/O (byte-identical
+  /// results either way — see dist_simulator.hpp).
   bool pipeline = false;
 
   /// Compute-phase width when pipelining: total concurrent superstep()

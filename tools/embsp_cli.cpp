@@ -39,7 +39,10 @@
 //                      group's contexts/messages and retire the previous
 //                      group's write-backs while the current group runs
 //                      (enables the parallel I/O engine; results and disk
-//                      image are byte-identical to the serial schedule)
+//                      image are byte-identical to the serial schedule).
+//                      Composes with --transport: each rank pipelines its
+//                      private disks and drains the wire incrementally
+//                      while it computes.
 //     --compute-threads <count>
 //                      with --pipeline: run each group's superstep() calls
 //                      on this many threads (default 1; deterministic)
@@ -355,11 +358,9 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     // Features whose protocols assume shared memory; DistSimulator rejects
     // them too, but catching the combination here gives a usage-level
-    // message instead of a runtime error.
-    if (opt.pipeline) {
-      std::cerr << "embsp: --pipeline is not supported with --transport\n";
-      return false;
-    }
+    // message instead of a runtime error.  (--pipeline is NOT one of them:
+    // it composes with --transport — each rank runs the double-buffered
+    // schedule and overlaps wire traffic with compute.)
     if (!opt.checkpoint_dir.empty()) {
       std::cerr << "embsp: --checkpoint/--resume are not supported with "
                    "--transport\n";
