@@ -4,6 +4,21 @@
 
 namespace embsp::em {
 
+double EngineStats::stall_fraction_since(const EngineStats& prev) const {
+  const std::uint64_t stall =
+      stall_ns >= prev.stall_ns ? stall_ns - prev.stall_ns : stall_ns;
+  std::uint64_t busy = 0;
+  for (std::size_t d = 0; d < per_disk.size(); ++d) {
+    const std::uint64_t before =
+        d < prev.per_disk.size() ? prev.per_disk[d].busy_ns : 0;
+    const std::uint64_t now = per_disk[d].busy_ns;
+    busy = std::max(busy, now >= before ? now - before : now);
+  }
+  if (busy == 0) return 0.0;
+  return std::clamp(
+      static_cast<double>(stall) / static_cast<double>(busy), 0.0, 1.0);
+}
+
 void export_metrics(const EngineStats& stats, obs::Registry& registry,
                     const std::string& prefix) {
   std::string key;

@@ -178,6 +178,14 @@ struct EngineStats {
     for (const auto& d : per_disk) n += d.coalesced_tracks;
     return n;
   }
+
+  /// Fraction of the busiest disk's service time the issuing thread spent
+  /// stalled, over the window since `prev` was captured (pass a
+  /// default-constructed EngineStats for run-to-date).  ~1 means I/O
+  /// bound, ~0 means the engine hid the I/O behind compute.  Clamped to
+  /// [0, 1]; 0 when the window saw no disk activity.  Wall-clock derived —
+  /// a tuning signal, never part of the determinism guarantees.
+  [[nodiscard]] double stall_fraction_since(const EngineStats& prev) const;
 };
 
 /// Dump engine execution stats into a metrics registry under `prefix`

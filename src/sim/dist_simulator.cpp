@@ -9,6 +9,8 @@ DistSimulator::DistSimulator(
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg), tp_(&transport) {
   cfg_.machine.validate();
+  // Resolve the self-tuned knobs before the engine options read them.
+  LayoutPlanner::apply_auto_tune(cfg_);
   if (tp_->size() != cfg_.machine.p) {
     throw std::invalid_argument(
         "DistSimulator: transport has " + std::to_string(tp_->size()) +

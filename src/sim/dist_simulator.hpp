@@ -132,7 +132,9 @@ SimResult DistSimulator::run(
   const std::uint32_t local_v = v / p;
   const std::uint32_t me = tp_->rank();
 
-  SimLayout layout = SimLayout::compute(cfg_, local_v);
+  // Leaf-granular plan consumption, same rationale as the ParSimulator:
+  // forwarding peeks per-block owners, so rounds are leaf-sized already.
+  SimLayout layout = LayoutPlanner::plan(cfg_, local_v).leaf;
   // Same receive-capacity inflation as the ParSimulator (see the comment
   // there): scattering is balanced only in expectation.
   layout.group_capacity = layout.group_capacity * 2 + 4 * p + 4;
@@ -142,11 +144,13 @@ SimResult DistSimulator::run(
   em::TrackAllocators alloc(disks_->num_disks());
   ContextStore contexts(*disks_, alloc, local_v, cfg_.mu,
                         /*journaled=*/false);
-  MessageStore messages(
-      *disks_, alloc,
-      MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
-                         /*max_message_bytes=*/cfg_.gamma,
-                         /*memory_budget_bytes=*/layout.routing_mem_budget});
+  MessageStoreConfig mcfg;
+  mcfg.num_groups = rounds;
+  mcfg.group_capacity_blocks = layout.group_capacity;
+  mcfg.mode = cfg_.routing;
+  mcfg.max_message_bytes = cfg_.gamma;
+  mcfg.memory_budget_bytes = layout.routing_mem_budget;
+  MessageStore messages(*disks_, alloc, mcfg);
   // Per-rank RNG: replay the ParSimulator's fork loop — fork() advances the
   // master, so every rank must draw all p forks in order and keep its own.
   util::Rng rng(0);

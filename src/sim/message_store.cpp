@@ -33,12 +33,22 @@ MessageStore::MessageStore(em::DiskArray& disks, em::TrackAllocators& alloc,
     throw std::invalid_argument("MessageStore: block size below minimum (" +
                                 std::to_string(kMinBlockSize) + " bytes)");
   }
+  if (cfg_.leaf_fanout > 1) {
+    if (!cfg_.leaf_of || cfg_.num_leaf_groups == 0 ||
+        cfg_.leaf_capacity_blocks == 0) {
+      throw std::invalid_argument(
+          "MessageStore: hierarchical mode needs leaf_of, num_leaf_groups "
+          "and leaf_capacity_blocks");
+    }
+  }
   // RoutingMode::automatic: when every group's worst-case receive volume
   // provably fits in the staging budget, routing never needs the disk at
   // all — Algorithm 2 exists only because buckets exceed M (Fig. 2).
   // Insufficient budget degrades to compact behavior (the default branches
-  // below), so requesting automatic is always safe.
-  if (cfg_.mode == RoutingMode::automatic) {
+  // below), so requesting automatic is always safe.  A super-group existing
+  // at all means the exchange exceeds M, so the hierarchical schedule never
+  // takes the in-memory path.
+  if (cfg_.mode == RoutingMode::automatic && cfg_.leaf_fanout <= 1) {
     const std::uint64_t worst_case =
         static_cast<std::uint64_t>(cfg_.num_groups) *
         cfg_.group_capacity_blocks * block_size_;
@@ -64,6 +74,19 @@ MessageStore::MessageStore(em::DiskArray& disks, em::TrackAllocators& alloc,
   for (std::uint32_t d = 0; d < num_disks_; ++d) {
     arena_start_[d] = (*alloc_)[d].reserve_region(arena_tracks);
   }
+  // Scratch for the multi-level distribution pass: one slab of leaf_rows
+  // tracks per local leaf on every disk, striped like the arena so a leaf
+  // fetch reads fully disk-parallel.
+  if (cfg_.leaf_fanout > 1) {
+    leaf_rows_ = (cfg_.leaf_capacity_blocks + num_disks_ - 1) / num_disks_;
+    const std::uint64_t scratch_tracks =
+        static_cast<std::uint64_t>(cfg_.leaf_fanout) * leaf_rows_;
+    scratch_start_.resize(num_disks_);
+    for (std::uint32_t d = 0; d < num_disks_; ++d) {
+      scratch_start_[d] = (*alloc_)[d].reserve_region(scratch_tracks);
+    }
+    leaf_ready_.assign(cfg_.leaf_fanout, 0);
+  }
 }
 
 std::uint32_t MessageStore::bucket_of_group(std::uint32_t g) const {
@@ -75,6 +98,15 @@ std::pair<std::uint32_t, std::uint64_t> MessageStore::arena_location(
   const auto disk = static_cast<std::uint32_t>((bucket + t) % num_disks_);
   const std::uint64_t track = arena_start_[disk] +
                               static_cast<std::uint64_t>(bucket) * cap_rows_ +
+                              t / num_disks_;
+  return {disk, track};
+}
+
+std::pair<std::uint32_t, std::uint64_t> MessageStore::scratch_location(
+    std::uint32_t li, std::uint64_t t) const {
+  const auto disk = static_cast<std::uint32_t>((li + t) % num_disks_);
+  const std::uint64_t track = scratch_start_[disk] +
+                              static_cast<std::uint64_t>(li) * leaf_rows_ +
                               t / num_disks_;
   return {disk, track};
 }
@@ -457,10 +489,13 @@ RoutingStats MessageStore::reorganize(util::Rng& rng) {
     stats.step2_cycles += 1;
   }
 
-  // Hand the reorganized layout to the fetch side and reset staging.
+  // Hand the reorganized layout to the fetch side and reset staging.  The
+  // distribution scratch (a pure cache over the arena) is invalidated: the
+  // next leaf fetch re-cuts its super-group from the fresh layout.
   ready_count_ = staged_count_;
   ready_real_ = staged_real_;
   ready_base_ = base;
+  dist_super_ = kNoSuper;
   std::fill(staged_count_.begin(), staged_count_.end(), 0);
   std::fill(staged_real_.begin(), staged_real_.end(), 0);
   return stats;
@@ -500,6 +535,134 @@ void MessageStore::submit_group_reads(
   tokens.push_back(disks_->submit_read_batch(reads, cycles));
 }
 
+void MessageStore::distribute(std::uint32_t super) {
+  if (!hierarchical()) {
+    throw std::logic_error("MessageStore::distribute: flat schedule");
+  }
+  if (super >= cfg_.num_groups) {
+    throw std::out_of_range("MessageStore: super-group " +
+                            std::to_string(super));
+  }
+  if (dist_super_ == super) return;
+  const std::uint32_t f = cfg_.leaf_fanout;
+  std::fill(leaf_ready_.begin(), leaf_ready_.end(), 0);
+  dist_super_ = super;
+
+  // One block builder per local leaf plus one pending write per disk: the
+  // resident working set of the whole pass is (2*D + f) blocks, bounded by
+  // the plan regardless of the super-group's volume.
+  std::vector<BlockBuilder> builders;
+  builders.reserve(f);
+  for (std::uint32_t li = 0; li < f; ++li) builders.emplace_back(block_size_);
+
+  std::vector<PendingBlock> wpend;  // .bucket reused as the target disk
+  std::vector<std::uint64_t> wtracks;
+  std::vector<std::uint8_t> disk_used(num_disks_, 0);
+  auto flush_writes = [&]() {
+    if (wpend.empty()) return;
+    std::vector<em::WriteOp> ops;
+    ops.reserve(wpend.size());
+    for (std::size_t i = 0; i < wpend.size(); ++i) {
+      ops.push_back({wpend[i].bucket, wtracks[i], wpend[i].data});
+    }
+    disks_->parallel_write(ops);
+    dist_cycles_ += 1;
+    wpend.clear();
+    wtracks.clear();
+    std::fill(disk_used.begin(), disk_used.end(), 0);
+  };
+  auto emit_leaf_block = [&](std::uint32_t li) {
+    const std::uint64_t t = leaf_ready_[li];
+    if (t >= cfg_.leaf_capacity_blocks) {
+      throw std::runtime_error(
+          "MessageStore: leaf group scratch slab overflow — traffic exceeds "
+          "the planned leaf capacity of " +
+          std::to_string(cfg_.leaf_capacity_blocks) + " blocks");
+    }
+    const auto [disk, track] = scratch_location(li, t);
+    if (disk_used[disk]) flush_writes();
+    std::vector<std::byte> out;
+    builders[li].take(super * f + li, out);
+    wpend.push_back({disk, std::move(out)});
+    wtracks.push_back(track);
+    disk_used[disk] = 1;
+    ++leaf_ready_[li];
+  };
+
+  // Stream the super-group's reorganized blocks through in <=D-block read
+  // cycles, re-cutting each chunk record into its leaf's builder.
+  const std::uint32_t bucket = bucket_of_group(super);
+  const std::uint64_t base = ready_base_[super];
+  const std::uint64_t count = ready_count_[super];
+  std::vector<std::byte> buf(static_cast<std::size_t>(num_disks_) *
+                             block_size_);
+  for (std::uint64_t t0 = 0; t0 < count; t0 += num_disks_) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(num_disks_, count - t0));
+    std::vector<em::ReadOp> reads;
+    reads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto [disk, track] = arena_location(bucket, base + t0 + i);
+      reads.push_back({disk, track,
+                       std::span<std::byte>(buf).subspan(i * block_size_,
+                                                         block_size_)});
+    }
+    disks_->parallel_read(reads);
+    dist_cycles_ += 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto block = std::span<const std::byte>(buf).subspan(
+          i * block_size_, block_size_);
+      for_each_chunk(block, [&](std::span<const std::byte> record,
+                                std::uint32_t dst) {
+        const std::uint32_t leaf = cfg_.leaf_of(dst);
+        if (leaf >= cfg_.num_leaf_groups || leaf / f != super) {
+          throw em::CorruptBlockError(
+              "MessageStore: chunk for leaf group " + std::to_string(leaf) +
+              " found in super-group " + std::to_string(super));
+        }
+        const std::uint32_t li = leaf % f;
+        if (!builders[li].fits(record.size())) {
+          if (builders[li].empty()) {
+            throw em::CorruptBlockError(
+                "MessageStore: chunk record larger than a block");
+          }
+          emit_leaf_block(li);
+        }
+        builders[li].append(record);
+      });
+    }
+  }
+  for (std::uint32_t li = 0; li < f; ++li) {
+    if (!builders[li].empty()) emit_leaf_block(li);
+  }
+  flush_writes();
+}
+
+void MessageStore::submit_leaf_reads(
+    std::uint32_t li, std::vector<std::byte>& buf,
+    std::vector<em::DiskArray::IoToken>& tokens) {
+  const std::uint64_t count = leaf_ready_[li];
+  if (count == 0) return;
+  const auto want = static_cast<std::size_t>(count) * block_size_;
+  if (buf.size() < want) buf.resize(want);
+  std::vector<em::ReadOp> reads;
+  reads.reserve(count);
+  for (std::uint64_t t = 0; t < count; ++t) {
+    const auto [disk, track] = scratch_location(li, t);
+    reads.push_back({disk, track,
+                     std::span<std::byte>(buf).subspan(t * block_size_,
+                                                       block_size_)});
+  }
+  const std::uint64_t cycles = (count + num_disks_ - 1) / num_disks_;
+  tokens.push_back(disks_->submit_read_batch(reads, cycles));
+}
+
+std::uint64_t MessageStore::undelivered_real_blocks() const {
+  std::uint64_t n = 0;
+  for (const auto c : ready_real_) n += c;
+  return n;
+}
+
 void MessageStore::fetch_group_blocks(
     std::uint32_t g,
     const std::function<void(std::span<const std::byte>)>& consume) {
@@ -507,9 +670,19 @@ void MessageStore::fetch_group_blocks(
     for (const auto& block : mem_ready_[g]) consume(block);
     return;
   }
-  const std::uint64_t count = ready_count_[g];
+  std::uint64_t count;
   std::vector<em::DiskArray::IoToken> tokens;
-  submit_group_reads(g, fetch_buf_, tokens);
+  if (hierarchical()) {
+    // g is a global leaf index: materialize its super-group in scratch
+    // (no-op when already there), then read the leaf's slab.
+    distribute(g / cfg_.leaf_fanout);
+    const std::uint32_t li = g % cfg_.leaf_fanout;
+    count = leaf_ready_[li];
+    submit_leaf_reads(li, fetch_buf_, tokens);
+  } else {
+    count = ready_count_[g];
+    submit_group_reads(g, fetch_buf_, tokens);
+  }
   for (const auto t : tokens) disks_->wait(t);
   for (std::uint64_t t = 0; t < count; ++t) {
     consume(std::span<const std::byte>(fetch_buf_)
@@ -520,8 +693,19 @@ void MessageStore::fetch_group_blocks(
 void MessageStore::fetch_group_submit(std::uint32_t g, PendingFetch& pf) {
   pf.tokens.clear();
   pf.group = g;
-  pf.count = ready_count_[g];
   pf.active = true;
+  if (hierarchical()) {
+    // Crossing into a new super-group re-cuts it through scratch here (a
+    // blocking pass; the pipeline simply loses overlap at super-group
+    // boundaries).  The previous leaf's fetch was already waited by the
+    // pipelined schedule, so clobbering the scratch slabs is safe.
+    distribute(g / cfg_.leaf_fanout);
+    const std::uint32_t li = g % cfg_.leaf_fanout;
+    pf.count = leaf_ready_[li];
+    submit_leaf_reads(li, pf.buf, pf.tokens);
+    return;
+  }
+  pf.count = ready_count_[g];
   // In-memory routing: the blocks are already resident; nothing to submit.
   if (mem_mode_) return;
   submit_group_reads(g, pf.buf, pf.tokens);
@@ -592,6 +776,13 @@ MessageStore::Snapshot MessageStore::snapshot() const {
 }
 
 void MessageStore::export_state(util::Writer& w) {
+  if (hierarchical()) {
+    // The simulators reject checkpointing under the multi-level schedule;
+    // this backstop keeps a future caller from silently dropping the
+    // distribution scratch from the record.
+    throw std::logic_error(
+        "MessageStore::export_state: hierarchical schedule not supported");
+  }
   if (!pending_.empty() || !inflight_.empty()) {
     throw std::logic_error(
         "MessageStore::export_state: staging side not quiesced");
@@ -674,6 +865,9 @@ void MessageStore::restore_state(util::Reader& r) {
 }
 
 void MessageStore::restore(const Snapshot& s) {
+  // The distribution scratch is a cache over the arena; a restored state
+  // must re-cut its super-group from the (replayed) arena contents.
+  dist_super_ = kNoSuper;
   pending_ = s.pending;
   rr_next_ = s.rr_next;
   staged_count_ = s.staged_count;

@@ -79,6 +79,7 @@ inline void export_routing_stats(obs::Registry& reg, const RoutingStats& rs) {
   reg.add("routing.dummy_blocks", rs.dummy_blocks);
   reg.add("routing.step1_cycles", rs.step1_cycles);
   reg.add("routing.step2_cycles", rs.step2_cycles);
+  reg.add("routing.distribute_cycles", rs.distribute_cycles);
   reg.set_gauge("routing.max_chain", static_cast<double>(rs.max_chain));
 }
 

@@ -9,6 +9,8 @@ ParSimulator::ParSimulator(
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg) {
   cfg_.machine.validate();
+  // Resolve the self-tuned knobs before the engine options read them.
+  LayoutPlanner::apply_auto_tune(cfg_);
   if (cfg_.faults.enabled()) {
     fault_counters_ = std::make_shared<em::FaultCounters>();
   }

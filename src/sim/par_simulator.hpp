@@ -90,7 +90,13 @@ SimResult ParSimulator::run(
   const std::uint32_t v = cfg_.machine.bsp.v;
   const std::uint32_t local_v = v / p;
 
-  SimLayout layout = SimLayout::compute(cfg_, local_v);
+  // The parallel simulator consumes the plan at leaf granularity: its
+  // forwarding step inspects every block's owner per round, which already
+  // makes rounds leaf-sized — the legality win of a hierarchical plan —
+  // while routing stays per leaf batch (super-packed blocks would mix
+  // batches across owners).  The leaf equals the old flat SimLayout
+  // whenever a flat schedule is feasible.
+  SimLayout layout = LayoutPlanner::plan(cfg_, local_v).leaf;
   // Extra receive capacity per batch: random scattering is balanced only in
   // expectation, and per-(source, destination-owner) tail blocks add
   // fragmentation.  Overflow is detected at runtime with a clear error.
@@ -121,12 +127,14 @@ SimResult ParSimulator::run(
       procs[i].contexts = std::make_unique<ContextStore>(
           *disk_arrays_[i], *procs[i].alloc, local_v, cfg_.mu,
           /*journaled=*/cfg_.superstep_recovery);
+      MessageStoreConfig mcfg;
+      mcfg.num_groups = rounds;
+      mcfg.group_capacity_blocks = layout.group_capacity;
+      mcfg.mode = cfg_.routing;
+      mcfg.max_message_bytes = cfg_.gamma;
+      mcfg.memory_budget_bytes = layout.routing_mem_budget;
       procs[i].messages = std::make_unique<MessageStore>(
-          *disk_arrays_[i], *procs[i].alloc,
-          MessageStoreConfig{rounds, layout.group_capacity, cfg_.routing,
-                             /*max_message_bytes=*/cfg_.gamma,
-                             /*memory_budget_bytes=*/
-                             layout.routing_mem_budget});
+          *disk_arrays_[i], *procs[i].alloc, mcfg);
       procs[i].rng = master.fork(i + 1);
     }
   }

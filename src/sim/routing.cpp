@@ -171,6 +171,86 @@ bool is_dummy_block(std::span<const std::byte> block) {
   return parse_header(block).n_chunks == 0xFFFF;
 }
 
+void for_each_chunk(
+    std::span<const std::byte> block,
+    const std::function<void(std::span<const std::byte>, std::uint32_t)>&
+        fn) {
+  const BlockHeader h = parse_header(block);
+  if (h.n_chunks == 0xFFFF) return;  // dummy padding block
+  // Same untrusted-input discipline as Reassembler::absorb: every header
+  // field is validated against the block span before a record is handed out.
+  if (kBlockHeaderBytes + h.n_chunks * kChunkHeaderBytes > block.size()) {
+    throw em::CorruptBlockError(
+        "for_each_chunk: n_chunks " + std::to_string(h.n_chunks) +
+        " cannot fit in a " + std::to_string(block.size()) + "-byte block");
+  }
+  std::size_t pos = kBlockHeaderBytes;
+  for (std::uint16_t c = 0; c < h.n_chunks; ++c) {
+    if (pos + kChunkHeaderBytes > block.size()) {
+      throw em::CorruptBlockError("for_each_chunk: truncated chunk header");
+    }
+    const std::byte* p = block.data() + pos;
+    const std::uint32_t dst = get_u32(p + 4);
+    const std::uint32_t total = get_u32(p + 12);
+    const std::uint32_t offset = get_u32(p + 16);
+    const std::uint16_t len = get_u16(p + 20);
+    if (pos + kChunkHeaderBytes + len > block.size()) {
+      throw em::CorruptBlockError("for_each_chunk: chunk_len " +
+                                  std::to_string(len) +
+                                  " runs past the block span");
+    }
+    if (std::uint64_t{offset} + std::uint64_t{len} > std::uint64_t{total}) {
+      throw em::CorruptBlockError(
+          "for_each_chunk: chunk [" + std::to_string(offset) + ", " +
+          std::to_string(offset + std::uint64_t{len}) +
+          ") outside message of total_len " + std::to_string(total));
+    }
+    fn(block.subspan(pos, kChunkHeaderBytes + len), dst);
+    pos += kChunkHeaderBytes + len;
+  }
+}
+
+BlockBuilder::BlockBuilder(std::size_t block_size)
+    : block_size_(block_size) {
+  if (block_size < kMinBlockSize) {
+    throw std::invalid_argument("BlockBuilder: block size below minimum");
+  }
+  buf_.reserve(block_size - kBlockHeaderBytes);
+}
+
+bool BlockBuilder::fits(std::size_t record_bytes) const {
+  return n_chunks_ < 0xFFFE &&
+         kBlockHeaderBytes + buf_.size() + record_bytes <= block_size_;
+}
+
+void BlockBuilder::append(std::span<const std::byte> record) {
+  if (record.size() < kChunkHeaderBytes) {
+    throw std::invalid_argument("BlockBuilder: record below a chunk header");
+  }
+  const std::uint16_t len = get_u16(record.data() + 20);
+  if (record.size() != kChunkHeaderBytes + len) {
+    throw std::invalid_argument(
+        "BlockBuilder: record size disagrees with its chunk_len");
+  }
+  if (!fits(record.size())) {
+    throw std::invalid_argument("BlockBuilder: record does not fit");
+  }
+  buf_.insert(buf_.end(), record.begin(), record.end());
+  ++n_chunks_;
+}
+
+void BlockBuilder::take(std::uint32_t dst_group, std::vector<std::byte>& out) {
+  out.assign(block_size_, std::byte{0});
+  put_u32(out.data(), dst_group);
+  put_u16(out.data() + 4, n_chunks_);
+  put_u16(out.data() + 6, 0);
+  if (!buf_.empty()) {
+    std::memcpy(out.data() + kBlockHeaderBytes, buf_.data(), buf_.size());
+  }
+  buf_.clear();
+  n_chunks_ = 0;
+}
+
 Reassembler::Partial* Reassembler::find_or_create(std::uint32_t src,
                                                   std::uint32_t dst,
                                                   std::uint32_t seq,

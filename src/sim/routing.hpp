@@ -101,6 +101,46 @@ void make_dummy_block(std::uint32_t dst_group, std::size_t block_size,
 /// True if the block is a padding block with no message content.
 [[nodiscard]] bool is_dummy_block(std::span<const std::byte> block);
 
+/// Walk one block's chunk records without reassembling: `fn` receives each
+/// whole record (chunk header + payload, exactly as laid out in the block)
+/// plus its destination virtual processor.  The multi-level distributor
+/// uses this to re-cut a super-group block into leaf-group blocks by moving
+/// records verbatim.  Validates every header field against the block span
+/// like Reassembler::absorb (the block came off disk) and throws
+/// em::CorruptBlockError on any inconsistency; dummy blocks are skipped.
+void for_each_chunk(
+    std::span<const std::byte> block,
+    const std::function<void(std::span<const std::byte> record,
+                             std::uint32_t dst)>& fn);
+
+/// Incremental builder of pack-compatible blocks from whole chunk records
+/// (the output side of the multi-level distributor).  append() only accepts
+/// records that fit — check fits() first and take() the finished block; a
+/// record never spans two output blocks because it is moved verbatim, so a
+/// re-cut block parses with the same Reassembler as a packed one.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(std::size_t block_size);
+
+  /// Whether a whole record of `record_bytes` still fits this block.
+  [[nodiscard]] bool fits(std::size_t record_bytes) const;
+
+  /// Append one record (chunk header + payload) verbatim.  Throws
+  /// std::invalid_argument if it does not fit or is not a whole record.
+  void append(std::span<const std::byte> record);
+
+  [[nodiscard]] bool empty() const { return n_chunks_ == 0; }
+
+  /// Finalize the block into `out` (resized to block_size, zero padded)
+  /// addressed to `dst_group`, and reset the builder for the next block.
+  void take(std::uint32_t dst_group, std::vector<std::byte>& out);
+
+ private:
+  std::size_t block_size_;
+  std::vector<std::byte> buf_;  ///< records accumulated after the header
+  std::uint16_t n_chunks_ = 0;
+};
+
 /// Incremental message reassembly from chunks.
 ///
 /// Blocks come back from disk, so every header field (n_chunks, chunk_len,
@@ -187,12 +227,17 @@ struct RoutingStats {
   std::uint64_t step2_cycles = 0;      ///< parallel read+write pairs, step 2
   std::uint64_t max_chain = 0;         ///< max blocks of one bucket on one
                                        ///< disk (Lemma 2's X_{j,k})
+  /// Parallel read+write pairs spent re-cutting super-group blocks into
+  /// leaf-group blocks through scratch (multi-level schedules only; the
+  /// extra distribution pass a flat schedule does not pay).
+  std::uint64_t distribute_cycles = 0;
   RoutingStats& operator+=(const RoutingStats& o) {
     blocks_total += o.blocks_total;
     dummy_blocks += o.dummy_blocks;
     step1_cycles += o.step1_cycles;
     step2_cycles += o.step2_cycles;
     max_chain = std::max(max_chain, o.max_chain);
+    distribute_cycles += o.distribute_cycles;
     return *this;
   }
 };

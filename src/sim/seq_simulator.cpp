@@ -6,82 +6,17 @@
 
 namespace embsp::sim {
 
-SimLayout SimLayout::compute(const SimConfig& cfg, std::uint32_t local_v) {
-  const auto& em = cfg.machine.em;
-  if (cfg.mu == 0) {
-    throw std::invalid_argument("SimLayout: mu (max context bytes) not set");
-  }
-  if (cfg.gamma == 0) {
-    throw std::invalid_argument(
-        "SimLayout: gamma (max comm bytes per processor) not set");
-  }
-  if (em.B < kMinBlockSize) {
-    throw std::invalid_argument("SimLayout: block size B must be at least " +
-                                std::to_string(kMinBlockSize) + " bytes");
-  }
-
-  SimLayout layout;
-  // Context slot: [u32 length] + mu, rounded up to whole blocks.
-  const std::size_t slot_blocks = (cfg.mu + 4 + em.B - 1) / em.B;
-  layout.context_slot_bytes = slot_blocks * em.B;
-
-  // k = floor(M / mu), at least 1, at most v (§5.1).  The memory the model
-  // grants is M; one group's contexts plus its messages must fit.
-  //
-  // Additionally the number of groups must be at least D, or the routing
-  // buckets (one per disk) cannot all be populated and SimulateRouting
-  // degenerates to near-serial I/O — this is the practical face of the
-  // paper's slackness requirement v >= k*D*log(M/B) (Theorem 1).
-  // Pipelined execution double-buffers the context staging (groups g and
-  // g+1 resident at once), so its memory bound tightens to 2*k*slot <= M.
-  const std::size_t resident = cfg.pipeline ? 2 : 1;
-  std::size_t k = cfg.k != 0
-                      ? cfg.k
-                      : bsp::default_group_size(em.M / resident,
-                                                layout.context_slot_bytes);
-  if (cfg.k == 0 && local_v >= em.D) {
-    k = std::min<std::size_t>(k, local_v / em.D);
-  }
-  k = std::min<std::size_t>(k, local_v);
-  k = std::max<std::size_t>(k, 1);
-  // §5.1: "k = floor(M/mu)" — one group's contexts must fit the memory M
-  // the model grants; an explicit cfg.k gets the same bound.  (No slack:
-  // the group's message blocks of step 1(b) share the same M, so granting
-  // more than M of context would already break the theorem's premise.)
-  if (cfg.k != 0 && cfg.k * layout.context_slot_bytes * resident > em.M) {
-    throw std::invalid_argument(
-        "SimLayout: requested group size k needs " +
-        std::to_string(cfg.k * layout.context_slot_bytes * resident) +
-        " bytes of context memory" +
-        (cfg.pipeline ? " (2 groups resident: pipelined double buffering)"
-                      : "") +
-        " but M = " + std::to_string(em.M));
-  }
-  layout.k = k;
-  layout.num_groups =
-      static_cast<std::uint32_t>((local_v + k - 1) / k);
-
-  // Blocks one group may receive in one superstep: k receivers, each with a
-  // gamma budget, packed at >= (payload_capacity - chunk header) bytes per
-  // block, plus one underfull tail block per source group.
-  const std::size_t payload = em.B - kBlockHeaderBytes;
-  const std::size_t usable = payload > 2 * kChunkHeaderBytes
-                                 ? payload - 2 * kChunkHeaderBytes
-                                 : 1;
-  layout.group_capacity =
-      (static_cast<std::uint64_t>(k) * cfg.gamma + usable - 1) / usable +
-      layout.num_groups + 1;
-  const std::uint64_t ctx_resident =
-      static_cast<std::uint64_t>(resident) * k * layout.context_slot_bytes;
-  layout.routing_mem_budget = em.M > ctx_resident ? em.M - ctx_resident : 0;
-  return layout;
-}
+// SimLayout::compute lives in layout_planner.cpp (the extracted planner).
 
 SeqSimulator::SeqSimulator(
     SimConfig cfg,
     std::function<std::unique_ptr<em::Backend>(std::size_t)> backend)
     : cfg_(cfg) {
   cfg_.machine.validate();
+  // Self-tuning resolves its static knobs (k, routing mode, coalescing,
+  // compute width) before the disk substrate is built — the engine options
+  // below read them.
+  LayoutPlanner::apply_auto_tune(cfg_);
   if (cfg_.faults.enabled()) {
     fault_counters_ = std::make_shared<em::FaultCounters>();
   }

@@ -30,29 +30,13 @@
 #include "em/disk_array.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/context_store.hpp"
+#include "sim/layout_planner.hpp"
 #include "sim/message_store.hpp"
 #include "sim/obs_hooks.hpp"
 #include "sim/sim_config.hpp"
 #include "util/thread_pool.hpp"
 
 namespace embsp::sim {
-
-/// Layout derived from a SimConfig (shared with the parallel simulator,
-/// which applies it per real processor).
-struct SimLayout {
-  std::size_t k = 1;                  ///< group size
-  std::uint32_t num_groups = 1;       ///< destination groups per processor
-  std::uint64_t group_capacity = 1;   ///< blocks a group may receive
-  std::size_t context_slot_bytes = 0; ///< mu rounded up to blocks
-  /// What M leaves after the resident context groups — the staging budget
-  /// offered to RoutingMode::automatic's in-memory fast path.
-  std::uint64_t routing_mem_budget = 0;
-
-  /// Computes the layout for `local_v` virtual processors on one real
-  /// processor.  Throws if the config violates the model (k*mu > M, B too
-  /// small, ...).
-  static SimLayout compute(const SimConfig& cfg, std::uint32_t local_v);
-};
 
 class SeqSimulator {
  public:
@@ -108,18 +92,44 @@ SimResult SeqSimulator::run(
         "SeqSimulator: p must be 1 (use ParSimulator for p > 1)");
   }
   const std::uint32_t v = cfg_.machine.bsp.v;
-  const SimLayout layout = SimLayout::compute(cfg_, v);
+  // The planner emits a flat single-level layout whenever the (requested or
+  // auto-picked) k fits the memory bound, and a two-level group tree when
+  // it does not: contexts are walked in leaf groups sized to fit M, while
+  // messages route at super-group granularity and are re-cut into leaf
+  // blocks through scratch on fetch.  plan.leaf is exactly the old
+  // SimLayout in the flat case.
+  const LayoutPlan plan = LayoutPlanner::plan(cfg_, v);
+  const SimLayout layout = plan.leaf;
   const auto k = static_cast<std::uint32_t>(layout.k);
   const std::uint32_t num_groups = layout.num_groups;
+  const bool hier = plan.hierarchical();
+  if (hier && (cfg_.superstep_recovery || cfg_.checkpoint.enabled())) {
+    throw LayoutError(
+        "SeqSimulator: superstep recovery / checkpointing do not compose "
+        "with the multi-level group schedule yet (the distribution scratch "
+        "is not part of the recovery records); lower k or raise M");
+  }
+  // Virtual processors per *routing* destination group: the super-group
+  // size in a hierarchical plan, k itself in a flat one.
+  const auto route_k = static_cast<std::uint32_t>(plan.levels.back().k);
 
   em::TrackAllocators alloc(disks_->num_disks());
   ContextStore contexts(*disks_, alloc, v, cfg_.mu,
                         /*journaled=*/cfg_.superstep_recovery);
-  MessageStore messages(
-      *disks_, alloc,
-      MessageStoreConfig{num_groups, layout.group_capacity, cfg_.routing,
-                         /*max_message_bytes=*/cfg_.gamma,
-                         /*memory_budget_bytes=*/layout.routing_mem_budget});
+  MessageStoreConfig mcfg;
+  mcfg.num_groups = plan.levels.back().num_groups;
+  mcfg.group_capacity_blocks =
+      hier ? plan.super_capacity_blocks : layout.group_capacity;
+  mcfg.mode = cfg_.routing;
+  mcfg.max_message_bytes = cfg_.gamma;
+  mcfg.memory_budget_bytes = layout.routing_mem_budget;
+  if (hier) {
+    mcfg.leaf_fanout = plan.fanout();
+    mcfg.num_leaf_groups = num_groups;
+    mcfg.leaf_capacity_blocks = plan.leaf_capacity_blocks;
+    mcfg.leaf_of = [k](std::uint32_t dst) { return dst / k; };
+  }
+  MessageStore messages(*disks_, alloc, mcfg);
   util::Rng rng(cfg_.seed);
 
   SimResult result;
@@ -145,6 +155,17 @@ SimResult SeqSimulator::run(
   std::unique_ptr<util::ComputePool> pool;
   if (pipelined && cfg_.compute_threads > 1) {
     pool = std::make_unique<util::ComputePool>(cfg_.compute_threads - 1);
+  }
+  // Self-tuning: re-plan the compute-pool width at superstep boundaries
+  // from the engine's stall/busy deltas.  Width is the one knob that is
+  // safe to change mid-run — the on-disk layout and the call-indexed fault
+  // schedule never depend on it, and costs are reduced in vproc order, so
+  // results are identical at any width.
+  std::optional<GroupTuner> tuner;
+  if (cfg_.auto_tune && pipelined) {
+    tuner.emplace(/*min_width=*/1,
+                  /*max_width=*/std::max<std::size_t>(cfg_.compute_threads,
+                                                      8));
   }
   if (pipelined) {
     // Bounded write-behind: at most 4 message write cycles (<= 4*D blocks)
@@ -173,8 +194,13 @@ SimResult SeqSimulator::run(
   } reg_guard;
   if (pipelined) {
     const std::size_t ctx_bytes = layout.k * layout.context_slot_bytes;
+    // Hierarchical plans fetch leaf slabs out of scratch, so the staging
+    // slot is sized by the leaf scratch capacity, not the (much larger)
+    // routing-group capacity.
     const std::size_t msg_bytes =
-        static_cast<std::size_t>(layout.group_capacity) * cfg_.machine.em.B;
+        static_cast<std::size_t>(hier ? plan.leaf_capacity_blocks
+                                      : layout.group_capacity) *
+        cfg_.machine.em.B;
     std::vector<std::span<std::byte>> regions;
     for (int s = 0; s < 2; ++s) {
       ctx_read[s].buf.resize(ctx_bytes);
@@ -385,7 +411,9 @@ SimResult SeqSimulator::run(
     });
   }
 
-  const auto group_of = [k](std::uint32_t dst) { return dst / k; };
+  const auto group_of = [route_k](std::uint32_t dst) {
+    return dst / route_k;
+  };
   // Submit group g's context reads and arena fetches into its parity slot.
   auto submit_prefetch = [&](std::uint32_t g) {
     const int slot = static_cast<int>(g & 1);
@@ -624,15 +652,28 @@ SimResult SeqSimulator::run(
     result.per_superstep_io.push_back(
         disks_->stats().since(superstep_before));
     if (!any_continue) {
-      // Messages sent in the final superstep have no receiver.
-      for (std::uint32_t gidx = 0; gidx < num_groups; ++gidx) {
-        if (messages.group_real_blocks(gidx) != 0) {
-          throw std::runtime_error(
-              "SeqSimulator: messages sent in the final superstep were "
-              "never received");
-        }
+      // Messages sent in the final superstep have no receiver.  (The store
+      // counts at routing-group granularity, valid in flat and hierarchical
+      // mode alike — nothing has been fetched from this reorganize yet.)
+      if (messages.undelivered_real_blocks() != 0) {
+        throw std::runtime_error(
+            "SeqSimulator: messages sent in the final superstep were "
+            "never received");
       }
       all_done = true;
+    }
+
+    // --- Superstep boundary: the only re-planning point ------------------
+    // Adapting between supersteps keeps the call-indexed fault schedule
+    // aligned within each superstep run; recreating the pool is the
+    // adaptation mechanism (its threads hold no simulation state).
+    if (tuner.has_value() && !all_done) {
+      const std::size_t cur = pool != nullptr ? pool->width() : 1;
+      const std::size_t next = tuner->recommend(disks_->engine_stats(), cur);
+      if (next != cur) {
+        pool.reset();
+        if (next > 1) pool = std::make_unique<util::ComputePool>(next - 1);
+      }
     }
 
     // --- Superstep boundary: durability point (§5.1) ---------------------
@@ -676,6 +717,7 @@ SimResult SeqSimulator::run(
   // backing files are externally consistent when run() returns.
   disks_->sync();
   disks_->harvest_backend_stats();  // fold ring counters into engine stats
+  result.routing_stats.distribute_cycles += messages.distribute_cycles();
   result.total_io = disks_->stats();
   result.max_tracks_per_disk = disks_->max_tracks_used();
   {
@@ -718,6 +760,14 @@ SimResult SeqSimulator::run(
     reg.set_gauge("sim.arena_bytes", static_cast<double>(arena_peak));
     reg.set_gauge("sim.in_memory_routing",
                   messages.in_memory_routing() ? 1.0 : 0.0);
+    LayoutPlanner::export_plan(reg, plan, cfg_);
+    if (tuner.has_value()) {
+      reg.set_gauge("sim.layout.replans",
+                    static_cast<double>(tuner->replans()));
+      reg.set_gauge("sim.layout.compute_width",
+                    static_cast<double>(pool != nullptr ? pool->width()
+                                                        : 1));
+    }
   }
   return result;
 }

@@ -63,6 +63,14 @@ struct SimConfig {
   std::size_t k = 0;           ///< group size; 0 = auto floor(M / context slot)
   RoutingMode routing = RoutingMode::compact;
 
+  /// Self-tuning layout (CLI --auto-tune): LayoutPlanner::apply_auto_tune
+  /// overrides k, routing mode, coalescing and (when pipelining) the
+  /// compute-pool width at construction, and the sequential simulator
+  /// re-plans the compute width at superstep boundaries from the engine's
+  /// stall/busy deltas.  Results never depend on any tuned knob — only
+  /// wall clock does.  The chosen plan is exported as sim.layout.* gauges.
+  bool auto_tune = false;
+
   /// Zero-copy message path: pack outbox messages (arena-backed spans)
   /// straight into staged block buffers and deliver fetched messages as
   /// MessageRef views over an arena, skipping the per-message and per-block

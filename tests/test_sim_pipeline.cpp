@@ -505,7 +505,7 @@ TEST(SimPipeline, DoubleBufferingTightensLayoutBound) {
   EXPECT_NO_THROW(sim::SimLayout::compute(cfg, cfg.machine.bsp.v));
   cfg.pipeline = true;
   EXPECT_THROW(sim::SimLayout::compute(cfg, cfg.machine.bsp.v),
-               std::invalid_argument);
+               sim::LayoutError);
 }
 
 // --- Parallel simulator -------------------------------------------------------

@@ -156,8 +156,9 @@ TEST(SimLayout, GroupContextsMustFitM) {
   EXPECT_EQ(layout.k, 8u);
   EXPECT_EQ(layout.context_slot_bytes, 128u);
 
-  cfg.k = 9;  // 9 * 128 = 1152 > M: one block over, rejected
-  EXPECT_THROW(SimLayout::compute(cfg, 16), std::invalid_argument);
+  cfg.k = 9;  // 9 * 128 = 1152 > M: one block over, rejected (typed —
+              // callers can distinguish a layout bound from bad arguments)
+  EXPECT_THROW(SimLayout::compute(cfg, 16), LayoutError);
 }
 
 TEST(SeqSimulator, SingleDiskWorks) {

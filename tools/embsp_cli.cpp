@@ -24,6 +24,13 @@
 //     --no-zero-copy   route message payloads through the legacy copying
 //                      path (same results; for comparison/debugging)
 //     --no-coalesce    disable vectored coalescing of adjacent-track runs
+//     --auto-tune      let the layout planner pick the tuning knobs (group
+//                      size, routing mode, coalescing, compute-pool width)
+//                      from the machine parameters, and — when pipelined —
+//                      adapt the compute width at superstep boundaries from
+//                      the I/O engine's stall fraction.  Results are
+//                      byte-identical to the equivalent static config;
+//                      the chosen plan is exported as sim.layout.* gauges.
 //     --seed <u64>     workload + placement seed     (default 42)
 //     --csv <path>     write the per-superstep cost trace (p=1 only)
 //     --faults <rate>  inject transient I/O faults at this per-call rate
@@ -145,6 +152,7 @@ struct Options {
   bool pipeline = false;
   bool zero_copy = true;
   bool coalesce = true;
+  bool auto_tune = false;
   std::size_t compute_threads = 1;
   std::string io_engine;  // "", "serial", "parallel", "uring"
   bool direct = false;
@@ -170,7 +178,7 @@ int usage() {
          "             [--seed S] [--csv PATH] [--faults RATE]\n"
          "             [--metrics PATH] [--trace-events PATH]\n"
          "             [--pipeline] [--compute-threads T]\n"
-         "             [--no-zero-copy] [--no-coalesce]\n"
+         "             [--no-zero-copy] [--no-coalesce] [--auto-tune]\n"
          "             [--io-engine serial|parallel|uring] [--direct]\n"
          "             [--disk-dir DIR]\n"
          "             [--checkpoint DIR] [--checkpoint-every N]\n"
@@ -220,6 +228,11 @@ bool parse(int argc, char** argv, Options& opt) {
     }
     if (flag == "--no-coalesce") {
       opt.coalesce = false;
+      ++i;
+      continue;
+    }
+    if (flag == "--auto-tune") {
+      opt.auto_tune = true;
       ++i;
       continue;
     }
@@ -621,6 +634,7 @@ int run_workload(const Options& opt, Fn fn) {
   cfg.routing = opt.mode;
   cfg.zero_copy = opt.zero_copy;
   cfg.coalesce_io = opt.coalesce;
+  cfg.auto_tune = opt.auto_tune;
   cfg.seed = opt.seed;
   if (opt.pipeline) {
     // Pipelining needs a concurrent engine, or submissions block inline.
